@@ -1,0 +1,96 @@
+package oiraid
+
+import (
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/layout"
+	"github.com/oiraid/oiraid/internal/reliability"
+	"github.com/oiraid/oiraid/internal/sim"
+)
+
+// The paper's comparison set, exposed as Analyzers so every facility that
+// accepts an Analyzer (simulation, reliability, arrays via the internal
+// constructors in tests) runs identically on the baselines.
+
+// NewRAID5 builds the analyzer for a classical rotated-parity RAID5 array
+// over n disks.
+func NewRAID5(n int) (*Analyzer, error) {
+	s, err := layout.NewRAID5(n)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(s)
+}
+
+// NewRAID6 builds the analyzer for a rotated double-parity (P+Q
+// Reed–Solomon) array over n disks.
+func NewRAID6(n int) (*Analyzer, error) {
+	s, err := layout.NewRAID6(n)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(s)
+}
+
+// NewParityDecluster builds the analyzer for a Holland–Gibson
+// parity-declustered RAID5 over v disks with stripe width k, choosing a
+// λ-balanced block design from the catalog (affine/projective planes,
+// Steiner triple systems, or the complete design).
+func NewParityDecluster(v, k int) (*Analyzer, error) {
+	d, err := bibd.ForDeclustering(v, k)
+	if err != nil {
+		return nil, err
+	}
+	s, err := layout.NewParityDecluster(d)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(s)
+}
+
+// NewS2RAID builds the analyzer for an S²-RAID array: a g×m grid of disks
+// with skewed sub-array RAID5 and g-way parallel recovery. g must be
+// prime.
+func NewS2RAID(g, m int) (*Analyzer, error) {
+	s, err := layout.NewS2RAID(g, m)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(s)
+}
+
+// SimulateRecoveryOn runs the event-driven recovery simulation on any
+// analyzer (baseline or OI-RAID).
+func SimulateRecoveryOn(a *Analyzer, failed []int, cfg SimConfig) (*SimResult, error) {
+	return sim.RunRecovery(a, failed, cfg)
+}
+
+// SimulateBaselineOn runs foreground-only service on any analyzer.
+func SimulateBaselineOn(a *Analyzer, cfg SimConfig, durationSeconds float64) (*SimResult, error) {
+	return sim.RunBaseline(a, cfg, durationSeconds)
+}
+
+// MTTDLOf computes the Markov MTTDL for any analyzer, estimating the
+// per-cardinality loss fractions from the geometry up to maxFailures
+// concurrent failures (sample budget per cardinality: samples).
+func MTTDLOf(a *Analyzer, p ReliabilityParams, maxFailures, samples int) (float64, error) {
+	lossFrac := make([]float64, maxFailures+1)
+	for t := 1; t <= maxFailures; t++ {
+		lossFrac[t] = a.EstimateUnrecoverable(t, samples, nil)
+		if lossFrac[t] >= 1 {
+			lossFrac = lossFrac[:t+1]
+			break
+		}
+	}
+	return reliability.MTTDL(a.Disks(), p, lossFrac)
+}
+
+// MonteCarloDataLossOn estimates mission data-loss probability for any
+// analyzer by geometry-exact simulation.
+func MonteCarloDataLossOn(a *Analyzer, p ReliabilityParams, missionHours float64, trials int, seed int64) (float64, error) {
+	res, err := reliability.MonteCarlo(a, p, missionHours, trials, seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.ProbLoss, nil
+}

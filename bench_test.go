@@ -1,0 +1,232 @@
+package oiraid
+
+// Benchmark harness: one benchmark per experiment of the paper's
+// evaluation (E1–E11, see DESIGN.md §3 and EXPERIMENTS.md). Each benchmark
+// regenerates its table(s) through internal/experiments — the same code
+// cmd/oirsim runs — in quick mode so `go test -bench=.` finishes in
+// minutes; `go run ./cmd/oirsim -all` produces the full-scale tables.
+//
+// Custom metrics attached where a single number summarises the result
+// (speedups, tolerance, CV) so benchmark output alone shows the shape.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/experiments"
+)
+
+func runExperiment(b *testing.B, id string) [][]*experiments.Table {
+	b.Helper()
+	out := make([][]*experiments.Table, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Run(id, experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, tables)
+	}
+	return out
+}
+
+// cell finds the first row whose scheme column has the prefix and returns
+// the given column.
+func cell(t *experiments.Table, schemeCol int, prefix string, col int) string {
+	for _, row := range t.Rows {
+		if strings.HasPrefix(row[schemeCol], prefix) {
+			return row[col]
+		}
+	}
+	return ""
+}
+
+func parseSpeedup(s string) float64 {
+	v, _ := strconv.ParseFloat(strings.TrimSuffix(s, "×"), 64)
+	return v
+}
+
+func BenchmarkE1SchemeProperties(b *testing.B) {
+	runs := runExperiment(b, "E1")
+	t := runs[0][0]
+	if v := cell(t, 0, "oi-raid(v=9", 3); v != "3" {
+		b.Fatalf("oi-raid tolerance = %s, want 3", v)
+	}
+	b.ReportMetric(parseSpeedup(cell(t, 0, "oi-raid(v=9", 6)), "oi9-speedup")
+	b.ReportMetric(parseSpeedup(cell(t, 0, "oi-raid(v=16", 6)), "oi16-speedup")
+}
+
+func BenchmarkE2RecoverySpeedup(b *testing.B) {
+	runs := runExperiment(b, "E2")
+	t := runs[0][0]
+	var oi, pd float64
+	for _, row := range t.Rows {
+		if row[0] != "16" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(row[1], "oi-raid"):
+			oi = parseSpeedup(row[4])
+		case strings.HasPrefix(row[1], "parity-decluster"):
+			pd = parseSpeedup(row[4])
+		}
+	}
+	b.ReportMetric(oi, "oi-speedup-v16")
+	b.ReportMetric(pd, "pd-speedup-v16")
+	if oi <= pd {
+		b.Fatalf("oi-raid speedup %.2f not above parity declustering %.2f", oi, pd)
+	}
+}
+
+func BenchmarkE3LoadBalance(b *testing.B) {
+	runs := runExperiment(b, "E3")
+	t := runs[0][0]
+	cv, _ := strconv.ParseFloat(cell(t, 0, "oi-raid", 6), 64)
+	b.ReportMetric(cv, "oi-read-CV")
+	if cv > 1e-9 {
+		b.Fatalf("oi-raid recovery read CV = %v, want 0 (perfect balance)", cv)
+	}
+}
+
+func BenchmarkE4CapacityScaling(b *testing.B) {
+	runs := runExperiment(b, "E4")
+	t := runs[0][0]
+	last := t.Rows[len(t.Rows)-1]
+	b.ReportMetric(parseSpeedup(last[3]), "speedup-at-max-capacity")
+}
+
+func BenchmarkE5Reliability(b *testing.B) {
+	runs := runExperiment(b, "E5")
+	t := runs[0][0]
+	b.ReportMetric(parseSpeedup(cell(t, 0, "oi-raid", 4)), "oi-mttdl-vs-raid5")
+}
+
+func BenchmarkE6DegradedService(b *testing.B) {
+	runs := runExperiment(b, "E6")
+	t := runs[0][0]
+	p50, _ := strconv.ParseFloat(cell(t, 0, "oi-raid", 2), 64)
+	b.ReportMetric(p50, "oi-degraded-p50-ms")
+}
+
+func BenchmarkE7UpdateCost(b *testing.B) {
+	runs := runExperiment(b, "E7")
+	t := runs[0][0]
+	ios, _ := strconv.ParseFloat(cell(t, 0, "oi-raid", 3), 64)
+	b.ReportMetric(ios, "oi-ios-per-write")
+	if ios != 8 {
+		b.Fatalf("oi-raid I/Os per small write = %v, want 8 (4 reads + 4 writes)", ios)
+	}
+}
+
+func BenchmarkE8MultiFailure(b *testing.B) {
+	runs := runExperiment(b, "E8")
+	t := runs[0][0]
+	var single, triple float64
+	for _, row := range t.Rows {
+		secs, _ := strconv.ParseFloat(row[3], 64)
+		switch row[0] {
+		case "[0]":
+			single = secs
+		case "[0 1 2]":
+			triple = secs
+		}
+	}
+	b.ReportMetric(triple/single, "triple-vs-single-rebuild")
+}
+
+func BenchmarkE9Ablations(b *testing.B) {
+	runs := runExperiment(b, "E9")
+	tb := runs[0][1]
+	tol, _ := strconv.ParseFloat(tb.Rows[1][1], 64)
+	b.ReportMetric(tol, "naive-scheme-tolerance")
+	if tol != 2 {
+		b.Fatalf("naive two-layer tolerance = %v, want 2 (vs OI-RAID's 3)", tol)
+	}
+}
+
+func BenchmarkE10CodeConfigurations(b *testing.B) {
+	runs := runExperiment(b, "E10")
+	t := runs[0][0]
+	var tol11, tol21 string
+	for _, row := range t.Rows {
+		switch row[0] {
+		case "(1,1)":
+			tol11 = row[2]
+		case "(2,1)":
+			tol21 = row[2]
+		}
+	}
+	if tol11 != "3" || tol21 != "5" {
+		b.Fatalf("tolerances (1,1)=%s (2,1)=%s, want 3 and 5", tol11, tol21)
+	}
+}
+
+func BenchmarkE11CascadingFailures(b *testing.B) {
+	runs := runExperiment(b, "E11")
+	t := runs[0][0]
+	oiPlus2 := cell(t, 0, "oi-raid", 3)
+	r5Plus1 := cell(t, 0, "raid5", 2)
+	if oiPlus2 != "ok" || r5Plus1 != "LOST" {
+		b.Fatalf("cascade outcomes: oi+2=%s raid5+1=%s, want ok/LOST", oiPlus2, r5Plus1)
+	}
+}
+
+// Micro-benchmarks of the public API hot paths.
+
+func BenchmarkGeometryConstruction49(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := NewGeometry(49); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecoveryPlan25(b *testing.B) {
+	g, err := NewGeometry(25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if plan := g.Plan([]int{i % 25}); !plan.Complete {
+			b.Fatal("incomplete plan")
+		}
+	}
+}
+
+func BenchmarkSimulatedRebuild25(b *testing.B) {
+	g, err := NewGeometry(25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := SimConfig{
+		Disk: DiskParams{CapacityBytes: 4 << 30, BandwidthBps: 150e6, Seek: 8500 * time.Microsecond},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateRecovery(g, []int{0}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArrayThroughput(b *testing.B) {
+	g, err := NewGeometry(9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	arr, err := NewMemArray(g, 4, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * 4096) % arr.Capacity()
+		if _, err := arr.WriteAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

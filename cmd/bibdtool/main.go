@@ -1,0 +1,95 @@
+// Command bibdtool constructs, verifies, and prints the block designs
+// underlying OI-RAID's outer layer.
+//
+// Usage:
+//
+//	bibdtool -affine 5            # AG(2,5): resolvable (25,30,6,5,1)
+//	bibdtool -projective 3        # PG(2,3)
+//	bibdtool -sts 15              # Steiner triple system
+//	bibdtool -kirkman 15          # resolvable triple system
+//	bibdtool -array 49            # the design ForArray would pick
+//	bibdtool -sizes 200           # supported OI-RAID disk counts
+//	... [-resolve] [-blocks]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+)
+
+func main() {
+	var (
+		affine     = flag.Int("affine", 0, "build the affine plane AG(2,q)")
+		projective = flag.Int("projective", 0, "build the projective plane PG(2,q)")
+		sts        = flag.Int("sts", 0, "build a Steiner triple system STS(v)")
+		kirkman    = flag.Int("kirkman", 0, "build a Kirkman (resolvable) triple system")
+		array      = flag.Int("array", 0, "build the design used for an OI-RAID array of v disks")
+		sizes      = flag.Int("sizes", 0, "list supported OI-RAID disk counts up to the limit")
+		resolve    = flag.Bool("resolve", false, "search for a parallel-class resolution")
+		blocks     = flag.Bool("blocks", false, "print all blocks")
+	)
+	flag.Parse()
+
+	if *sizes > 0 {
+		fmt.Println(bibd.SupportedArraySizes(*sizes))
+		return
+	}
+
+	var (
+		d   *bibd.Design
+		err error
+	)
+	switch {
+	case *affine > 0:
+		d, err = bibd.AffinePlane(*affine)
+	case *projective > 0:
+		d, err = bibd.ProjectivePlane(*projective)
+	case *sts > 0:
+		d, err = bibd.SteinerTriple(*sts)
+	case *kirkman > 0:
+		d, err = bibd.KirkmanTriple(*kirkman)
+	case *array > 0:
+		d, err = bibd.ForArray(*array)
+	default:
+		fmt.Fprintln(os.Stderr, "bibdtool: pick a construction (-affine, -projective, -sts, -kirkman, -array) or -sizes")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bibdtool:", err)
+		os.Exit(1)
+	}
+	if *resolve && !d.Resolvable() {
+		if err := d.Resolve(0); err != nil {
+			fmt.Fprintln(os.Stderr, "bibdtool: resolve:", err)
+			os.Exit(1)
+		}
+	}
+	if err := d.Verify(); err != nil {
+		fmt.Fprintln(os.Stderr, "bibdtool: verification failed:", err)
+		os.Exit(1)
+	}
+	fmt.Println(d)
+	fmt.Println("verified: all BIBD axioms hold")
+	if d.Resolvable() {
+		fmt.Printf("resolution: %d parallel classes of %d disjoint blocks\n", len(d.Classes), d.V/d.K)
+	}
+	if *blocks {
+		if d.Resolvable() {
+			for ci, class := range d.Classes {
+				fmt.Printf("class %d:", ci)
+				for _, bi := range class {
+					fmt.Printf(" %v", d.Blocks[bi])
+				}
+				fmt.Println()
+			}
+		} else {
+			for bi, blk := range d.Blocks {
+				fmt.Printf("block %3d: %v\n", bi, blk)
+			}
+		}
+	}
+}

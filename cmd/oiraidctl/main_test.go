@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLifecycle drives the full command surface against a temp directory:
+// create → write → read → fail×3 → degraded read → rebuild → scrub.
+func TestLifecycle(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arr")
+	if err := create(dir, 9, 2, 512); err != nil {
+		t.Fatal(err)
+	}
+	if err := status(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := make([]byte, 5000)
+	rand.New(rand.NewSource(1)).Read(payload)
+	if err := writeCmd(dir, 100, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := readCmd(dir, 100, int64(len(payload)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("read back differs")
+	}
+
+	for _, d := range []int{2, 5, 7} {
+		if err := failCmd(dir, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := failCmd(dir, 2); err == nil {
+		t.Fatal("double-failing a disk must error")
+	}
+	if err := failCmd(dir, 99); err == nil {
+		t.Fatal("failing an unknown disk must error")
+	}
+
+	out.Reset()
+	if err := readCmd(dir, 100, int64(len(payload)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("degraded read differs")
+	}
+
+	if err := rebuildCmd(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := scrubCmd(dir); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Failed) != 0 {
+		t.Fatalf("manifest still lists failed disks: %v", m.Failed)
+	}
+	// Content survives a full reopen after rebuild.
+	out.Reset()
+	if err := readCmd(dir, 100, int64(len(payload)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("content differs after rebuild")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	if err := create("", 9, 1, 512); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+	if err := create(t.TempDir(), 10, 1, 512); err == nil {
+		t.Fatal("unsupported disk count must fail")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, _, _, err := openArray(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing manifest must fail")
+	}
+	if _, err := loadManifest(""); err == nil {
+		t.Fatal("empty dir must fail")
+	}
+}
+
+func TestCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(manifestPath(dir), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest must fail")
+	}
+}
+
+func TestPlanAndInfo(t *testing.T) {
+	if err := planCmd(9, "0,4,8"); err != nil {
+		t.Fatal(err)
+	}
+	if err := planCmd(9, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := planCmd(9, "a,b"); err == nil {
+		t.Fatal("bad disk list must fail")
+	}
+	if err := planCmd(10, ""); err == nil {
+		t.Fatal("unsupported disk count must fail")
+	}
+	if err := infoCmd(16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadValidation(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "arr")
+	if err := create(dir, 9, 1, 512); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := readCmd(dir, 0, 0, &out); err == nil {
+		t.Fatal("len 0 must fail")
+	}
+	if err := rebuildCmd(dir); err != nil {
+		t.Fatal(err) // nothing to rebuild is not an error
+	}
+}
+
+func TestExportAnalyzeRoundTrip(t *testing.T) {
+	var layoutJSON bytes.Buffer
+	if err := exportCmd(&layoutJSON, 9); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := analyzeCmd(bytes.NewReader(layoutJSON.Bytes()), &out, "0,4"); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{"tolerance: 3", "speedup: 4.0", "complete=true"} {
+		if !bytes.Contains([]byte(report), []byte(want)) {
+			t.Fatalf("analyze output missing %q:\n%s", want, report)
+		}
+	}
+	if err := analyzeCmd(bytes.NewReader([]byte("{")), &out, ""); err == nil {
+		t.Fatal("broken layout JSON must fail")
+	}
+	if err := exportCmd(&out, 11); err == nil {
+		t.Fatal("unsupported disk count must fail")
+	}
+}

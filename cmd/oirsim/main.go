@@ -1,0 +1,75 @@
+// Command oirsim regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	oirsim -exp E2          # run one experiment (E1..E10)
+//	oirsim -all             # run the full suite
+//	oirsim -all -quick      # reduced sizes (seconds instead of minutes)
+//	oirsim -list            # list experiments
+//
+// Output is aligned text, one block per table/figure; EXPERIMENTS.md maps
+// each block to the corresponding claim in the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id to run (E1..E10)")
+		all    = flag.Bool("all", false, "run every experiment")
+		quick  = flag.Bool("quick", false, "reduced array sizes and capacities")
+		list   = flag.Bool("list", false, "list experiment ids and titles")
+		format = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+	var ids []string
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *exp != "":
+		ids = []string{*exp}
+	default:
+		fmt.Fprintln(os.Stderr, "oirsim: need -exp <id>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.Options{Quick: *quick}
+	for _, id := range ids {
+		start := time.Now()
+		tables, err := experiments.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "oirsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			switch *format {
+			case "csv":
+				if err := t.FprintCSV(os.Stdout); err != nil {
+					fmt.Fprintln(os.Stderr, "oirsim:", err)
+					os.Exit(1)
+				}
+				fmt.Println()
+			default:
+				t.Fprint(os.Stdout)
+			}
+		}
+		if *format != "csv" {
+			fmt.Printf("  [%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGenStatReplay(t *testing.T) {
+	var trace bytes.Buffer
+	if err := gen(&trace, "zipf", 2000, 50_000, 0.2, 1.3, 7); err != nil {
+		t.Fatal(err)
+	}
+	traceText := trace.String()
+
+	var statOut bytes.Buffer
+	if err := stat(strings.NewReader(traceText), &statOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(statOut.String(), "records        : 2000") {
+		t.Fatalf("stat output wrong:\n%s", statOut.String())
+	}
+
+	var replayOut bytes.Buffer
+	if err := replay(strings.NewReader(traceText), &replayOut, 9, 400, 64<<10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(replayOut.String(), "rebuild completed") {
+		t.Fatalf("replay output wrong:\n%s", replayOut.String())
+	}
+
+	var baseOut bytes.Buffer
+	if err := replay(strings.NewReader(traceText), &baseOut, 9, 400, 64<<10, -1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(baseOut.String(), "served") {
+		t.Fatalf("baseline replay output wrong:\n%s", baseOut.String())
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gen(&buf, "nope", 10, 100, 0, 1.2, 1); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+	if err := gen(&buf, "uniform", 10, -1, 0, 1.2, 1); err == nil {
+		t.Fatal("bad size must fail")
+	}
+	for _, kind := range []string{"sequential", "uniform"} {
+		buf.Reset()
+		if err := gen(&buf, kind, 10, 100, 0.5, 1.2, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStatBadInput(t *testing.T) {
+	var out bytes.Buffer
+	if err := stat(strings.NewReader("not a trace"), &out); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if err := replay(strings.NewReader(""), &out, 9, 100, 1024, -1); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+}

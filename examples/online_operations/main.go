@@ -1,0 +1,127 @@
+// Online operations: the data-plane features a production deployment
+// leans on, demonstrated end to end — checksummed read repair, online
+// incremental rebuild with foreground I/O, write-hole recovery via the
+// intent log, and exposure reporting while degraded.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/oiraid/oiraid"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+func main() {
+	g, err := oiraid.NewGeometry(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const stripBytes = 1024
+	const cycles = 8
+	strips := cycles * int64(g.Analyzer().SlotsPerDisk())
+
+	// Checksummed devices: silent corruption becomes a detectable erasure.
+	devs := make([]oiraid.Device, g.Disks())
+	inner := make([]oiraid.Device, g.Disks())
+	for i := range devs {
+		mem, err := oiraid.NewMemDevice(strips, stripBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inner[i] = mem
+		devs[i] = oiraid.NewChecksummedDevice(mem)
+	}
+	arr, err := store.NewArray(g.Analyzer(), devs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intent := store.NewMemIntentLog()
+	arr.SetIntentLog(intent)
+
+	content := make([]byte, arr.Capacity())
+	rand.New(rand.NewSource(1)).Read(content)
+	if _, err := arr.WriteAt(content, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("array: %s\n", g)
+
+	// 1. Read repair: corrupt a sector behind the checksum's back.
+	raw := make([]byte, stripBytes)
+	if err := inner[2].ReadStrip(5, raw); err != nil {
+		log.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := inner[2].WriteStrip(5, raw); err != nil {
+		log.Fatal(err)
+	}
+	buf := make([]byte, arr.Capacity())
+	if _, err := arr.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read repair: %d latent sector error(s) healed in place; content intact: %v\n",
+		arr.Stats().ReadRepairs, bytes.Equal(buf, content))
+
+	// 2. Exposure while degraded.
+	if err := arr.FailDisk(4); err != nil {
+		log.Fatal(err)
+	}
+	exp := g.Exposure(arr.FailedDisks(), 3)
+	fmt.Printf("disk 4 failed: recoverable=%v, guaranteed slack for %d more arbitrary failure(s)\n",
+		exp.Recoverable, exp.Slack)
+
+	// 3. Online incremental rebuild with writes in flight.
+	spare, err := oiraid.NewMemDevice(strips, stripBytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := arr.ReplaceDisk(4, spare); err != nil {
+		log.Fatal(err)
+	}
+	steps := 0
+	for {
+		done, err := arr.RebuildStep(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if done {
+			break
+		}
+		rebuilt, total := arr.RebuildProgress()
+		// Foreground write lands while the rebuild is mid-flight.
+		patch := []byte(fmt.Sprintf("online write during step %d", steps))
+		off := int64(steps) * 4096
+		if _, err := arr.WriteAt(patch, off); err != nil {
+			log.Fatal(err)
+		}
+		copy(content[off:], patch)
+		fmt.Printf("rebuild progress %d/%d cycles (foreground writes continuing)\n", rebuilt, total)
+		steps++
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		log.Fatalf("scrub after online rebuild: bad=%d err=%v", bad, err)
+	}
+	if _, err := arr.ReadAt(buf, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("online rebuild complete: content intact: %v\n", bytes.Equal(buf, content))
+
+	// 4. Write-hole recovery: simulate a crash between data and parity.
+	if err := intent.Record(0); err != nil {
+		log.Fatal(err)
+	}
+	torn := bytes.Repeat([]byte{0xAB}, stripBytes)
+	if err := devs[0].WriteStrip(0, torn); err != nil { // parity never updated
+		log.Fatal(err)
+	}
+	bad, _ := arr.Scrub()
+	n, err := arr.RecoverIntent()
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, _ := arr.Scrub()
+	fmt.Printf("write hole: %d inconsistent stripe(s) after crash, %d cycle(s) re-synced, %d after recovery\n",
+		bad, n, after)
+}

@@ -1,0 +1,63 @@
+// Quickstart: create an OI-RAID array in memory, store data, survive a
+// disk failure, rebuild, and verify.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"github.com/oiraid/oiraid"
+)
+
+func main() {
+	// 9 disks → groups of k=3 via the KTS(9) block design, r=4 parallel
+	// classes. Supported sizes: oiraid.SupportedDiskCounts.
+	g, err := oiraid.NewGeometry(9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(g)
+
+	// A byte-accurate array: 4 layout cycles of 4 KiB strips per disk.
+	arr, err := oiraid.NewMemArray(g, 4, 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("usable capacity: %d KiB\n", arr.Capacity()>>10)
+
+	// Store something.
+	msg := []byte("OI-RAID: two layers of RAID5 over a resolvable BIBD")
+	if _, err := arr.WriteAt(msg, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Lose a disk: reads keep working through live reconstruction.
+	if err := arr.FailDisk(3); err != nil {
+		log.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := arr.ReadAt(got, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("degraded read ok: %v\n", bytes.Equal(got, msg))
+
+	// Rebuild onto a fresh device. Every survivor contributes one
+	// sequential scan of 1/r of a disk — that is the paper's fast
+	// recovery.
+	spare, err := oiraid.NewMemDevice(4*int64(g.Analyzer().SlotsPerDisk()), 4096)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := arr.ReplaceDisk(3, spare); err != nil {
+		log.Fatal(err)
+	}
+	if err := arr.Rebuild(); err != nil {
+		log.Fatal(err)
+	}
+	bad, err := arr.Scrub()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebuilt; scrub found %d inconsistent stripes\n", bad)
+}

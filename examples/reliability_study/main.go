@@ -1,0 +1,66 @@
+// Reliability study: the "high reliability" half of the paper. Computes
+// MTTDL for OI-RAID and the baselines with the geometry-aware Markov
+// model, then cross-checks with a Monte Carlo mission simulation under
+// accelerated wear.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/oiraid/oiraid"
+)
+
+func main() {
+	const v = 25
+	g, err := oiraid.NewGeometry(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r5, err := oiraid.NewRAID5(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r6, err := oiraid.NewRAID6(v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Realistic nearline-disk parameters. OI-RAID's MTTR benefits from
+	// its r× rebuild speedup (r = 6 at v = 25).
+	base := oiraid.ReliabilityParams{MTTFHours: 500_000, MTTRHours: 12}
+	fast := oiraid.ReliabilityParams{MTTFHours: base.MTTFHours, MTTRHours: base.MTTRHours / float64(g.Replication())}
+
+	mttdl5, err := oiraid.MTTDLOf(r5, base, 3, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mttdl6, err := oiraid.MTTDLOf(r6, base, 4, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mttdlOI, err := oiraid.EstimateMTTDL(g, fast, 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	const hoursPerYear = 8766
+	fmt.Println("MTTDL (Markov, MTTF=500k h, MTTR=12 h; OI-RAID rebuilds 6× faster):")
+	fmt.Printf("  raid5   : %12.3g years\n", mttdl5/hoursPerYear)
+	fmt.Printf("  raid6   : %12.3g years\n", mttdl6/hoursPerYear)
+	fmt.Printf("  oi-raid : %12.3g years  (%.0f× raid5)\n", mttdlOI/hoursPerYear, mttdlOI/mttdl5)
+
+	// Monte Carlo cross-check with accelerated failures so losses are
+	// observable in a few thousand trials.
+	acc := oiraid.ReliabilityParams{MTTFHours: 20_000, MTTRHours: 100}
+	fmt.Println("\nMonte Carlo P(data loss in 20000 h) under accelerated wear (MTTF=20000 h, MTTR=100 h):")
+	for _, e := range []struct {
+		name string
+		an   *oiraid.Analyzer
+	}{{"raid5", r5}, {"raid6", r6}, {"oi-raid", g.Analyzer()}} {
+		p, err := oiraid.MonteCarloDataLossOn(e.an, acc, 20_000, 2000, 42)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s: %.3f\n", e.name, p)
+	}
+}

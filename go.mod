@@ -1,0 +1,3 @@
+module github.com/oiraid/oiraid
+
+go 1.22

@@ -1,0 +1,128 @@
+// Package analytic provides the closed-form performance and reliability
+// models of the paper family (the original evaluation is largely
+// analytical). Every formula is cross-validated against the event-driven
+// simulator and the Markov solver in this package's tests, and the
+// experiment harness prints model columns next to simulated ones.
+//
+// Model assumptions (first-order, standard for declustered-RAID papers):
+// offline rebuild, read phase then write phase, one positioning cost per
+// sequential run, disks characterised by capacity/bandwidth/seek.
+package analytic
+
+import (
+	"math"
+
+	"github.com/oiraid/oiraid/internal/disk"
+)
+
+// RebuildSeconds is the generic offline single-failure rebuild model:
+//
+//	T = T_read + T_write
+//	T_read  = runsPerSurvivor·seek + readFraction·C/B   (slowest survivor)
+//	T_write = writeRuns·seek + writeFraction·C/B        (slowest writer)
+//
+// where C is capacity and B bandwidth. Scheme-specific wrappers fill in
+// the fractions.
+func RebuildSeconds(d disk.Params, readFraction float64, readRuns int, writeFraction float64, writeRuns int) float64 {
+	c := float64(d.CapacityBytes)
+	b := d.BandwidthBps
+	read := float64(readRuns)*d.Seek.Seconds() + readFraction*c/b
+	write := float64(writeRuns)*d.Seek.Seconds() + writeFraction*c/b
+	return read + write
+}
+
+// DistributedWriteFraction returns the worst-case per-survivor share of a
+// rebuilt disk under distributed sparing, accounting for the quantisation
+// of the layout's slotsPerCycle strips over the survivors: shares are
+// whole strips, so the unluckiest survivor absorbs ⌈slots/survivors⌉ of
+// them.
+func DistributedWriteFraction(slotsPerCycle, survivors int) float64 {
+	shares := (slotsPerCycle + survivors - 1) / survivors
+	return float64(shares) / float64(slotsPerCycle)
+}
+
+// OIRAIDRebuildSeconds models OI-RAID's single-failure rebuild: every
+// survivor reads its shared partition (1/r of a disk, one sequential
+// run); with distributed sparing the v-1 survivors then absorb the
+// reconstructed strips. slotsPerCycle is the layout's cycle length
+// (r·W; the default W gives r·k·(v/k) = r·v).
+func OIRAIDRebuildSeconds(v, r, slotsPerCycle int, d disk.Params) float64 {
+	return RebuildSeconds(d, 1/float64(r), 1, DistributedWriteFraction(slotsPerCycle, v-1), 1)
+}
+
+// RAID5RebuildSeconds models classical RAID5 rebuild with a dedicated
+// spare: every survivor reads itself fully, and the whole reconstructed
+// disk is written to the spare. The spare write and the survivor reads
+// serialise in the offline model.
+func RAID5RebuildSeconds(d disk.Params) float64 {
+	return RebuildSeconds(d, 1, 1, 1, 1)
+}
+
+// ParityDeclusterRebuildSeconds models Holland–Gibson declustering on a
+// λ=1 design: each survivor reads the declustering ratio α = (k-1)/(v-1)
+// of a disk. The reads are scattered across the disk, but within the one
+// block a survivor shares with the failed disk they coalesce into a run
+// of ≈ k strips, so runs ≈ α·C/(k·strip). That per-block seek tax —
+// absent in OI-RAID's whole-partition reads — is PD's handicap.
+// Writing uses distributed sparing over the layout's r·k-slot cycle.
+func ParityDeclusterRebuildSeconds(v, k, r int, stripBytes int64, d disk.Params) float64 {
+	alpha := float64(k-1) / float64(v-1)
+	runs := int(alpha * float64(d.CapacityBytes) / (float64(k) * float64(stripBytes)))
+	if runs < 1 {
+		runs = 1
+	}
+	return RebuildSeconds(d, alpha, runs, DistributedWriteFraction(r*k, v-1), 1)
+}
+
+// S2RAIDRebuildSeconds models S²-RAID on a g×m grid with a dedicated
+// spare: survivors read 1/g of a disk in one run each, but the spare must
+// absorb the full reconstructed disk, which bounds the rebuild.
+func S2RAIDRebuildSeconds(g int, d disk.Params) float64 {
+	return RebuildSeconds(d, 1/float64(g), 1, 1, 1)
+}
+
+// Speedup returns the modelled OI-RAID speedup over RAID5:
+//
+//	(2C/B) / (C/(rB) + C/((v-1)B)) ≈ 2·r·(v-1)/(v-1+r)
+//
+// ignoring seeks (both sides are sequential). For large v this tends to
+// 2r; the paper's read-phase-only claim is r.
+func Speedup(v, r int) float64 {
+	return 2 * float64(r) * float64(v-1) / float64(v-1+r)
+}
+
+// StorageEfficiency returns the usable fraction (k-pi)(c-po)/(k·c) of the
+// two-layer layout.
+func StorageEfficiency(k, c, pi, po int) float64 {
+	return float64(k-pi) * float64(c-po) / (float64(k) * float64(c))
+}
+
+// UpdateWrites returns the small-write amplification (1+pi)(1+po) in
+// strip writes; I/Os are twice that under read-modify-write.
+func UpdateWrites(pi, po int) int { return (1 + pi) * (1 + po) }
+
+// RAID5MTTDL is the textbook closed form MTTF²/(n(n-1)·MTTR).
+func RAID5MTTDL(n int, mttfHours, mttrHours float64) float64 {
+	return mttfHours * mttfHours / (float64(n) * float64(n-1) * mttrHours)
+}
+
+// ToleranceTMTTDL generalises the closed form to a code that always
+// survives t failures and dies on the t+1-st (lossFrac ≈ 1), under
+// MTTR ≪ MTTF:
+//
+//	MTTDL ≈ MTTF^(t+1) / ( n·(n-1)·…·(n-t) · MTTR^t )
+//
+// For OI-RAID t = 3 with only a fraction q of 4-failure patterns fatal,
+// divide the hazard by q (multiply MTTDL by 1/q).
+func ToleranceTMTTDL(n, t int, mttfHours, mttrHours, lossFracAtTPlus1 float64) float64 {
+	if lossFracAtTPlus1 <= 0 {
+		return math.Inf(1)
+	}
+	num := math.Pow(mttfHours, float64(t+1))
+	den := 1.0
+	for i := 0; i <= t; i++ {
+		den *= float64(n - i)
+	}
+	den *= math.Pow(mttrHours, float64(t))
+	return num / den / lossFracAtTPlus1
+}

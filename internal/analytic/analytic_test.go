@@ -1,0 +1,145 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/disk"
+	"github.com/oiraid/oiraid/internal/layout"
+	"github.com/oiraid/oiraid/internal/reliability"
+	"github.com/oiraid/oiraid/internal/sim"
+)
+
+func testDisk() disk.Params {
+	return disk.Params{
+		CapacityBytes: 4 << 30,
+		BandwidthBps:  150e6,
+		Seek:          8500 * time.Microsecond,
+	}
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if ratio := got / want; ratio < 1-tol || ratio > 1+tol {
+		t.Errorf("%s: model %v vs reference %v (ratio %.3f beyond ±%.0f%%)",
+			name, got, want, ratio, 100*tol)
+	}
+}
+
+// TestModelMatchesSimulator cross-validates every rebuild formula against
+// the event-driven simulator at 4 GiB scale.
+func TestModelMatchesSimulator(t *testing.T) {
+	d := testDisk()
+	cfg := sim.Config{Disk: d, StripBytes: 1 << 20, ChunkBytes: 16 << 20}
+
+	// OI-RAID v = 25 (r = 6).
+	des, err := bibd.ForArray(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oiScheme, err := layout.NewOIRAID(des)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, err := core.NewAnalyzer(oiScheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunRecovery(oi, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "oi-raid rebuild", OIRAIDRebuildSeconds(25, 6, 150, d), res.RebuildSeconds, 0.1)
+
+	// RAID5 n = 25 with dedicated spare.
+	r5s, err := layout.NewRAID5(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := core.NewAnalyzer(r5s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg5 := cfg
+	cfg5.Spare = sim.SpareDedicated
+	res5, err := sim.RunRecovery(r5, []int{0}, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "raid5 rebuild", RAID5RebuildSeconds(d), res5.RebuildSeconds, 0.1)
+
+	// Parity declustering v = 25, k = 5.
+	pdDesign, err := bibd.ForDeclustering(25, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pds, err := layout.NewParityDecluster(pdDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := core.NewAnalyzer(pds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPD, err := sim.RunRecovery(pd, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "pd rebuild", ParityDeclusterRebuildSeconds(25, 5, 6, 1<<20, d), resPD.RebuildSeconds, 0.15)
+
+	// S²-RAID 5×5 with dedicated spare.
+	s2s, err := layout.NewS2RAID(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.NewAnalyzer(s2s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS2, err := sim.RunRecovery(s2, []int{0}, cfg5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "s2 rebuild", S2RAIDRebuildSeconds(5, d), resS2.RebuildSeconds, 0.15)
+
+	// Speedup formula against the two simulated endpoints.
+	within(t, "speedup", Speedup(25, 6), res5.RebuildSeconds/res.RebuildSeconds, 0.1)
+}
+
+// TestMTTDLClosedFormsMatchMarkov: the closed forms approximate the exact
+// Markov solution when MTTR ≪ MTTF.
+func TestMTTDLClosedFormsMatchMarkov(t *testing.T) {
+	p := reliability.Params{MTTFHours: 500_000, MTTRHours: 10}
+	markov, err := reliability.MTTDL(10, p, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "raid5 mttdl", RAID5MTTDL(10, p.MTTFHours, p.MTTRHours), markov, 0.05)
+
+	// Tolerance-3 with partial 4-failure loss (like OI-RAID v=9, q≈0.43).
+	q := 0.42857142857142855
+	markov3, err := reliability.MTTDL(9, p, []float64{0, 0, 0, 0, q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "tolerance-3 mttdl", ToleranceTMTTDL(9, 3, p.MTTFHours, p.MTTRHours, q), markov3, 0.05)
+
+	if !math.IsInf(ToleranceTMTTDL(9, 3, 1, 1, 0), 1) {
+		t.Error("zero loss fraction must give infinite MTTDL")
+	}
+}
+
+func TestStorageEfficiencyAndUpdateWrites(t *testing.T) {
+	if got := StorageEfficiency(5, 5, 1, 1); math.Abs(got-0.64) > 1e-12 {
+		t.Errorf("efficiency = %v, want 0.64", got)
+	}
+	if got := StorageEfficiency(4, 4, 2, 1); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("efficiency = %v, want 0.375", got)
+	}
+	if UpdateWrites(1, 1) != 4 || UpdateWrites(2, 1) != 6 || UpdateWrites(2, 2) != 9 {
+		t.Error("update writes formula wrong")
+	}
+}

@@ -1,0 +1,473 @@
+package bibd
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFano(t *testing.T) {
+	d := Fano()
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d.V != 7 || d.B() != 7 || d.R() != 3 || d.K != 3 || d.Lambda != 1 {
+		t.Fatalf("Fano parameters wrong: %v", d)
+	}
+	if d.Resolvable() {
+		t.Fatal("Fano cannot be resolvable (3 does not divide 7)")
+	}
+}
+
+func TestProjectivePlanes(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9} {
+		d, err := ProjectivePlane(q)
+		if err != nil {
+			t.Fatalf("PG(2,%d): %v", q, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("PG(2,%d): %v", q, err)
+		}
+		wantV := q*q + q + 1
+		if d.V != wantV || d.B() != wantV || d.K != q+1 || d.R() != q+1 || d.Lambda != 1 {
+			t.Fatalf("PG(2,%d) parameters wrong: %v", q, d)
+		}
+	}
+	if _, err := ProjectivePlane(6); err == nil {
+		t.Fatal("PG(2,6) must fail: 6 is not a prime power")
+	}
+}
+
+func TestAffinePlanes(t *testing.T) {
+	for _, q := range []int{2, 3, 4, 5, 7, 8, 9, 11} {
+		d, err := AffinePlane(q)
+		if err != nil {
+			t.Fatalf("AG(2,%d): %v", q, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("AG(2,%d): %v", q, err)
+		}
+		if d.V != q*q || d.B() != q*q+q || d.K != q || d.R() != q+1 || d.Lambda != 1 {
+			t.Fatalf("AG(2,%d) parameters wrong: %v", q, d)
+		}
+		if !d.Resolvable() || len(d.Classes) != q+1 {
+			t.Fatalf("AG(2,%d) must be resolvable with %d classes", q, q+1)
+		}
+	}
+	if _, err := AffinePlane(10); err == nil {
+		t.Fatal("AG(2,10) must fail")
+	}
+}
+
+func TestSteinerTriples(t *testing.T) {
+	for _, v := range []int{7, 9, 13, 15, 19, 21, 25, 27, 31, 33, 37, 39} {
+		d, err := SteinerTriple(v)
+		if err != nil {
+			t.Fatalf("STS(%d): %v", v, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("STS(%d): %v", v, err)
+		}
+		if d.K != 3 || d.Lambda != 1 || d.B() != v*(v-1)/6 || d.R() != (v-1)/2 {
+			t.Fatalf("STS(%d) parameters wrong: %v", v, d)
+		}
+	}
+	for _, v := range []int{6, 8, 10, 11, 12, 14, 17, 20} {
+		if _, err := SteinerTriple(v); err == nil {
+			t.Fatalf("STS(%d) must fail (inadmissible order)", v)
+		}
+	}
+}
+
+func TestKirkmanTriple(t *testing.T) {
+	for _, v := range []int{9, 15} {
+		d, err := KirkmanTriple(v)
+		if err != nil {
+			t.Fatalf("KTS(%d): %v", v, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("KTS(%d): %v", v, err)
+		}
+		if !d.Resolvable() {
+			t.Fatalf("KTS(%d) must be resolvable", v)
+		}
+		if d.K != 3 || d.Lambda != 1 {
+			t.Fatalf("KTS(%d) parameters wrong: %v", v, d)
+		}
+	}
+	if _, err := KirkmanTriple(21); err == nil {
+		t.Fatal("KTS(21) not catalogued, must fail")
+	}
+}
+
+func TestComplete(t *testing.T) {
+	d, err := Complete(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if d.B() != 20 || d.R() != 10 || d.Lambda != 4 {
+		t.Fatalf("Complete(6,3) parameters wrong: %v", d)
+	}
+	if _, err := Complete(3, 5); err == nil {
+		t.Fatal("Complete(3,5) must fail")
+	}
+	if _, err := Complete(60, 20); err == nil {
+		t.Fatal("oversized complete design must fail")
+	}
+}
+
+func TestVerifyCatchesDefects(t *testing.T) {
+	good := Fano()
+	tests := []struct {
+		name   string
+		mutate func(*Design)
+	}{
+		{"wrong block size", func(d *Design) { d.Blocks[0] = d.Blocks[0][:2] }},
+		{"out of range point", func(d *Design) { d.Blocks[0] = []int{0, 1, 99} }},
+		{"repeated point", func(d *Design) { d.Blocks[0] = []int{1, 1, 2} }},
+		{"dropped block", func(d *Design) { d.Blocks = d.Blocks[1:] }},
+		{"duplicated block", func(d *Design) { d.Blocks = append(d.Blocks, d.Blocks[0]) }},
+		{"wrong lambda", func(d *Design) { d.Lambda = 2 }},
+		{"no blocks", func(d *Design) { d.Blocks = nil }},
+		{"bad params", func(d *Design) { d.K = 1 }},
+	}
+	for _, tt := range tests {
+		d := &Design{V: good.V, K: good.K, Lambda: good.Lambda}
+		for _, blk := range good.Blocks {
+			d.Blocks = append(d.Blocks, append([]int(nil), blk...))
+		}
+		tt.mutate(d)
+		if err := d.Verify(); err == nil {
+			t.Errorf("%s: Verify accepted a defective design", tt.name)
+		}
+	}
+}
+
+func TestVerifyCatchesBadResolution(t *testing.T) {
+	d, err := AffinePlane(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap one block between two classes: classes stop being partitions.
+	d.Classes[0][0], d.Classes[1][0] = d.Classes[1][0], d.Classes[0][0]
+	if err := d.Verify(); err == nil {
+		t.Fatal("Verify accepted a broken resolution")
+	}
+}
+
+func TestBlocksOf(t *testing.T) {
+	d, err := AffinePlane(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < d.V; p++ {
+		bs := d.BlocksOf(p)
+		if len(bs) != d.R() {
+			t.Fatalf("point %d in %d blocks, want r=%d", p, len(bs), d.R())
+		}
+		// In class order: block i must belong to class i.
+		for ci, bi := range bs {
+			if got := d.ClassOf(bi); got != ci {
+				t.Fatalf("point %d: block %d in class %d, want %d", p, bi, got, ci)
+			}
+			if !contains(d.Blocks[bi], p) {
+				t.Fatalf("point %d: block %d does not contain it", p, bi)
+			}
+		}
+	}
+}
+
+func TestBlocksOfNonResolvable(t *testing.T) {
+	d := Fano()
+	for p := 0; p < 7; p++ {
+		bs := d.BlocksOf(p)
+		if len(bs) != 3 {
+			t.Fatalf("point %d in %d blocks, want 3", p, len(bs))
+		}
+	}
+	if d.ClassOf(0) != -1 {
+		t.Fatal("ClassOf on non-resolvable design must return -1")
+	}
+}
+
+// TestLambdaOneDisjointnessProperty checks the property OI-RAID recovery
+// relies on: in a λ=1 design, the blocks through one point intersect only
+// at that point, so single-disk rebuild sources are all distinct.
+func TestLambdaOneDisjointnessProperty(t *testing.T) {
+	for _, mk := range []func() (*Design, error){
+		func() (*Design, error) { return AffinePlane(5) },
+		func() (*Design, error) { return KirkmanTriple(15) },
+		func() (*Design, error) { return SteinerTriple(13) },
+		func() (*Design, error) { return ProjectivePlane(3) },
+	} {
+		d, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < d.V; p++ {
+			seen := make(map[int]bool)
+			total := 0
+			for _, bi := range d.BlocksOf(p) {
+				for _, q := range d.Blocks[bi] {
+					if q == p {
+						continue
+					}
+					if seen[q] {
+						t.Fatalf("%v: point %d: blocks through it share point %d", d, p, q)
+					}
+					seen[q] = true
+					total++
+				}
+			}
+			if total != d.R()*(d.K-1) {
+				t.Fatalf("%v: point %d reaches %d others, want r(k-1)=%d", d, p, total, d.R()*(d.K-1))
+			}
+			if total != d.V-1 {
+				t.Fatalf("%v: λ=1 identity r(k-1)=v-1 violated at point %d", d, p)
+			}
+		}
+	}
+}
+
+func TestResolveAffineFromScratch(t *testing.T) {
+	d, err := AffinePlane(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Classes = nil // discard the construction's classes; rediscover them
+	if err := d.Resolve(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResolveSTS9(t *testing.T) {
+	// STS(9) is unique and resolvable; Bose construction order differs from
+	// AG(2,3) but Resolve must find classes.
+	d, err := SteinerTriple(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Resolve(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Classes) != 4 {
+		t.Fatalf("STS(9) resolution has %d classes, want 4", len(d.Classes))
+	}
+}
+
+func TestResolveRejectsIndivisible(t *testing.T) {
+	d := Fano()
+	if err := d.Resolve(0); !errors.Is(err, ErrNoResolution) {
+		t.Fatalf("expected ErrNoResolution, got %v", err)
+	}
+}
+
+func TestResolveIdempotent(t *testing.T) {
+	d, err := KirkmanTriple(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Resolve(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForArray(t *testing.T) {
+	for _, v := range []int{4, 9, 15, 16, 25, 49, 64, 81, 121} {
+		d, err := ForArray(v)
+		if err != nil {
+			t.Fatalf("ForArray(%d): %v", v, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("ForArray(%d): %v", v, err)
+		}
+		if d.V != v || !d.Resolvable() || d.Lambda != 1 {
+			t.Fatalf("ForArray(%d) returned unsuitable design %v", v, d)
+		}
+	}
+	for _, v := range []int{5, 7, 10, 12, 24, 50} {
+		if _, err := ForArray(v); err == nil {
+			t.Fatalf("ForArray(%d) should fail", v)
+		}
+	}
+}
+
+func TestSupportedArraySizes(t *testing.T) {
+	sizes := SupportedArraySizes(100)
+	// 100 = 10² is excluded: 10 is not a prime power, so AG(2,10) does not
+	// exist; prime powers qⁿ (n ≥ 2) and 15 are in.
+	want := []int{4, 8, 9, 15, 16, 25, 27, 32, 49, 64, 81}
+	if len(sizes) != len(want) {
+		t.Fatalf("sizes = %v, want %v", sizes, want)
+	}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestForDeclustering(t *testing.T) {
+	tests := []struct {
+		v, k     int
+		wantName string
+	}{
+		{25, 5, "AG(2,5)"},
+		{7, 3, "PG(2,2)"}, // projective: v = 2²+2+1
+		{13, 3, "PG(2,3)"},
+		{15, 3, "Bose-STS(15)"},
+		{19, 3, "Skolem-STS(19)"},
+		{8, 4, "Complete(8,4)"},
+	}
+	for _, tt := range tests {
+		d, err := ForDeclustering(tt.v, tt.k)
+		if err != nil {
+			t.Fatalf("ForDeclustering(%d,%d): %v", tt.v, tt.k, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("ForDeclustering(%d,%d): %v", tt.v, tt.k, err)
+		}
+		if d.V != tt.v || d.K != tt.k {
+			t.Fatalf("ForDeclustering(%d,%d) = %v", tt.v, tt.k, d)
+		}
+	}
+}
+
+func BenchmarkAffinePlane7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := AffinePlane(7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyAG7(b *testing.B) {
+	d, err := AffinePlane(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolveSTS9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := SteinerTriple(9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Resolve(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAffineSpaces(t *testing.T) {
+	tests := []struct{ n, q, v, r int }{
+		{3, 2, 8, 7},
+		{3, 3, 27, 13},
+		{4, 2, 16, 15},
+		{2, 5, 25, 6}, // degenerates to the plane
+		{3, 4, 64, 21},
+	}
+	for _, tt := range tests {
+		d, err := AffineSpace(tt.n, tt.q)
+		if err != nil {
+			t.Fatalf("AG(%d,%d): %v", tt.n, tt.q, err)
+		}
+		if err := d.Verify(); err != nil {
+			t.Fatalf("AG(%d,%d): %v", tt.n, tt.q, err)
+		}
+		if d.V != tt.v || d.K != tt.q || d.R() != tt.r || d.Lambda != 1 {
+			t.Fatalf("AG(%d,%d) parameters wrong: %v", tt.n, tt.q, d)
+		}
+		if !d.Resolvable() || len(d.Classes) != tt.r {
+			t.Fatalf("AG(%d,%d) must be resolvable with %d classes", tt.n, tt.q, tt.r)
+		}
+	}
+	if _, err := AffineSpace(1, 3); err == nil {
+		t.Fatal("dimension 1 must fail")
+	}
+	if _, err := AffineSpace(3, 6); err == nil {
+		t.Fatal("non-prime-power order must fail")
+	}
+	if _, err := AffineSpace(13, 2); err == nil {
+		t.Fatal("oversized space must fail")
+	}
+}
+
+// TestForArrayPrefersLargestGroupSize: v = 64 must pick AG(2,8) (k = 8),
+// not AG(3,4) or AG(6,2).
+func TestForArrayPrefersLargestGroupSize(t *testing.T) {
+	d, err := ForArray(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 8 {
+		t.Fatalf("ForArray(64) picked k=%d (%s), want 8", d.K, d.Name)
+	}
+	d, err = ForArray(27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 3 || d.R() != 13 {
+		t.Fatalf("ForArray(27) = %v, want KTS(27) with r=13", d)
+	}
+	d, err = ForArray(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.K != 2 || d.R() != 7 {
+		t.Fatalf("ForArray(8) = %v, want AG(3,2) with k=2", d)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	comp, err := Complement(Fano())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if comp.V != 7 || comp.K != 4 || comp.R() != 4 || comp.Lambda != 2 {
+		t.Fatalf("complement of Fano = %v, want (7,7,4,4,2)", comp)
+	}
+	ag, err := AffinePlane(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp2, err := Complement(ag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := comp2.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if comp2.K != 6 {
+		t.Fatalf("complement of AG(2,3) has k=%d, want 6", comp2.K)
+	}
+	// Complement of a near-complete design is rejected.
+	small, err := Complete(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Complement(small); err == nil {
+		t.Fatal("complement with block size 1 must fail")
+	}
+	if _, err := Complement(&Design{V: 5, K: 2, Lambda: 1}); err == nil {
+		t.Fatal("invalid input design must fail")
+	}
+}

@@ -1,0 +1,121 @@
+package bibd
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/oiraid/oiraid/internal/gf"
+)
+
+// ForArray returns a resolvable λ=1 design suitable as the outer layer of
+// an OI-RAID array with v disks, choosing the construction by v:
+//
+//   - v = qⁿ for a prime power q and n ≥ 2 → the lines of the affine
+//     space AG(n,q), group size q, choosing the largest admissible q
+//     (best storage efficiency): v = 16 uses AG(2,4), not AG(4,2);
+//   - v = 15 → KTS(15), group size 3;
+//   - otherwise an error naming the nearest supported sizes.
+//
+// Resolvable λ=1 designs constrain v: k must divide v and k-1 must divide
+// v-1. Affine geometries cover v ∈ {4, 8, 9, 16, 25, 27, 32, 49, 64, 81,
+// 121, 125, …}, the natural deployment granularity for OI-RAID.
+func ForArray(v int) (*Design, error) {
+	if v == 15 {
+		return KirkmanTriple(15)
+	}
+	if n, q, ok := bestPowerSplit(v); ok {
+		if n == 2 {
+			return AffinePlane(q)
+		}
+		return AffineSpace(n, q)
+	}
+	return nil, fmt.Errorf("bibd: no resolvable λ=1 design catalogued for v=%d disks; supported sizes: %v",
+		v, SupportedArraySizes(200))
+}
+
+// bestPowerSplit finds v = qⁿ with prime-power q, n ≥ 2, maximising q.
+func bestPowerSplit(v int) (n, q int, ok bool) {
+	if v < 4 {
+		return 0, 0, false
+	}
+	for nn := 2; ; nn++ {
+		qq := intRoot(v, nn)
+		if qq < 2 {
+			return 0, 0, false
+		}
+		if pow(qq, nn) == v && gf.IsPrimePower(qq) {
+			return nn, qq, true
+		}
+	}
+}
+
+// intRoot returns ⌊v^(1/n)⌋.
+func intRoot(v, n int) int {
+	x := 1
+	for pow(x+1, n) <= v {
+		x++
+	}
+	return x
+}
+
+func pow(b, e int) int {
+	out := 1
+	for i := 0; i < e; i++ {
+		out *= b
+		if out > 1<<30 {
+			return out
+		}
+	}
+	return out
+}
+
+// SupportedArraySizes lists the disk counts ≤ limit for which ForArray
+// succeeds, in ascending order.
+func SupportedArraySizes(limit int) []int {
+	seen := map[int]bool{}
+	for v := 4; v <= limit && v <= 4096; v++ {
+		if _, _, ok := bestPowerSplit(v); ok {
+			seen[v] = true
+		}
+	}
+	if limit >= 15 {
+		seen[15] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ForDeclustering returns a λ=1 design with v points and block size k for
+// the parity-declustering baseline (resolvability not required):
+// affine planes and their parallel-class structure when v = q², projective
+// planes when v = q²+q+1, Steiner triple systems when k = 3, and the
+// complete design as a last resort.
+func ForDeclustering(v, k int) (*Design, error) {
+	if q := intSqrt(v); q*q == v && q == k && gf.IsPrimePower(q) {
+		return AffinePlane(q)
+	}
+	for q := 2; q*q+q+1 <= v; q++ {
+		if q*q+q+1 == v && q+1 == k && gf.IsPrimePower(q) {
+			return ProjectivePlane(q)
+		}
+	}
+	if k == 3 && v >= 7 && (v%6 == 1 || v%6 == 3) {
+		return SteinerTriple(v)
+	}
+	return Complete(v, k)
+}
+
+func intSqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	x := 0
+	for (x+1)*(x+1) <= n {
+		x++
+	}
+	return x
+}

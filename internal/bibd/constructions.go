@@ -1,0 +1,322 @@
+package bibd
+
+import (
+	"fmt"
+
+	"github.com/oiraid/oiraid/internal/gf"
+)
+
+// AffinePlane constructs the affine plane AG(2,q) for a prime power q: the
+// resolvable (q², q²+q, q+1, q, 1) design whose points are GF(q)² and whose
+// blocks are the lines of the plane. The q+1 parallel classes are the
+// pencils of lines sharing a slope (including the vertical class).
+//
+// This is the canonical outer-layer design for an OI-RAID array of v = q²
+// disks with group size k = q.
+func AffinePlane(q int) (*Design, error) {
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("bibd: affine plane order %d: %w", q, err)
+	}
+	v := q * q
+	point := func(x, y int) int { return x*q + y }
+
+	d := &Design{
+		V:      v,
+		K:      q,
+		Lambda: 1,
+		Name:   fmt.Sprintf("AG(2,%d)", q),
+	}
+	// Classes of slope m: lines y = m·x + c, one line per intercept c.
+	for _, m := range f.Elements() {
+		class := make([]int, 0, q)
+		for _, c := range f.Elements() {
+			blk := make([]int, 0, q)
+			for _, x := range f.Elements() {
+				y := f.Add(f.Mul(m, x), c)
+				blk = append(blk, point(x, y))
+			}
+			class = append(class, len(d.Blocks))
+			d.Blocks = append(d.Blocks, blk)
+		}
+		d.Classes = append(d.Classes, class)
+	}
+	// Vertical class: lines x = c.
+	vertical := make([]int, 0, q)
+	for _, c := range f.Elements() {
+		blk := make([]int, 0, q)
+		for _, y := range f.Elements() {
+			blk = append(blk, point(c, y))
+		}
+		vertical = append(vertical, len(d.Blocks))
+		d.Blocks = append(d.Blocks, blk)
+	}
+	d.Classes = append(d.Classes, vertical)
+	sortBlocks(d.Blocks)
+	return d, nil
+}
+
+// ProjectivePlane constructs PG(2,q) for a prime power q: the
+// (q²+q+1, q²+q+1, q+1, q+1, 1) design. Projective planes are never
+// resolvable (k does not divide v); they serve the parity-declustering
+// baseline and analytic comparisons.
+func ProjectivePlane(q int) (*Design, error) {
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("bibd: projective plane order %d: %w", q, err)
+	}
+	// Canonical representatives of projective points (and, dually, lines):
+	// (1, a, b), (0, 1, a), (0, 0, 1).
+	type vec [3]int
+	var reps []vec
+	for _, a := range f.Elements() {
+		for _, b := range f.Elements() {
+			reps = append(reps, vec{1, a, b})
+		}
+	}
+	for _, a := range f.Elements() {
+		reps = append(reps, vec{0, 1, a})
+	}
+	reps = append(reps, vec{0, 0, 1})
+
+	dot := func(u, w vec) int {
+		s := 0
+		for i := 0; i < 3; i++ {
+			s = f.Add(s, f.Mul(u[i], w[i]))
+		}
+		return s
+	}
+
+	d := &Design{
+		V:      len(reps),
+		K:      q + 1,
+		Lambda: 1,
+		Name:   fmt.Sprintf("PG(2,%d)", q),
+	}
+	for _, line := range reps {
+		blk := make([]int, 0, q+1)
+		for pi, pt := range reps {
+			if dot(line, pt) == 0 {
+				blk = append(blk, pi)
+			}
+		}
+		d.Blocks = append(d.Blocks, blk)
+	}
+	sortBlocks(d.Blocks)
+	return d, nil
+}
+
+// Fano returns the Fano plane PG(2,2), the smallest projective plane:
+// a (7,7,3,3,1) design.
+func Fano() *Design {
+	d, err := ProjectivePlane(2)
+	if err != nil {
+		// PG(2,2) is statically valid; failure is a programming error.
+		panic(err)
+	}
+	d.Name = "Fano"
+	return d
+}
+
+// SteinerTriple constructs a Steiner triple system STS(v) — a
+// (v, v(v-1)/6, (v-1)/2, 3, 1) design — for any admissible v ≡ 1 or
+// 3 (mod 6), v ≥ 7, via the Bose (v ≡ 3) and Skolem (v ≡ 1)
+// constructions. The result is not resolvable in general; use
+// KirkmanTriple for resolvable triple systems.
+func SteinerTriple(v int) (*Design, error) {
+	switch {
+	case v >= 7 && v%6 == 3:
+		return boseSTS(v), nil
+	case v >= 7 && v%6 == 1:
+		return skolemSTS(v), nil
+	default:
+		return nil, fmt.Errorf("bibd: no STS(%d): v must be ≡ 1 or 3 (mod 6) and ≥ 7", v)
+	}
+}
+
+// boseSTS builds STS(v) for v = 6t+3 using the Bose construction over
+// Z_n × Z_3 with n = 2t+1.
+func boseSTS(v int) *Design {
+	n := v / 3 // 2t+1, odd
+	inv2 := (n + 1) / 2
+	point := func(x, j int) int { return j*n + x }
+
+	d := &Design{V: v, K: 3, Lambda: 1, Name: fmt.Sprintf("Bose-STS(%d)", v)}
+	for i := 0; i < n; i++ {
+		d.Blocks = append(d.Blocks, []int{point(i, 0), point(i, 1), point(i, 2)})
+	}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < n; i++ {
+			for k := i + 1; k < n; k++ {
+				mid := (i + k) * inv2 % n
+				d.Blocks = append(d.Blocks, []int{point(i, j), point(k, j), point(mid, (j+1)%3)})
+			}
+		}
+	}
+	sortBlocks(d.Blocks)
+	return d
+}
+
+// skolemSTS builds STS(v) for v = 6t+1 using the Skolem construction over
+// {∞} ∪ Z_2t × Z_3 with the half-idempotent commutative quasigroup on Z_2t.
+func skolemSTS(v int) *Design {
+	t := v / 6
+	n := 2 * t
+	point := func(x, j int) int { return j*n + x }
+	inf := 3 * n // the ∞ point
+
+	// Half-idempotent commutative quasigroup on Z_2t:
+	// i∘j = s/2 if s even, (s-1)/2 + t if s odd, where s = (i+j) mod 2t.
+	star := func(i, j int) int {
+		s := (i + j) % n
+		if s%2 == 0 {
+			return s / 2
+		}
+		return (s-1)/2 + t
+	}
+
+	d := &Design{V: v, K: 3, Lambda: 1, Name: fmt.Sprintf("Skolem-STS(%d)", v)}
+	for i := 0; i < t; i++ {
+		d.Blocks = append(d.Blocks, []int{point(i, 0), point(i, 1), point(i, 2)})
+	}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < t; i++ {
+			d.Blocks = append(d.Blocks, []int{inf, point(t+i, j), point(i, (j+1)%3)})
+		}
+	}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < n; i++ {
+			for k := i + 1; k < n; k++ {
+				d.Blocks = append(d.Blocks, []int{point(i, j), point(k, j), point(star(i, k), (j+1)%3)})
+			}
+		}
+	}
+	sortBlocks(d.Blocks)
+	return d
+}
+
+// kirkman15 is the classical solution to Kirkman's 1850 schoolgirl problem:
+// a resolvable STS(15) with 7 parallel classes of 5 triples. Points are
+// 0-based here (the traditional presentation is 1-based).
+var kirkman15 = [7][5][3]int{
+	{{0, 1, 2}, {3, 7, 11}, {4, 9, 14}, {5, 10, 12}, {6, 8, 13}},
+	{{0, 3, 4}, {1, 7, 9}, {2, 12, 13}, {5, 8, 14}, {6, 10, 11}},
+	{{0, 5, 6}, {1, 8, 10}, {2, 11, 14}, {3, 9, 13}, {4, 7, 12}},
+	{{0, 7, 8}, {1, 11, 13}, {2, 4, 5}, {3, 10, 14}, {6, 9, 12}},
+	{{0, 9, 10}, {1, 12, 14}, {2, 3, 6}, {4, 8, 11}, {5, 7, 13}},
+	{{0, 11, 12}, {1, 3, 5}, {2, 8, 9}, {4, 10, 13}, {6, 7, 14}},
+	{{0, 13, 14}, {1, 4, 6}, {2, 7, 10}, {3, 8, 12}, {5, 9, 11}},
+}
+
+// KirkmanTriple constructs a resolvable Steiner triple system KTS(v).
+// Supported orders: v = 9 (the affine plane AG(2,3)) and v = 15 (the
+// classical Kirkman schoolgirl solution). Resolvable triple systems exist
+// exactly for v ≡ 3 (mod 6); orders beyond 15 are not constructed here —
+// use AffinePlane for larger resolvable designs.
+func KirkmanTriple(v int) (*Design, error) {
+	switch v {
+	case 9:
+		d, err := AffinePlane(3)
+		if err != nil {
+			return nil, err
+		}
+		d.Name = "KTS(9)=AG(2,3)"
+		return d, nil
+	case 15:
+		d := &Design{V: 15, K: 3, Lambda: 1, Name: "KTS(15)"}
+		for _, day := range kirkman15 {
+			class := make([]int, 0, 5)
+			for _, triple := range day {
+				class = append(class, len(d.Blocks))
+				d.Blocks = append(d.Blocks, []int{triple[0], triple[1], triple[2]})
+			}
+			d.Classes = append(d.Classes, class)
+		}
+		sortBlocks(d.Blocks)
+		return d, nil
+	default:
+		return nil, fmt.Errorf("bibd: KirkmanTriple supports v ∈ {9, 15}, got %d (use AffinePlane for v = q²)", v)
+	}
+}
+
+// Complete constructs the trivial (v, C(v,k), C(v-1,k-1), k, C(v-2,k-2))
+// design of all k-subsets of v points. It is the fallback layout for
+// parity declustering when no small design fits, at the cost of a long
+// layout cycle. v and k must satisfy 2 ≤ k ≤ v and C(v,k) ≤ 1<<20.
+func Complete(v, k int) (*Design, error) {
+	if k < 2 || k > v {
+		return nil, fmt.Errorf("bibd: complete design needs 2 ≤ k ≤ v, got v=%d k=%d", v, k)
+	}
+	if c := binomial(v, k); c < 0 || c > 1<<20 {
+		return nil, fmt.Errorf("bibd: complete design C(%d,%d) too large", v, k)
+	}
+	lambda := binomial(v-2, k-2)
+	d := &Design{V: v, K: k, Lambda: lambda, Name: fmt.Sprintf("Complete(%d,%d)", v, k)}
+	idx := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			d.Blocks = append(d.Blocks, append([]int(nil), idx...))
+			return
+		}
+		for p := start; p < v; p++ {
+			idx[depth] = p
+			rec(p+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return d, nil
+}
+
+// Complement returns the complement design: every block replaced by its
+// complement in the point set, giving a (v, b, b-r, v-k, λ+b-2r) design.
+// Requires v-k ≥ 2. Complements turn small-block designs into
+// wide-stripe ones (e.g. the Fano plane's complement is a (7,7,4,4,2)
+// design) for declustered layouts with high storage efficiency.
+func Complement(d *Design) (*Design, error) {
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("bibd: complement: %w", err)
+	}
+	if d.V-d.K < 2 {
+		return nil, fmt.Errorf("bibd: complement block size %d < 2", d.V-d.K)
+	}
+	out := &Design{
+		V:      d.V,
+		K:      d.V - d.K,
+		Lambda: d.Lambda + d.B() - 2*d.R(),
+		Name:   "Complement(" + d.Name + ")",
+	}
+	for _, blk := range d.Blocks {
+		in := make([]bool, d.V)
+		for _, p := range blk {
+			in[p] = true
+		}
+		comp := make([]int, 0, d.V-d.K)
+		for p := 0; p < d.V; p++ {
+			if !in[p] {
+				comp = append(comp, p)
+			}
+		}
+		out.Blocks = append(out.Blocks, comp)
+	}
+	return out, nil
+}
+
+// binomial returns C(n,k), or -1 on overflow.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		next := c * (n - i)
+		if next/(n-i) != c {
+			return -1
+		}
+		c = next / (i + 1)
+	}
+	return c
+}

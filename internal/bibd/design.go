@@ -1,0 +1,247 @@
+// Package bibd constructs and verifies Balanced Incomplete Block Designs,
+// the combinatorial structure underlying OI-RAID's outer layer (and the
+// parity-declustering baseline).
+//
+// A (v, b, r, k, λ)-BIBD is a family of b k-subsets ("blocks") of a
+// v-element point set such that every point lies in exactly r blocks and
+// every pair of distinct points lies in exactly λ blocks. The parameters
+// satisfy b·k = v·r and λ·(v-1) = r·(k-1).
+//
+// OI-RAID additionally needs the design to be resolvable: the blocks must
+// partition into r parallel classes, each class a partition of the point
+// set into v/k disjoint blocks. Outer-layer RAID5 stripes run across the
+// disjoint groups of one parallel class (see package core).
+//
+// Constructions provided:
+//
+//   - AffinePlane(q): resolvable (q², q²+q, q+1, q, 1) design for any prime
+//     power q — the workhorse for OI-RAID arrays of v = q² disks.
+//   - KirkmanTriple(v): resolvable (v, _, _, 3, 1) designs for v = 9 (the
+//     affine plane AG(2,3)) and v = 15 (the classical Kirkman schoolgirl
+//     solution).
+//   - ProjectivePlane(q), Fano(): (q²+q+1, _, q+1, q+1, 1) designs — not
+//     resolvable, used by the parity-declustering baseline and analyses.
+//   - SteinerTriple(v): (v, _, _, 3, 1) designs for all admissible
+//     v ≡ 1, 3 (mod 6) via the Bose and Skolem constructions.
+//   - Complete(v, k): the trivial design of all k-subsets.
+//
+// Every constructor's output passes Verify, which checks the axioms from
+// first principles.
+package bibd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Design is a balanced incomplete block design. Blocks hold point indices
+// in [0, V). Classes, when non-nil, partitions block indices into parallel
+// classes, proving resolvability.
+type Design struct {
+	// V is the number of points.
+	V int
+	// K is the block size.
+	K int
+	// Lambda is the pair-coverage count λ.
+	Lambda int
+	// Blocks lists the blocks; each is a sorted slice of K distinct points.
+	Blocks [][]int
+	// Classes, if non-nil, lists parallel classes as slices of block
+	// indices; each class partitions the point set.
+	Classes [][]int
+	// Name describes the construction, e.g. "AG(2,4)".
+	Name string
+}
+
+// B returns the number of blocks.
+func (d *Design) B() int { return len(d.Blocks) }
+
+// R returns the replication number r = λ(v-1)/(k-1).
+func (d *Design) R() int {
+	if d.K <= 1 {
+		return 0
+	}
+	return d.Lambda * (d.V - 1) / (d.K - 1)
+}
+
+// Resolvable reports whether a parallel-class partition is attached.
+func (d *Design) Resolvable() bool { return d.Classes != nil }
+
+// String implements fmt.Stringer.
+func (d *Design) String() string {
+	s := fmt.Sprintf("(%d,%d,%d,%d,%d)-BIBD", d.V, d.B(), d.R(), d.K, d.Lambda)
+	if d.Name != "" {
+		s = d.Name + " " + s
+	}
+	if d.Resolvable() {
+		s += " resolvable"
+	}
+	return s
+}
+
+// Verify checks every BIBD axiom from first principles: block sizes and
+// point ranges, uniform replication, exact pair coverage, the counting
+// identities, and — if Classes is set — that each class partitions the
+// point set. It returns nil only for a valid design.
+func (d *Design) Verify() error {
+	if d.V < 2 || d.K < 2 || d.K > d.V || d.Lambda < 1 {
+		return fmt.Errorf("bibd: invalid parameters v=%d k=%d λ=%d", d.V, d.K, d.Lambda)
+	}
+	if len(d.Blocks) == 0 {
+		return errors.New("bibd: no blocks")
+	}
+	// Block well-formedness.
+	for bi, blk := range d.Blocks {
+		if len(blk) != d.K {
+			return fmt.Errorf("bibd: block %d has size %d, want %d", bi, len(blk), d.K)
+		}
+		seen := make(map[int]bool, d.K)
+		for _, p := range blk {
+			if p < 0 || p >= d.V {
+				return fmt.Errorf("bibd: block %d contains out-of-range point %d", bi, p)
+			}
+			if seen[p] {
+				return fmt.Errorf("bibd: block %d repeats point %d", bi, p)
+			}
+			seen[p] = true
+		}
+	}
+	// Replication uniformity.
+	rep := make([]int, d.V)
+	for _, blk := range d.Blocks {
+		for _, p := range blk {
+			rep[p]++
+		}
+	}
+	r := rep[0]
+	for p, c := range rep {
+		if c != r {
+			return fmt.Errorf("bibd: point %d has replication %d, point 0 has %d", p, c, r)
+		}
+	}
+	// Pair coverage.
+	pair := make([]int, d.V*d.V)
+	for _, blk := range d.Blocks {
+		for i := 0; i < len(blk); i++ {
+			for j := i + 1; j < len(blk); j++ {
+				a, b := blk[i], blk[j]
+				pair[a*d.V+b]++
+				pair[b*d.V+a]++
+			}
+		}
+	}
+	for a := 0; a < d.V; a++ {
+		for b := a + 1; b < d.V; b++ {
+			if pair[a*d.V+b] != d.Lambda {
+				return fmt.Errorf("bibd: pair (%d,%d) covered %d times, want λ=%d",
+					a, b, pair[a*d.V+b], d.Lambda)
+			}
+		}
+	}
+	// Counting identities.
+	if len(d.Blocks)*d.K != d.V*r {
+		return fmt.Errorf("bibd: bk=%d != vr=%d", len(d.Blocks)*d.K, d.V*r)
+	}
+	if d.Lambda*(d.V-1) != r*(d.K-1) {
+		return fmt.Errorf("bibd: λ(v-1)=%d != r(k-1)=%d", d.Lambda*(d.V-1), r*(d.K-1))
+	}
+	// Resolution, if claimed.
+	if d.Classes != nil {
+		if err := d.verifyResolution(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Design) verifyResolution() error {
+	if d.V%d.K != 0 {
+		return fmt.Errorf("bibd: resolution claimed but k=%d does not divide v=%d", d.K, d.V)
+	}
+	used := make([]bool, len(d.Blocks))
+	for ci, class := range d.Classes {
+		if len(class) != d.V/d.K {
+			return fmt.Errorf("bibd: class %d has %d blocks, want %d", ci, len(class), d.V/d.K)
+		}
+		covered := make([]bool, d.V)
+		for _, bi := range class {
+			if bi < 0 || bi >= len(d.Blocks) {
+				return fmt.Errorf("bibd: class %d references bad block %d", ci, bi)
+			}
+			if used[bi] {
+				return fmt.Errorf("bibd: block %d appears in multiple classes", bi)
+			}
+			used[bi] = true
+			for _, p := range d.Blocks[bi] {
+				if covered[p] {
+					return fmt.Errorf("bibd: class %d covers point %d twice", ci, p)
+				}
+				covered[p] = true
+			}
+		}
+		for p, c := range covered {
+			if !c {
+				return fmt.Errorf("bibd: class %d misses point %d", ci, p)
+			}
+		}
+	}
+	for bi, u := range used {
+		if !u {
+			return fmt.Errorf("bibd: block %d not in any class", bi)
+		}
+	}
+	if len(d.Classes) != d.R() {
+		return fmt.Errorf("bibd: %d classes, want r=%d", len(d.Classes), d.R())
+	}
+	return nil
+}
+
+// BlocksOf returns the indices of the blocks containing point p, in class
+// order when the design is resolvable (one block per class), block order
+// otherwise.
+func (d *Design) BlocksOf(p int) []int {
+	var out []int
+	if d.Classes != nil {
+		for _, class := range d.Classes {
+			for _, bi := range class {
+				if contains(d.Blocks[bi], p) {
+					out = append(out, bi)
+					break
+				}
+			}
+		}
+		return out
+	}
+	for bi, blk := range d.Blocks {
+		if contains(blk, p) {
+			out = append(out, bi)
+		}
+	}
+	return out
+}
+
+// ClassOf returns the parallel-class index of block bi, or -1 if the design
+// is not resolvable.
+func (d *Design) ClassOf(bi int) int {
+	for ci, class := range d.Classes {
+		for _, b := range class {
+			if b == bi {
+				return ci
+			}
+		}
+	}
+	return -1
+}
+
+func contains(sorted []int, p int) bool {
+	i := sort.SearchInts(sorted, p)
+	return i < len(sorted) && sorted[i] == p
+}
+
+// sortBlocks normalises blocks: each block sorted ascending.
+func sortBlocks(blocks [][]int) {
+	for _, blk := range blocks {
+		sort.Ints(blk)
+	}
+}

@@ -1,0 +1,144 @@
+package bibd
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoResolution is returned by Resolve when no parallel-class partition
+// was found within the search budget.
+var ErrNoResolution = errors.New("bibd: no resolution found")
+
+// Resolve attempts to partition the design's blocks into parallel classes
+// by backtracking search, attaching the result to d.Classes on success.
+// Designs whose K does not divide V are rejected immediately. The search
+// is exact but bounded by maxNodes backtracking steps (0 means a default
+// of 2 million); exceeding the bound returns ErrNoResolution, which is
+// then only an "unknown", not a proof of non-resolvability.
+//
+// The known constructions attach resolutions directly; Resolve exists for
+// user-supplied designs and for the ablation study that compares resolvable
+// and non-resolvable outer layers.
+func (d *Design) Resolve(maxNodes int) error {
+	if d.Classes != nil {
+		return nil
+	}
+	if d.V%d.K != 0 {
+		return fmt.Errorf("%w: k=%d does not divide v=%d", ErrNoResolution, d.K, d.V)
+	}
+	if maxNodes <= 0 {
+		maxNodes = 2_000_000
+	}
+	perClass := d.V / d.K
+	numClasses := d.R()
+
+	// Precompute block bitmasks for fast disjointness tests (V ≤ 64 uses a
+	// single word; larger V uses []uint64).
+	words := (d.V + 63) / 64
+	masks := make([][]uint64, len(d.Blocks))
+	for bi, blk := range d.Blocks {
+		m := make([]uint64, words)
+		for _, p := range blk {
+			m[p/64] |= 1 << (p % 64)
+		}
+		masks[bi] = m
+	}
+	disjoint := func(cover []uint64, bi int) bool {
+		for w, m := range masks[bi] {
+			if cover[w]&m != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	used := make([]bool, len(d.Blocks))
+	classes := make([][]int, 0, numClasses)
+	nodes := 0
+
+	var build func() bool
+	build = func() bool {
+		if len(classes) == numClasses {
+			return true
+		}
+		nodes++
+		if nodes > maxNodes {
+			return false
+		}
+		// Start a new class anchored at the lowest-indexed unused block —
+		// it must belong to some class, so fixing it here kills symmetric
+		// branches. Coverage is tracked per class: each class must cover
+		// the point set exactly once on its own.
+		anchor := -1
+		for bi := range d.Blocks {
+			if !used[bi] {
+				anchor = bi
+				break
+			}
+		}
+		if anchor < 0 {
+			return false
+		}
+		class := []int{anchor}
+		used[anchor] = true
+		cover := make([]uint64, words)
+		copy(cover, masks[anchor])
+		ok := extend(d, masks, used, cover, &class, perClass, disjoint, &nodes, maxNodes, func() bool {
+			classes = append(classes, append([]int(nil), class...))
+			done := build()
+			if !done {
+				classes = classes[:len(classes)-1]
+			}
+			return done
+		})
+		used[anchor] = false
+		return ok
+	}
+
+	if !build() {
+		return ErrNoResolution
+	}
+	d.Classes = classes
+	if err := d.verifyResolution(); err != nil {
+		d.Classes = nil
+		return fmt.Errorf("bibd: internal resolution error: %w", err)
+	}
+	return nil
+}
+
+// extend grows the current class to perClass disjoint blocks, invoking
+// complete when full. It returns true as soon as the whole search succeeds.
+func extend(d *Design, masks [][]uint64, used []bool, cover []uint64,
+	class *[]int, perClass int,
+	disjoint func([]uint64, int) bool,
+	nodes *int, maxNodes int, complete func() bool) bool {
+
+	if len(*class) == perClass {
+		// cover must be full here; verifyResolution re-checks at the end.
+		return complete()
+	}
+	*nodes++
+	if *nodes > maxNodes {
+		return false
+	}
+	last := (*class)[len(*class)-1]
+	for bi := last + 1; bi < len(d.Blocks); bi++ {
+		if used[bi] || !disjoint(cover, bi) {
+			continue
+		}
+		used[bi] = true
+		for w, m := range masks[bi] {
+			cover[w] |= m
+		}
+		*class = append(*class, bi)
+		if extend(d, masks, used, cover, class, perClass, disjoint, nodes, maxNodes, complete) {
+			return true
+		}
+		*class = (*class)[:len(*class)-1]
+		used[bi] = false
+		for w, m := range masks[bi] {
+			cover[w] &^= m
+		}
+	}
+	return false
+}

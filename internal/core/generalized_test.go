@@ -1,0 +1,191 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+func genAnalyzer(t testing.TB, v, pi, po int) *Analyzer {
+	t.Helper()
+	d, err := bibd.ForArray(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := layout.NewOIRAID(d, layout.WithInnerParity(pi), layout.WithOuterParity(po))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestGeneralizedTolerance pins the fault tolerance of the stronger code
+// configurations: one extra parity in either layer lifts the guarantee
+// from 3 to 5 (exhaustively verified, with the 6-failure counterexample
+// of six disks covering two whole same-class groups).
+func TestGeneralizedTolerance(t *testing.T) {
+	for _, cfg := range []struct {
+		pi, po, want int
+	}{
+		{2, 1, 5},
+		{1, 2, 5},
+	} {
+		a := genAnalyzer(t, 9, cfg.pi, cfg.po)
+		rep := a.ExactTolerance(6)
+		if rep.Guaranteed != cfg.want {
+			t.Errorf("(pi=%d,po=%d): tolerance = %d, want %d (counterexample %v)",
+				cfg.pi, cfg.po, rep.Guaranteed, cfg.want, rep.Counterexample)
+		}
+		if len(rep.Counterexample) != cfg.want+1 {
+			t.Errorf("(pi=%d,po=%d): counterexample %v, want size %d",
+				cfg.pi, cfg.po, rep.Counterexample, cfg.want+1)
+		}
+	}
+}
+
+// TestGeneralizedUpdateCost: the closure size is (1+pi)(1+po) for every
+// data strip.
+func TestGeneralizedUpdateCost(t *testing.T) {
+	for _, cfg := range []struct{ pi, po int }{{1, 1}, {2, 1}, {1, 2}} {
+		a := genAnalyzer(t, 9, cfg.pi, cfg.po)
+		want := float64((1 + cfg.pi) * (1 + cfg.po))
+		c := a.UpdateCostSummary()
+		if float64(c.MinWrites) != want || float64(c.MaxWrites) != want {
+			t.Errorf("(pi=%d,po=%d): update writes [%d,%d], want %v",
+				cfg.pi, cfg.po, c.MinWrites, c.MaxWrites, want)
+		}
+	}
+}
+
+// TestGeneralizedDataFraction: usable fraction is (k-pi)(c-po)/(k·c).
+func TestGeneralizedDataFraction(t *testing.T) {
+	for _, cfg := range []struct{ v, pi, po int }{{9, 2, 1}, {16, 2, 2}, {16, 3, 1}, {25, 2, 1}} {
+		a := genAnalyzer(t, cfg.v, cfg.pi, cfg.po)
+		oi := a.Scheme().(*layout.OIRAID)
+		k, c := oi.Design().K, oi.GroupsPerClass()
+		want := float64(k-cfg.pi) * float64(c-cfg.po) / (float64(k) * float64(c))
+		if got := layout.DataFraction(oi); math.Abs(got-want) > 1e-12 {
+			t.Errorf("v=%d (pi=%d,po=%d): data fraction %v, want %v", cfg.v, cfg.pi, cfg.po, got, want)
+		}
+	}
+}
+
+// TestGeneralizedSingleFailureStillBalanced: the all-disk sequential
+// rebuild property is independent of the code strength.
+func TestGeneralizedSingleFailureBalanced(t *testing.T) {
+	a := genAnalyzer(t, 16, 2, 1)
+	oi := a.Scheme().(*layout.OIRAID)
+	r := oi.Design().R()
+	plan := a.Plan([]int{5}, PlanOptions{})
+	if !plan.Complete || plan.Phases != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	min, max := plan.ReadBalance()
+	// Each of the failed disk's r groups repairs W rows, reading Data =
+	// k-pi sources per row (MDS needs only Data of the k-1 survivors), so
+	// the total is (k-pi)·W·r spread over all survivors nearly evenly.
+	total := 0
+	for d, rr := range plan.ReadsPerDisk {
+		if d != 5 {
+			total += rr
+		}
+	}
+	if want := (oi.Design().K - 2) * oi.Rows() * r; total != want {
+		t.Fatalf("total reads = %d, want (k-pi)·W·r = %d", total, want)
+	}
+	if max-min > 1 {
+		t.Fatalf("read balance [%d,%d] spread > 1 strip", min, max)
+	}
+}
+
+// TestGeneralizedMultiFailurePlans: a handful of deep failure patterns
+// must produce valid complete plans on the (2,1) configuration.
+func TestGeneralizedMultiFailurePlans(t *testing.T) {
+	a := genAnalyzer(t, 9, 2, 1)
+	for _, failed := range [][]int{{0, 1, 2, 3}, {0, 1, 2, 3, 4}, {2, 4, 6, 8}, {0, 3, 6}} {
+		plan := a.Plan(failed, PlanOptions{})
+		if !plan.Complete {
+			t.Fatalf("pattern %v unrecoverable on (2,1)", failed)
+		}
+		validatePlan(t, a, plan)
+	}
+}
+
+// TestAffineSpaceSizes: the catalog extension to v = qⁿ (affine spaces)
+// preserves every OI-RAID guarantee — exhaustively checked at v = 8
+// (mirrored inner layer, k=2) and v = 27 (KTS(27), 13× speedup).
+func TestAffineSpaceSizes(t *testing.T) {
+	for _, tt := range []struct {
+		v, speedup int
+	}{{8, 7}, {27, 13}} {
+		a := oiAnalyzer(t, tt.v)
+		if got := a.ExactTolerance(3).Guaranteed; got != 3 {
+			t.Fatalf("v=%d: tolerance = %d, want 3", tt.v, got)
+		}
+		p := a.MeasureProperties(3)
+		if int(p.RecoverySpeedup+0.5) != tt.speedup {
+			t.Fatalf("v=%d: speedup = %v, want %d", tt.v, p.RecoverySpeedup, tt.speedup)
+		}
+		if p.RecoverySeqRuns != 1 {
+			t.Fatalf("v=%d: seq runs = %v, want 1", tt.v, p.RecoverySeqRuns)
+		}
+		if p.UpdateWrites != 4 {
+			t.Fatalf("v=%d: update writes = %v, want 4", tt.v, p.UpdateWrites)
+		}
+	}
+}
+
+// TestMeasureExposure: the exposure report tracks the distance to data
+// loss as failures accumulate on OI-RAID(9) (tolerance 3).
+func TestMeasureExposure(t *testing.T) {
+	a := oiAnalyzer(t, 9)
+	// Healthy: 3 more failures always survivable.
+	e := a.MeasureExposure(nil, 3)
+	if !e.Recoverable || len(e.CriticalDisks) != 0 || e.Slack != 3 {
+		t.Fatalf("healthy exposure = %+v, want slack 3", e)
+	}
+	// Two failures: at least one more always survives; some 4th patterns
+	// lose data, so slack is exactly 1 for some pairs.
+	e = a.MeasureExposure([]int{0, 1}, 3)
+	if !e.Recoverable || len(e.CriticalDisks) != 0 {
+		t.Fatalf("2-failure exposure = %+v, want no critical disks", e)
+	}
+	if e.Slack < 1 {
+		t.Fatalf("2-failure slack = %d, want ≥ 1", e.Slack)
+	}
+	// Three failures: generally at the cliff — some pairs' 4th failure is
+	// fatal. Find a triple with critical disks.
+	found := false
+	for d3 := 2; d3 < 9 && !found; d3++ {
+		e = a.MeasureExposure([]int{0, 1, d3}, 2)
+		if !e.Recoverable {
+			t.Fatalf("triple {0,1,%d} must be recoverable", d3)
+		}
+		if len(e.CriticalDisks) > 0 {
+			found = true
+			if e.Slack != 0 {
+				t.Fatalf("critical disks present but slack = %d", e.Slack)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no triple with critical disks; tolerance should be exactly 3")
+	}
+	// Beyond tolerance: unrecoverable pattern reports itself.
+	r5 := raid5Analyzer(t, 5)
+	e = r5.MeasureExposure([]int{0, 1}, 2)
+	if e.Recoverable {
+		t.Fatal("raid5 double failure must be unrecoverable")
+	}
+	// RAID5 single failure: every remaining disk is critical.
+	e = r5.MeasureExposure([]int{0}, 2)
+	if !e.Recoverable || len(e.CriticalDisks) != 4 {
+		t.Fatalf("raid5 1-failure exposure = %+v, want 4 critical disks", e)
+	}
+}

@@ -1,0 +1,369 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// RepairTask reconstructs one or more lost strips of a single stripe.
+type RepairTask struct {
+	// Targets are the strips reconstructed by this task.
+	Targets []layout.Strip
+	// Via is the index (into Scheme().Stripes()) of the stripe used.
+	Via int
+	// Layer of the repairing stripe.
+	Layer layout.Layer
+	// Reads are the source strips, all alive or recovered in an earlier
+	// phase. MDS coding needs exactly Data many sources per stripe.
+	Reads []layout.Strip
+	// Phase is the dependency level: phase p reads only disks that
+	// survived or strips recovered in phases < p.
+	Phase int
+}
+
+// Plan is a complete multi-phase recovery schedule.
+type Plan struct {
+	// Failed lists the failed disks.
+	Failed []int
+	// Tasks in phase order.
+	Tasks []RepairTask
+	// Phases is the number of dependency levels (1 for single failures).
+	Phases int
+	// Complete is false when peeling got stuck; Unrecovered then lists the
+	// strips that remain lost (data loss).
+	Complete    bool
+	Unrecovered []layout.Strip
+	// ReadsPerDisk counts source strips read from each surviving disk
+	// (index = disk id; failed disks stay 0).
+	ReadsPerDisk []int
+	// RecoveredReads counts reads that hit strips recovered in an earlier
+	// phase (charged to spare or rebuilt locations by the simulator).
+	RecoveredReads int
+	// WriteStrips is the number of strips to re-materialise (== number of
+	// lost strips when Complete).
+	WriteStrips int
+	// ReadRuns[d] lists the sorted maximal runs of consecutive slots read
+	// from disk d, as [start, length] pairs — the simulator's
+	// sequentiality input.
+	ReadRuns [][][2]int
+}
+
+// MaxReadStrips returns the largest per-survivor read load, the quantity
+// that bounds read-phase rebuild time.
+func (p *Plan) MaxReadStrips() int {
+	m := 0
+	for _, r := range p.ReadsPerDisk {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// ReadBalance returns min/max read load over surviving disks that read at
+// least nothing — specifically over all surviving disks, including idle
+// ones. max == 0 yields (0, 0).
+func (p *Plan) ReadBalance() (min, max int) {
+	failedSet := make(map[int]bool, len(p.Failed))
+	for _, d := range p.Failed {
+		failedSet[d] = true
+	}
+	first := true
+	for d, r := range p.ReadsPerDisk {
+		if failedSet[d] {
+			continue
+		}
+		if first {
+			min, max = r, r
+			first = false
+			continue
+		}
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	return min, max
+}
+
+// PlanOptions tunes recovery planning.
+type PlanOptions struct {
+	// PreferLayer biases stripe choice toward the given layer when load
+	// scores tie. OI-RAID prefers the inner layer: its reads are
+	// sequential within one partition. Default LayerInner.
+	PreferLayer layout.Layer
+}
+
+// Plan computes a multi-phase, load-balanced recovery schedule for the
+// failed disks. The planner is greedy: within each phase it assigns each
+// repairable strip the candidate stripe that minimises the resulting
+// maximum per-disk read load (ties: total load, then preferred layer,
+// then stripe order).
+func (a *Analyzer) Plan(failed []int, opts PlanOptions) *Plan {
+	plan := &Plan{
+		Failed:       append([]int(nil), failed...),
+		Complete:     true,
+		ReadsPerDisk: make([]int, a.disks),
+	}
+	failedSet := make([]bool, a.disks)
+	for _, d := range failed {
+		if d < 0 || d >= a.disks {
+			continue
+		}
+		failedSet[d] = true
+	}
+
+	lost, lostCount := a.initLoss(failed)
+	plan.WriteStrips = len(lost)
+	if len(lost) == 0 {
+		return plan
+	}
+
+	// recoveredBefore: strips recovered in a previous phase (readable).
+	recoveredBefore := make(map[int32]bool)
+	load := plan.ReadsPerDisk
+	readSlots := make([][]int, a.disks)
+
+	for phase := 0; ; phase++ {
+		// Strips repairable this phase: member of a stripe whose losses
+		// (counting only strips not yet recovered before this phase) fit
+		// within parity and whose sources are alive or recovered earlier.
+		type cand struct {
+			si      int32
+			targets []int32
+			sources []int32
+		}
+		var phaseCands []cand
+		seenStripe := make(map[int32]bool)
+		for id := range lost {
+			for _, si := range a.stripesOf[id] {
+				if seenStripe[si] {
+					continue
+				}
+				seenStripe[si] = true
+				stripe := a.stripes[si]
+				var targets, sources []int32
+				for _, mid := range a.members[si] {
+					if lost[mid] {
+						targets = append(targets, mid)
+					} else {
+						sources = append(sources, mid)
+					}
+				}
+				if len(targets) == 0 || len(targets) > stripe.Parity() {
+					continue
+				}
+				phaseCands = append(phaseCands, cand{si: si, targets: targets, sources: sources})
+			}
+		}
+		if len(phaseCands) == 0 {
+			break
+		}
+		// Deterministic order: by stripe index.
+		sort.Slice(phaseCands, func(i, j int) bool { return phaseCands[i].si < phaseCands[j].si })
+
+		// Greedy assignment: for each still-lost strip (in id order), pick
+		// the best candidate stripe covering it.
+		assigned := make(map[int32]bool)
+		var phaseTasks []RepairTask
+		ids := make([]int32, 0, len(lost))
+		for id := range lost {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+		candsOf := make(map[int32][]int, len(lost))
+		for ci, c := range phaseCands {
+			for _, tid := range c.targets {
+				candsOf[tid] = append(candsOf[tid], ci)
+			}
+		}
+
+		for _, id := range ids {
+			if assigned[id] {
+				continue
+			}
+			usable := func(c *cand) bool {
+				// Skip stripes that overlap an already-planned target (a
+				// strip is rebuilt by exactly one task per plan) or that
+				// lack the Data sources MDS decoding needs.
+				for _, tid := range c.targets {
+					if tid != id && assigned[tid] {
+						return false
+					}
+				}
+				return a.stripes[c.si].Data <= len(c.sources)
+			}
+			// When the preferred layer can repair the strip, use only it:
+			// for OI-RAID single failures this pins recovery to the inner
+			// layer, whose reads are perfectly balanced and sequential.
+			preferredOnly := false
+			for _, ci := range candsOf[id] {
+				c := &phaseCands[ci]
+				if a.stripes[c.si].Layer == opts.PreferLayer && usable(c) {
+					preferredOnly = true
+					break
+				}
+			}
+			best := -1
+			bestMax, bestSum := 0, 0
+			for _, ci := range candsOf[id] {
+				c := &phaseCands[ci]
+				if !usable(c) {
+					continue
+				}
+				if preferredOnly && a.stripes[c.si].Layer != opts.PreferLayer {
+					continue
+				}
+				need := a.stripes[c.si].Data
+				srcs := a.chooseSources(c.sources, need, load, recoveredBefore)
+				maxL, sumL := 0, 0
+				for _, sid := range srcs {
+					if recoveredBefore[sid] {
+						continue
+					}
+					d := int(sid) / a.slots
+					l := load[d] + 1
+					if l > maxL {
+						maxL = l
+					}
+					sumL += l
+				}
+				better := false
+				switch {
+				case best < 0:
+					better = true
+				case maxL != bestMax:
+					better = maxL < bestMax
+				case sumL != bestSum:
+					better = sumL < bestSum
+				default:
+					better = a.stripes[c.si].Layer == opts.PreferLayer &&
+						a.stripes[phaseCands[best].si].Layer != opts.PreferLayer
+				}
+				if better {
+					best, bestMax, bestSum = ci, maxL, sumL
+				}
+			}
+			if best < 0 {
+				continue // not repairable this phase
+			}
+			c := &phaseCands[best]
+			need := a.stripes[c.si].Data
+			srcs := a.chooseSources(c.sources, need, load, recoveredBefore)
+			task := RepairTask{
+				Via:   int(c.si),
+				Layer: a.stripes[c.si].Layer,
+				Phase: phase,
+			}
+			for _, tid := range c.targets {
+				assigned[tid] = true
+				task.Targets = append(task.Targets, a.strip(tid))
+			}
+			for _, sid := range srcs {
+				task.Reads = append(task.Reads, a.strip(sid))
+				if recoveredBefore[sid] {
+					plan.RecoveredReads++
+					continue
+				}
+				d := int(sid) / a.slots
+				load[d]++
+				readSlots[d] = append(readSlots[d], int(sid)%a.slots)
+			}
+			phaseTasks = append(phaseTasks, task)
+		}
+		if len(phaseTasks) == 0 {
+			break
+		}
+		// Commit the phase.
+		for _, t := range phaseTasks {
+			for _, st := range t.Targets {
+				id := a.stripID(st)
+				delete(lost, id)
+				recoveredBefore[id] = true
+				for _, sj := range a.stripesOf[id] {
+					lostCount[sj]--
+				}
+			}
+		}
+		plan.Tasks = append(plan.Tasks, phaseTasks...)
+		plan.Phases = phase + 1
+		if len(lost) == 0 {
+			break
+		}
+	}
+
+	if len(lost) > 0 {
+		plan.Complete = false
+		ids := make([]int32, 0, len(lost))
+		for id := range lost {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			plan.Unrecovered = append(plan.Unrecovered, a.strip(id))
+		}
+	}
+	plan.ReadRuns = buildRuns(readSlots)
+	return plan
+}
+
+// chooseSources picks need sources from the available survivors,
+// preferring already-recovered strips (free reads) and then the least
+// loaded disks. Deterministic for equal loads.
+func (a *Analyzer) chooseSources(avail []int32, need int, load []int, recovered map[int32]bool) []int32 {
+	if len(avail) == need {
+		return avail
+	}
+	srcs := append([]int32(nil), avail...)
+	sort.SliceStable(srcs, func(i, j int) bool {
+		ri, rj := recovered[srcs[i]], recovered[srcs[j]]
+		if ri != rj {
+			return ri
+		}
+		li := load[int(srcs[i])/a.slots]
+		lj := load[int(srcs[j])/a.slots]
+		if li != lj {
+			return li < lj
+		}
+		return srcs[i] < srcs[j]
+	})
+	return srcs[:need]
+}
+
+// buildRuns converts per-disk slot lists into sorted maximal [start,len]
+// runs of consecutive slots.
+func buildRuns(readSlots [][]int) [][][2]int {
+	runs := make([][][2]int, len(readSlots))
+	for d, slots := range readSlots {
+		if len(slots) == 0 {
+			continue
+		}
+		sort.Ints(slots)
+		start, length := slots[0], 1
+		for _, s := range slots[1:] {
+			if s == start+length {
+				length++
+				continue
+			}
+			if s == start+length-1 {
+				continue // duplicate slot (shared source)
+			}
+			runs[d] = append(runs[d], [2]int{start, length})
+			start, length = s, 1
+		}
+		runs[d] = append(runs[d], [2]int{start, length})
+	}
+	return runs
+}
+
+// String summarises the plan.
+func (p *Plan) String() string {
+	min, max := p.ReadBalance()
+	return fmt.Sprintf("plan(failed=%v tasks=%d phases=%d complete=%v reads[min=%d max=%d] writes=%d)",
+		p.Failed, len(p.Tasks), p.Phases, p.Complete, min, max, p.WriteStrips)
+}

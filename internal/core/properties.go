@@ -1,0 +1,70 @@
+package core
+
+import (
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// Properties is the analytic scheme comparison backing experiment E1.
+type Properties struct {
+	// Name of the scheme.
+	Name string
+	// Disks in the array.
+	Disks int
+	// DataFraction is usable capacity / raw capacity.
+	DataFraction float64
+	// GuaranteedTolerance is the exhaustively verified number of arbitrary
+	// disk failures always survived.
+	GuaranteedTolerance int
+	// UpdateWrites is the mean strip writes per small write.
+	UpdateWrites float64
+	// RecoveryReadFraction is the largest fraction of any surviving disk
+	// read while rebuilding one failed disk (1.0 for RAID5; 1/r for
+	// OI-RAID).
+	RecoveryReadFraction float64
+	// RecoverySpeedup is 1/RecoveryReadFraction: the read-bound rebuild
+	// speedup over an array that must read whole survivors.
+	RecoverySpeedup float64
+	// RecoverySeqRuns is the mean number of distinct sequential runs each
+	// reading survivor performs during single-failure rebuild — lower
+	// means more sequential I/O (OI-RAID reads whole partitions: 1 run).
+	RecoverySeqRuns float64
+}
+
+// MeasureProperties computes Properties for the scheme, exhaustively
+// checking tolerance up to maxTolerance (≥ 1).
+func (a *Analyzer) MeasureProperties(maxTolerance int) Properties {
+	p := Properties{
+		Name:         a.scheme.Name(),
+		Disks:        a.disks,
+		DataFraction: layout.DataFraction(a.scheme),
+	}
+	p.GuaranteedTolerance = a.ExactTolerance(maxTolerance).Guaranteed
+	p.UpdateWrites = a.UpdateCostSummary().MeanWrites
+
+	// Single-failure recovery, averaged over the failed disk (layouts are
+	// symmetric enough that disk 0 is representative, but measure all to
+	// be safe).
+	var worstFrac float64
+	var runTotal, runDisks int
+	for d := 0; d < a.disks; d++ {
+		plan := a.Plan([]int{d}, PlanOptions{})
+		if frac := float64(plan.MaxReadStrips()) / float64(a.slots); frac > worstFrac {
+			worstFrac = frac
+		}
+		for rd, runs := range plan.ReadRuns {
+			if rd == d || len(runs) == 0 {
+				continue
+			}
+			runTotal += len(runs)
+			runDisks++
+		}
+	}
+	p.RecoveryReadFraction = worstFrac
+	if worstFrac > 0 {
+		p.RecoverySpeedup = 1 / worstFrac
+	}
+	if runDisks > 0 {
+		p.RecoverySeqRuns = float64(runTotal) / float64(runDisks)
+	}
+	return p
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+)
+
+// ToleranceReport is the result of exhaustive fault-tolerance analysis.
+type ToleranceReport struct {
+	// Guaranteed is the largest t such that every t-disk failure pattern is
+	// recoverable (bounded by the analysis limit).
+	Guaranteed int
+	// Counterexample is a minimal unrecoverable pattern (size Guaranteed+1),
+	// nil when the analysis hit its limit without finding one.
+	Counterexample []int
+	// CheckedTo is the largest pattern size exhaustively checked.
+	CheckedTo int
+}
+
+// ExactTolerance exhaustively checks all failure patterns of size
+// 1..maxT and returns the guaranteed tolerance. For OI-RAID the paper
+// claims Guaranteed ≥ 3; the tests pin this for every shipped design.
+func (a *Analyzer) ExactTolerance(maxT int) ToleranceReport {
+	rep := ToleranceReport{}
+	pattern := make([]int, 0, maxT)
+	for t := 1; t <= maxT && t <= a.disks; t++ {
+		bad := a.findUnrecoverable(pattern[:0], 0, t)
+		if bad != nil {
+			rep.Counterexample = append([]int(nil), bad...)
+			rep.CheckedTo = t
+			return rep
+		}
+		rep.Guaranteed = t
+		rep.CheckedTo = t
+	}
+	return rep
+}
+
+// findUnrecoverable searches (depth-first) for an unrecoverable pattern of
+// the given size, returning it or nil.
+func (a *Analyzer) findUnrecoverable(pattern []int, start, size int) []int {
+	if len(pattern) == size {
+		if !a.Recoverable(pattern) {
+			return pattern
+		}
+		return nil
+	}
+	for d := start; d < a.disks; d++ {
+		if bad := a.findUnrecoverable(append(pattern, d), d+1, size); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// Exposure describes the risk state of a degraded array.
+type Exposure struct {
+	// Recoverable reports whether the current pattern loses no data.
+	Recoverable bool
+	// CriticalDisks lists the surviving disks whose additional failure
+	// would cause data loss. Empty while the array retains full slack.
+	CriticalDisks []int
+	// Slack is the number of additional arbitrary failures guaranteed to
+	// be survivable from this state (0 when CriticalDisks is non-empty;
+	// computed exhaustively up to maxSlack).
+	Slack int
+}
+
+// MeasureExposure reports the risk state after the given failures: which
+// further single-disk failures would lose data, and how many additional
+// arbitrary failures are still guaranteed survivable (searched up to
+// maxSlack). This is the "how close to the cliff are we" call a degraded
+// array's operator makes.
+func (a *Analyzer) MeasureExposure(failed []int, maxSlack int) Exposure {
+	e := Exposure{Recoverable: a.Recoverable(failed)}
+	if !e.Recoverable {
+		return e
+	}
+	failedSet := make(map[int]bool, len(failed))
+	for _, d := range failed {
+		failedSet[d] = true
+	}
+	for d := 0; d < a.disks; d++ {
+		if failedSet[d] {
+			continue
+		}
+		if !a.Recoverable(append(append([]int(nil), failed...), d)) {
+			e.CriticalDisks = append(e.CriticalDisks, d)
+		}
+	}
+	if len(e.CriticalDisks) > 0 {
+		return e
+	}
+	// No single next failure is fatal; search deeper for guaranteed slack.
+	var survivors []int
+	for d := 0; d < a.disks; d++ {
+		if !failedSet[d] {
+			survivors = append(survivors, d)
+		}
+	}
+	e.Slack = 1
+	base := append([]int(nil), failed...)
+	for s := 2; s <= maxSlack && s <= len(survivors); s++ {
+		if a.findUnrecoverableFrom(base, survivors, make([]int, 0, s), 0, s) != nil {
+			return e
+		}
+		e.Slack = s
+	}
+	return e
+}
+
+// findUnrecoverableFrom searches s-subsets of survivors whose addition to
+// base is unrecoverable.
+func (a *Analyzer) findUnrecoverableFrom(base, survivors, extra []int, start, size int) []int {
+	if len(extra) == size {
+		if !a.Recoverable(append(append([]int(nil), base...), extra...)) {
+			return extra
+		}
+		return nil
+	}
+	for i := start; i < len(survivors); i++ {
+		if bad := a.findUnrecoverableFrom(base, survivors, append(extra, survivors[i]), i+1, size); bad != nil {
+			return bad
+		}
+	}
+	return nil
+}
+
+// EstimateUnrecoverable estimates, by Monte Carlo over samples random
+// t-disk failure patterns, the probability that a uniformly random
+// t-failure loses data. It is exact when C(disks, t) ≤ samples (full
+// enumeration). The reliability models use these per-t loss fractions to
+// weight Markov transitions.
+func (a *Analyzer) EstimateUnrecoverable(t, samples int, rng *rand.Rand) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= a.disks {
+		return 1
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1)) // deterministic default
+	}
+	if c := binomial(a.disks, t); c > 0 && c <= samples {
+		bad := 0
+		pattern := make([]int, 0, t)
+		var rec func(start int)
+		var total int
+		rec = func(start int) {
+			if len(pattern) == t {
+				total++
+				if !a.Recoverable(pattern) {
+					bad++
+				}
+				return
+			}
+			for d := start; d < a.disks; d++ {
+				pattern = append(pattern, d)
+				rec(d + 1)
+				pattern = pattern[:len(pattern)-1]
+			}
+		}
+		rec(0)
+		return float64(bad) / float64(total)
+	}
+	bad := 0
+	pattern := make([]int, t)
+	for s := 0; s < samples; s++ {
+		samplePattern(pattern, a.disks, rng)
+		if !a.Recoverable(pattern) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(samples)
+}
+
+// samplePattern fills pattern with a uniform random t-subset of [0, n).
+func samplePattern(pattern []int, n int, rng *rand.Rand) {
+	t := len(pattern)
+	// Floyd's algorithm.
+	chosen := make(map[int]bool, t)
+	i := 0
+	for j := n - t; j < n; j++ {
+		d := rng.Intn(j + 1)
+		if chosen[d] {
+			d = j
+		}
+		chosen[d] = true
+		pattern[i] = d
+		i++
+	}
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		next := c * (n - i)
+		if next/(n-i) != c {
+			return -1
+		}
+		c = next / (i + 1)
+	}
+	return c
+}

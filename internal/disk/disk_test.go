@@ -1,0 +1,73 @@
+package disk
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Params
+		ok   bool
+	}{
+		{"default", DefaultParams(), true},
+		{"zero capacity", Params{BandwidthBps: 1, Seek: 0}, false},
+		{"zero bandwidth", Params{CapacityBytes: 1, Seek: 0}, false},
+		{"negative seek", Params{CapacityBytes: 1, BandwidthBps: 1, Seek: -1}, false},
+	}
+	for _, tt := range tests {
+		if err := tt.p.Validate(); (err == nil) != tt.ok {
+			t.Errorf("%s: Validate = %v, want ok=%v", tt.name, err, tt.ok)
+		}
+	}
+}
+
+func TestTransferSeconds(t *testing.T) {
+	p := Params{CapacityBytes: 1000, BandwidthBps: 100e6, Seek: 0}
+	if got := p.TransferSeconds(100e6); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("TransferSeconds = %v, want 1.0", got)
+	}
+	if got := p.TransferSeconds(0); got != 0 {
+		t.Errorf("TransferSeconds(0) = %v, want 0", got)
+	}
+	if got := p.TransferSeconds(-5); got != 0 {
+		t.Errorf("TransferSeconds(-5) = %v, want 0", got)
+	}
+}
+
+func TestAccessSeconds(t *testing.T) {
+	p := Params{CapacityBytes: 1 << 30, BandwidthBps: 100e6, Seek: 10 * time.Millisecond}
+	seq := p.AccessSeconds(1e6, true)
+	rnd := p.AccessSeconds(1e6, false)
+	if math.Abs(seq-0.01) > 1e-12 {
+		t.Errorf("sequential access = %v, want 0.01", seq)
+	}
+	if math.Abs(rnd-0.02) > 1e-12 {
+		t.Errorf("random access = %v, want 0.02", rnd)
+	}
+}
+
+func TestFullScanSeconds(t *testing.T) {
+	p := Params{CapacityBytes: 150e6, BandwidthBps: 150e6, Seek: 8 * time.Millisecond}
+	if got := p.FullScanSeconds(); math.Abs(got-1.008) > 1e-9 {
+		t.Errorf("FullScanSeconds = %v, want 1.008", got)
+	}
+}
+
+func TestSSDParams(t *testing.T) {
+	p := SSDParams()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Seek >= DefaultParams().Seek/10 {
+		t.Fatal("SSD seek should be far below HDD seek")
+	}
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/sim"
+	"github.com/oiraid/oiraid/internal/stats"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// E7UpdateCost measures the small-write cost on the byte-accurate array:
+// device reads and writes per aligned strip update, averaged over random
+// strips — the measured counterpart of the analytic 2/3/4-write claim.
+func E7UpdateCost(opt Options) ([]*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Title:   "Measured small-write cost (device ops per strip update)",
+		Headers: []string{"scheme", "reads/op", "writes/op", "total-I/Os"},
+		Notes:   []string{"read-modify-write on a healthy array; 200 random strip-aligned updates"},
+	}
+	v := 9
+	set, err := buildSet(v)
+	if err != nil {
+		return nil, err
+	}
+	ans := []*core.Analyzer{set.oi, set.r5, set.r6}
+	if set.pd != nil {
+		ans = append(ans, set.pd)
+	}
+	const stripBytes = 256
+	const ops = 200
+	for _, an := range ans {
+		arr, err := store.NewMemArray(an, 2, stripBytes)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(1))
+		buf := make([]byte, stripBytes)
+		// Prime content, then measure.
+		if _, err := arr.WriteAt(make([]byte, arr.Capacity()), 0); err != nil {
+			return nil, err
+		}
+		arr.ResetStats()
+		nStrips := arr.Capacity() / stripBytes
+		for i := 0; i < ops; i++ {
+			rng.Read(buf)
+			off := rng.Int63n(nStrips) * stripBytes
+			if _, err := arr.WriteAt(buf, off); err != nil {
+				return nil, err
+			}
+		}
+		st := arr.Stats()
+		t.Add(an.Scheme().Name(),
+			f("%.2f", float64(st.ReadOps)/ops),
+			f("%.2f", float64(st.WriteOps)/ops),
+			f("%.2f", float64(st.ReadOps+st.WriteOps)/ops))
+	}
+
+	// Degraded-mode costs: same measurement with one failed disk. Reads
+	// of lost strips fan out to stripe sources; writes reconstruct old
+	// content before the read-modify-write.
+	t2 := &Table{
+		ID:      "E7b",
+		Title:   "Degraded-mode I/O cost with one failed disk (device ops per op)",
+		Headers: []string{"scheme", "read-ops/degraded-read", "ops/degraded-write"},
+		Notes:   []string{"reads/writes target strips on the failed disk; OI-RAID reconstructs from k-1 group members"},
+	}
+	for _, an := range ans {
+		arr, err := store.NewMemArray(an, 2, stripBytes)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := arr.WriteAt(make([]byte, arr.Capacity()), 0); err != nil {
+			return nil, err
+		}
+		if err := arr.FailDisk(0); err != nil {
+			return nil, err
+		}
+		// Find logical strips living on the failed disk.
+		var lostIdx []int64
+		for i, st := range an.Scheme().DataStrips() {
+			if st.Disk == 0 {
+				lostIdx = append(lostIdx, int64(i))
+			}
+		}
+		if len(lostIdx) == 0 {
+			continue
+		}
+		buf := make([]byte, stripBytes)
+		arr.ResetStats()
+		reads := 0
+		for _, li := range lostIdx {
+			if _, err := arr.ReadAt(buf, li*stripBytes); err != nil {
+				return nil, err
+			}
+			reads++
+		}
+		st := arr.Stats()
+		readCost := float64(st.ReadOps) / float64(reads)
+		arr.ResetStats()
+		writes := 0
+		rng := rand.New(rand.NewSource(2))
+		for _, li := range lostIdx {
+			rng.Read(buf)
+			if _, err := arr.WriteAt(buf, li*stripBytes); err != nil {
+				return nil, err
+			}
+			writes++
+		}
+		st = arr.Stats()
+		writeCost := float64(st.ReadOps+st.WriteOps) / float64(writes)
+		t2.Add(an.Scheme().Name(), f("%.2f", readCost), f("%.2f", writeCost))
+	}
+	return []*Table{t, t2}, nil
+}
+
+// E8MultiFailure reports recovery time and plan structure for 1, 2, and 3
+// concurrent failures on OI-RAID: multi-failure recovery engages the
+// outer layer and additional phases, but remains bounded.
+func E8MultiFailure(opt Options) ([]*Table, error) {
+	v := 25
+	if opt.Quick {
+		v = 9
+	}
+	set, err := buildSet(v)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "E8",
+		Title:   f("OI-RAID multi-failure recovery (v=%d)", v),
+		Headers: []string{"failed-disks", "phases", "outer-tasks", "rebuild-s", "max-survivor-read-GiB"},
+	}
+	patterns := [][]int{{0}, {0, 1}, {0, 1, 2}}
+	for _, failed := range patterns {
+		plan := set.oi.Plan(failed, core.PlanOptions{})
+		outer := 0
+		for _, task := range plan.Tasks {
+			if task.Layer == 1 {
+				outer++
+			}
+		}
+		res, err := simRecovery(set.oi, failed, opt, sim.SpareDistributed)
+		if err != nil {
+			return nil, err
+		}
+		var maxRead int64
+		for _, b := range res.ReadBytesPerDisk {
+			if b > maxRead {
+				maxRead = b
+			}
+		}
+		t.Add(fmt.Sprint(failed), f("%d", plan.Phases), f("%d", outer),
+			f("%.1f", res.RebuildSeconds), f("%.2f", float64(maxRead)/(1<<30)))
+	}
+	return []*Table{t}, nil
+}
+
+// E9Ablations isolates the two design choices DESIGN.md calls out:
+//
+//   - (a) the skewed layout: without skew, outer relations align across
+//     groups; the table reports the per-disk spread of outer-layer
+//     recovery reads under double failures with and without skew;
+//   - (b) resolvability: outer stripes confined to parallel classes
+//     (disjoint groups) versus a naive two-layer construction whose outer
+//     stripes cross overlapping groups — the naive variant loses data at
+//     three failures.
+func E9Ablations(opt Options) ([]*Table, error) {
+	v := 9
+	if !opt.Quick {
+		v = 25
+	}
+	set, err := buildSet(v)
+	if err != nil {
+		return nil, err
+	}
+
+	ta := &Table{
+		ID:      "E9a",
+		Title:   f("Skew ablation (v=%d): outer-layer read spread under double failures", v),
+		Headers: []string{"variant", "mean-outer-reads/disk", "CV", "max/min"},
+		Notes:   []string{"aggregated over all same-group double failures (the patterns that exercise the outer layer)"},
+	}
+	for _, variant := range []struct {
+		name string
+		an   *core.Analyzer
+	}{{"skewed", set.oi}, {"no-skew", set.oiNS}} {
+		agg := &stats.Summary{}
+		n := variant.an.Disks()
+		for d1 := 0; d1 < n; d1++ {
+			for d2 := d1 + 1; d2 < n; d2++ {
+				plan := variant.an.Plan([]int{d1, d2}, core.PlanOptions{})
+				usesOuter := false
+				for _, task := range plan.Tasks {
+					if task.Layer == 1 {
+						usesOuter = true
+						break
+					}
+				}
+				if !usesOuter {
+					continue
+				}
+				for dd, rr := range plan.ReadsPerDisk {
+					if dd != d1 && dd != d2 {
+						agg.Add(float64(rr))
+					}
+				}
+			}
+		}
+		ratio := 0.0
+		if agg.Min() > 0 {
+			ratio = agg.Max() / agg.Min()
+		}
+		ta.Add(variant.name, f("%.1f", agg.Mean()), f("%.3f", agg.CV()), f("%.2f", ratio))
+	}
+
+	tb := &Table{
+		ID:      "E9b",
+		Title:   "Resolvability ablation: tolerance of OI-RAID vs a naive overlap-paired two-layer scheme",
+		Headers: []string{"scheme", "guaranteed-tolerance", "counterexample"},
+		Notes: []string{
+			"the naive scheme pairs outer stripes across groups that share a disk;",
+			"the {0,1,3} pattern deadlocks both layers — exactly the failure mode",
+			"OI-RAID's resolvable (parallel-class) outer striping eliminates",
+		},
+	}
+	oiRep := set.oi.ExactTolerance(3)
+	tb.Add(set.oi.Scheme().Name(), f("%d", oiRep.Guaranteed), "-")
+	naive, err := core.NewAnalyzer(newOverlapPairedScheme())
+	if err != nil {
+		return nil, err
+	}
+	nRep := naive.ExactTolerance(3)
+	tb.Add(naive.Scheme().Name(), f("%d", nRep.Guaranteed), fmt.Sprint(nRep.Counterexample))
+	return []*Table{ta, tb}, nil
+}

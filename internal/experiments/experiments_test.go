@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks that each produced populated tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tb := range tables {
+				if len(tb.Rows) == 0 {
+					t.Fatalf("table %s has no rows", tb.ID)
+				}
+				if len(tb.Headers) == 0 {
+					t.Fatalf("table %s has no headers", tb.ID)
+				}
+				var buf bytes.Buffer
+				tb.Fprint(&buf)
+				if !strings.Contains(buf.String(), tb.ID) {
+					t.Fatal("Fprint lost the table id")
+				}
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("E42", Options{}); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestTitles(t *testing.T) {
+	for _, id := range IDs() {
+		if Title(id) == "" {
+			t.Errorf("experiment %s has no title", id)
+		}
+	}
+	if Title("nope") != "" {
+		t.Error("unknown id must have empty title")
+	}
+}
+
+// TestE1Shape asserts the headline analytic results that E1 must show:
+// OI-RAID tolerance 3 with update cost 4 and speedup r; RAID5 tolerance 1.
+func TestE1Shape(t *testing.T) {
+	tables, err := E1Properties(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	byScheme := map[string][]string{}
+	for _, r := range rows {
+		byScheme[r[0]] = r
+	}
+	oi9 := byScheme["oi-raid(v=9,k=3,r=4)"]
+	if oi9 == nil {
+		t.Fatalf("missing oi-raid v=9 row; have %v", tables[0].Rows)
+	}
+	if oi9[3] != "3" {
+		t.Errorf("oi-raid tolerance = %s, want 3", oi9[3])
+	}
+	if oi9[4] != "4.0" {
+		t.Errorf("oi-raid update writes = %s, want 4.0", oi9[4])
+	}
+	if oi9[6] != "4.0×" {
+		t.Errorf("oi-raid speedup = %s, want 4.0×", oi9[6])
+	}
+	r59 := byScheme["raid5(n=9)"]
+	if r59 == nil || r59[3] != "1" {
+		t.Errorf("raid5 tolerance row wrong: %v", r59)
+	}
+}
+
+// TestE2SpeedupShape: OI-RAID's simulated speedup over RAID5 must be
+// substantial (≥ 2× even at the smallest size) and it must beat parity
+// declustering at equal v.
+func TestE2SpeedupShape(t *testing.T) {
+	tables, err := E2RecoverySpeedup(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oiTime, pdTime float64
+	var oiSpeedup float64
+	for _, r := range tables[0].Rows {
+		if r[0] != "9" {
+			continue
+		}
+		secs, err := strconv.ParseFloat(r[2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case strings.HasPrefix(r[1], "oi-raid"):
+			oiTime = secs
+			sp := strings.TrimSuffix(r[3], "×")
+			if oiSpeedup, err = strconv.ParseFloat(sp, 64); err != nil {
+				t.Fatal(err)
+			}
+		case strings.HasPrefix(r[1], "parity-decluster"):
+			pdTime = secs
+		}
+	}
+	if oiSpeedup < 2 {
+		t.Errorf("oi-raid speedup %.2f < 2", oiSpeedup)
+	}
+	if oiTime <= 0 || pdTime <= 0 || oiTime >= pdTime {
+		t.Errorf("oi-raid %.1fs not faster than pd %.1fs", oiTime, pdTime)
+	}
+}
+
+// TestOverlapPairedScheme pins the ablation subject's properties: a valid
+// layout with tolerance exactly 2 and the documented {0,1,3} deadlock.
+func TestOverlapPairedScheme(t *testing.T) {
+	s := newOverlapPairedScheme()
+	if err := layout.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	an, err := core.NewAnalyzer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := an.ExactTolerance(3)
+	if rep.Guaranteed != 2 {
+		t.Fatalf("naive scheme tolerance = %d (counterexample %v), want 2",
+			rep.Guaranteed, rep.Counterexample)
+	}
+	if an.Recoverable([]int{0, 1, 3}) {
+		t.Fatal("{0,1,3} must deadlock on the naive scheme")
+	}
+	if !an.Recoverable([]int{0, 1, 2}) {
+		t.Fatal("{0,1,2} should recover via the outer pairing")
+	}
+}
+
+// TestE9ResolvabilityAblation: the ablation table must show OI-RAID at 3
+// and the naive scheme at 2.
+func TestE9ResolvabilityAblation(t *testing.T) {
+	tables, err := E9Ablations(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("E9 produced %d tables, want 2", len(tables))
+	}
+	tb := tables[1]
+	if tb.Rows[0][1] != "3" {
+		t.Errorf("oi-raid tolerance in ablation = %s, want 3", tb.Rows[0][1])
+	}
+	if tb.Rows[1][1] != "2" {
+		t.Errorf("naive tolerance in ablation = %s, want 2", tb.Rows[1][1])
+	}
+}
+
+// TestE7MeasuredMatchesAnalytic: measured device I/Os must equal the
+// analytic update costs (4/2/3 writes for OI-RAID/RAID5/RAID6).
+func TestE7MeasuredMatchesAnalytic(t *testing.T) {
+	tables, err := E7UpdateCost(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"oi-raid(v=9,k=3,r=4)": "4.00",
+		"raid5(n=9)":           "2.00",
+		"raid6(n=9)":           "3.00",
+	}
+	for _, r := range tables[0].Rows {
+		if w, ok := want[r[0]]; ok {
+			if r[2] != w {
+				t.Errorf("%s writes/op = %s, want %s", r[0], r[2], w)
+			}
+		}
+	}
+}
+
+func TestFprintCSV(t *testing.T) {
+	tb := &Table{ID: "EX", Title: "demo", Headers: []string{"a", "b"}}
+	tb.Add("1", "two, with comma")
+	var buf bytes.Buffer
+	if err := tb.FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# EX: demo") || !strings.Contains(out, `"two, with comma"`) {
+		t.Fatalf("csv output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// overlapPairedScheme is the resolvability ablation subject: a minimal
+// two-layer scheme whose two RAID5 groups share a disk and whose outer
+// stripes pair those overlapping groups. It is a valid layout (it passes
+// layout.Validate and tolerates any two failures), but the failure
+// pattern {0,1,3} deadlocks: both groups lose two strips each, and the
+// outer stripe tying rows together loses both of its members. OI-RAID
+// avoids exactly this by confining outer stripes to the disjoint groups
+// of a parallel class.
+//
+// Geometry: 5 disks × 4 slots.
+//
+//	group A = disks {0,1,2} (slots 0-1 on each; disk0 uses 0-1)
+//	group B = disks {0,3,4} (disk0 uses slots 2-3)
+//	pad strips on disks 1-4 slots 2-3 carry triple-parity filler.
+type overlapPairedScheme struct {
+	stripes []layout.Stripe
+	data    []layout.Strip
+}
+
+var _ layout.Scheme = (*overlapPairedScheme)(nil)
+
+func newOverlapPairedScheme() *overlapPairedScheme {
+	st := func(d, s int) layout.Strip { return layout.Strip{Disk: d, Slot: s} }
+	// Group A strips.
+	a00, a01 := st(0, 0), st(0, 1)
+	a10, a11 := st(1, 0), st(1, 1)
+	a20, a21 := st(2, 0), st(2, 1)
+	// Group B strips.
+	b00, b01 := st(0, 2), st(0, 3)
+	b10, b11 := st(3, 0), st(3, 1)
+	b20, b21 := st(4, 0), st(4, 1)
+
+	inner := func(d1, d2, p layout.Strip) layout.Stripe {
+		return layout.Stripe{Strips: []layout.Strip{d1, d2, p}, Data: 2, Layer: layout.LayerInner}
+	}
+	outer := func(d, p layout.Strip) layout.Stripe {
+		return layout.Stripe{Strips: []layout.Strip{d, p}, Data: 1, Layer: layout.LayerOuter}
+	}
+	pad := func(slot int) layout.Stripe {
+		return layout.Stripe{
+			Strips: []layout.Strip{st(1, slot), st(2, slot), st(3, slot), st(4, slot)},
+			Data:   1,
+			Layer:  layout.LayerInner,
+		}
+	}
+	s := &overlapPairedScheme{
+		stripes: []layout.Stripe{
+			inner(a00, a10, a20), // A row 0
+			inner(a11, a21, a01), // A row 1 (rotated parity)
+			inner(b00, b10, b20), // B row 0
+			inner(b11, b21, b01), // B row 1
+			// Outer layer pairing the overlapping groups A and B.
+			outer(a10, b10),
+			outer(a11, b11),
+			outer(a00, b21),
+			outer(a21, b00),
+			pad(2),
+			pad(3),
+		},
+		data: []layout.Strip{a00, a10, a11, a21, st(1, 2), st(1, 3)},
+	}
+	return s
+}
+
+// Name implements layout.Scheme.
+func (s *overlapPairedScheme) Name() string { return "naive-two-layer(overlap-paired)" }
+
+// Disks implements layout.Scheme.
+func (s *overlapPairedScheme) Disks() int { return 5 }
+
+// SlotsPerDisk implements layout.Scheme.
+func (s *overlapPairedScheme) SlotsPerDisk() int { return 4 }
+
+// Stripes implements layout.Scheme.
+func (s *overlapPairedScheme) Stripes() []layout.Stripe { return s.stripes }
+
+// DataStrips implements layout.Scheme.
+func (s *overlapPairedScheme) DataStrips() []layout.Strip { return s.data }

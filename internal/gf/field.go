@@ -1,0 +1,341 @@
+// Package gf implements arithmetic over small finite fields GF(p^m).
+//
+// Two representations are provided:
+//
+//   - Field: a generic table-driven field of any prime-power order q ≤ 1024,
+//     used by the combinatorial-design constructions in package bibd
+//     (projective and affine planes require GF(q) for prime powers q).
+//   - GF256: a specialised, allocation-free implementation of GF(2^8) with
+//     log/antilog tables and slice kernels, used by the Reed–Solomon coder
+//     in package erasure.
+//
+// Field elements are represented as integers in [0, q). For extension
+// fields GF(p^m) the integer n encodes the polynomial
+// n = a_0 + a_1·p + … + a_{m-1}·p^{m-1} with coefficients a_i in GF(p).
+package gf
+
+import (
+	"fmt"
+)
+
+// MaxOrder is the largest field order New accepts. Orders above this would
+// make the dense multiplication table unreasonably large for the library's
+// use cases (block-design construction for storage arrays).
+const MaxOrder = 1024
+
+// Field is a finite field GF(p^m) of order q = p^m with dense operation
+// tables. It is immutable after construction and safe for concurrent use.
+type Field struct {
+	p, m, q int
+
+	mul []int // q*q multiplication table, row-major
+	add []int // q*q addition table, row-major
+	neg []int // additive inverses
+	inv []int // multiplicative inverses; inv[0] unused
+}
+
+// New constructs GF(q). q must be a prime power not exceeding MaxOrder.
+func New(q int) (*Field, error) {
+	if q < 2 || q > MaxOrder {
+		return nil, fmt.Errorf("gf: order %d out of range [2, %d]", q, MaxOrder)
+	}
+	p, m, ok := factorPrimePower(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: order %d is not a prime power", q)
+	}
+	f := &Field{p: p, m: m, q: q}
+	if m == 1 {
+		f.buildPrimeTables()
+		return f, nil
+	}
+	poly, err := irreduciblePoly(p, m)
+	if err != nil {
+		return nil, fmt.Errorf("gf: GF(%d): %w", q, err)
+	}
+	f.buildExtensionTables(poly)
+	return f, nil
+}
+
+// MustNew is New, panicking on error. It is intended for static
+// configurations (tests, known-valid catalog entries).
+func MustNew(q int) *Field {
+	f, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Order returns q, the number of elements.
+func (f *Field) Order() int { return f.q }
+
+// Char returns the characteristic p.
+func (f *Field) Char() int { return f.p }
+
+// Degree returns m, the extension degree over GF(p).
+func (f *Field) Degree() int { return f.m }
+
+// Add returns a+b.
+func (f *Field) Add(a, b int) int { return f.add[a*f.q+b] }
+
+// Sub returns a-b.
+func (f *Field) Sub(a, b int) int { return f.add[a*f.q+f.neg[b]] }
+
+// Neg returns the additive inverse of a.
+func (f *Field) Neg(a int) int { return f.neg[a] }
+
+// Mul returns a·b.
+func (f *Field) Mul(a, b int) int { return f.mul[a*f.q+b] }
+
+// Inv returns the multiplicative inverse of a. Inv(0) returns 0; callers
+// must not rely on Inv(0) being meaningful.
+func (f *Field) Inv(a int) int { return f.inv[a] }
+
+// Div returns a/b. Division by zero returns 0; callers must guard.
+func (f *Field) Div(a, b int) int { return f.mul[a*f.q+f.inv[b]] }
+
+// Pow returns a^e for e ≥ 0, with Pow(a, 0) == 1 (including a == 0,
+// following the usual empty-product convention).
+func (f *Field) Pow(a, e int) int {
+	result := 1
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = f.Mul(result, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return result
+}
+
+// Elements returns all field elements 0..q-1 in order.
+func (f *Field) Elements() []int {
+	es := make([]int, f.q)
+	for i := range es {
+		es[i] = i
+	}
+	return es
+}
+
+// String implements fmt.Stringer.
+func (f *Field) String() string {
+	if f.m == 1 {
+		return fmt.Sprintf("GF(%d)", f.q)
+	}
+	return fmt.Sprintf("GF(%d^%d)", f.p, f.m)
+}
+
+// buildPrimeTables fills the operation tables for GF(p), p prime.
+func (f *Field) buildPrimeTables() {
+	q := f.q
+	f.add = make([]int, q*q)
+	f.mul = make([]int, q*q)
+	f.neg = make([]int, q)
+	f.inv = make([]int, q)
+	for a := 0; a < q; a++ {
+		f.neg[a] = (q - a) % q
+		for b := 0; b < q; b++ {
+			f.add[a*q+b] = (a + b) % q
+			f.mul[a*q+b] = (a * b) % q
+		}
+	}
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if a*b%q == 1 {
+				f.inv[a] = b
+				break
+			}
+		}
+	}
+}
+
+// buildExtensionTables fills the operation tables for GF(p^m) using
+// arithmetic of polynomials over GF(p) modulo the given monic irreducible
+// polynomial of degree m (poly[i] is the coefficient of x^i, len = m+1).
+func (f *Field) buildExtensionTables(poly []int) {
+	p, m, q := f.p, f.m, f.q
+	f.add = make([]int, q*q)
+	f.mul = make([]int, q*q)
+	f.neg = make([]int, q)
+	f.inv = make([]int, q)
+
+	digits := func(n int) []int {
+		d := make([]int, m)
+		for i := 0; i < m; i++ {
+			d[i] = n % p
+			n /= p
+		}
+		return d
+	}
+	undigits := func(d []int) int {
+		n := 0
+		for i := m - 1; i >= 0; i-- {
+			n = n*p + d[i]
+		}
+		return n
+	}
+
+	for a := 0; a < q; a++ {
+		da := digits(a)
+		nd := make([]int, m)
+		for i, c := range da {
+			nd[i] = (p - c) % p
+		}
+		f.neg[a] = undigits(nd)
+		for b := 0; b < q; b++ {
+			db := digits(b)
+			sum := make([]int, m)
+			for i := 0; i < m; i++ {
+				sum[i] = (da[i] + db[i]) % p
+			}
+			f.add[a*q+b] = undigits(sum)
+			f.mul[a*q+b] = undigits(polyMulMod(da, db, poly, p))
+		}
+	}
+	// Multiplicative inverses by exhaustive search; q ≤ MaxOrder keeps this
+	// O(q^2) construction cheap and it runs once per field instantiation.
+	for a := 1; a < q; a++ {
+		for b := 1; b < q; b++ {
+			if f.mul[a*q+b] == 1 {
+				f.inv[a] = b
+				break
+			}
+		}
+	}
+}
+
+// polyMulMod multiplies polynomials a and b over GF(p) and reduces modulo
+// the monic polynomial mod (degree m = len(mod)-1). Result has m coeffs.
+func polyMulMod(a, b, mod []int, p int) []int {
+	m := len(mod) - 1
+	prod := make([]int, 2*m-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			prod[i+j] = (prod[i+j] + ca*cb) % p
+		}
+	}
+	// Reduce: for each high-degree term c·x^d with d ≥ m, substitute
+	// x^m ≡ -(mod[0] + … + mod[m-1]·x^{m-1}) (mod is monic).
+	for d := len(prod) - 1; d >= m; d-- {
+		c := prod[d]
+		if c == 0 {
+			continue
+		}
+		prod[d] = 0
+		for i := 0; i < m; i++ {
+			prod[d-m+i] = (prod[d-m+i] + (p-mod[i])*c) % p
+		}
+	}
+	return prod[:m]
+}
+
+// irreduciblePoly finds a monic irreducible polynomial of degree m over
+// GF(p) by exhaustive search. The returned slice has length m+1 with the
+// leading coefficient 1.
+func irreduciblePoly(p, m int) ([]int, error) {
+	// Enumerate the p^m possible lower-coefficient vectors.
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= p
+	}
+	poly := make([]int, m+1)
+	poly[m] = 1
+	for n := 0; n < total; n++ {
+		v := n
+		for i := 0; i < m; i++ {
+			poly[i] = v % p
+			v /= p
+		}
+		if polyIrreducible(poly, p) {
+			out := make([]int, m+1)
+			copy(out, poly)
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("no irreducible polynomial of degree %d over GF(%d)", m, p)
+}
+
+// polyIrreducible reports whether the monic polynomial poly (degree ≥ 1)
+// is irreducible over GF(p), by trial division against all monic
+// polynomials of degree 1..deg/2.
+func polyIrreducible(poly []int, p int) bool {
+	deg := len(poly) - 1
+	if deg == 1 {
+		return true
+	}
+	for d := 1; d <= deg/2; d++ {
+		count := 1
+		for i := 0; i < d; i++ {
+			count *= p
+		}
+		div := make([]int, d+1)
+		div[d] = 1
+		for n := 0; n < count; n++ {
+			v := n
+			for i := 0; i < d; i++ {
+				div[i] = v % p
+				v /= p
+			}
+			if polyDivides(div, poly, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivides reports whether monic polynomial div divides poly over GF(p).
+func polyDivides(div, poly []int, p int) bool {
+	rem := make([]int, len(poly))
+	copy(rem, poly)
+	d := len(div) - 1
+	for i := len(rem) - 1; i >= d; i-- {
+		c := rem[i]
+		if c == 0 {
+			continue
+		}
+		for j := 0; j <= d; j++ {
+			rem[i-d+j] = ((rem[i-d+j]-c*div[j])%p + p*p) % p
+		}
+	}
+	for _, c := range rem[:d] {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// factorPrimePower returns (p, m, true) if q == p^m for a prime p, m ≥ 1.
+func factorPrimePower(q int) (p, m int, ok bool) {
+	for p = 2; p*p <= q; p++ {
+		if q%p != 0 {
+			continue
+		}
+		n, m := q, 0
+		for n%p == 0 {
+			n /= p
+			m++
+		}
+		if n == 1 {
+			return p, m, true
+		}
+		return 0, 0, false
+	}
+	// q itself is prime.
+	return q, 1, true
+}
+
+// IsPrimePower reports whether q is a prime power (and therefore a valid
+// finite-field order).
+func IsPrimePower(q int) bool {
+	if q < 2 {
+		return false
+	}
+	_, _, ok := factorPrimePower(q)
+	return ok
+}

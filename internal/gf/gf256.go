@@ -1,0 +1,126 @@
+package gf
+
+// GF(2^8) arithmetic with the Rijndael/AES reducing polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d, the polynomial conventionally used by
+// storage erasure coders). Addition is XOR; multiplication uses log/exp
+// tables generated at package initialisation from the generator element 2.
+//
+// The tables are package-level constants-by-construction: they are computed
+// once in newGF256Tables and never mutated afterwards, so concurrent use is
+// safe.
+
+const gf256Poly = 0x11d
+
+type gf256Tables struct {
+	exp [512]byte // exp[i] = 2^i, doubled to avoid a mod 255 in Mul
+	log [256]byte // log[a] for a != 0
+	inv [256]byte
+}
+
+// gf256 holds the shared GF(2^8) tables. It is written exactly once, by the
+// package-level variable initialiser below, before any other package code
+// can run.
+var gf256 = newGF256Tables()
+
+func newGF256Tables() *gf256Tables {
+	t := &gf256Tables{}
+	x := 1
+	for i := 0; i < 255; i++ {
+		t.exp[i] = byte(x)
+		t.log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= gf256Poly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		t.exp[i] = t.exp[i-255]
+	}
+	for a := 1; a < 256; a++ {
+		t.inv[a] = t.exp[255-int(t.log[a])]
+	}
+	return t
+}
+
+// Mul256 returns a·b in GF(2^8).
+func Mul256(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gf256.exp[int(gf256.log[a])+int(gf256.log[b])]
+}
+
+// Div256 returns a/b in GF(2^8). Division by zero returns 0.
+func Div256(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gf256.exp[int(gf256.log[a])+255-int(gf256.log[b])]
+}
+
+// Inv256 returns the multiplicative inverse of a in GF(2^8); Inv256(0) is 0.
+func Inv256(a byte) byte { return gf256.inv[a] }
+
+// Exp256 returns 2^e in GF(2^8) for e ≥ 0.
+func Exp256(e int) byte { return gf256.exp[e%255] }
+
+// MulSlice256 computes dst[i] = c·src[i] for all i. dst and src must have
+// equal length; they may alias.
+func MulSlice256(c byte, src, dst []byte) {
+	if c == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if c == 1 {
+		copy(dst, src)
+		return
+	}
+	logC := int(gf256.log[c])
+	for i, s := range src {
+		if s == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = gf256.exp[logC+int(gf256.log[s])]
+		}
+	}
+}
+
+// MulAddSlice256 computes dst[i] ^= c·src[i] for all i (multiply-accumulate
+// in GF(2^8)). dst and src must have equal length and must not alias unless
+// identical.
+func MulAddSlice256(c byte, src, dst []byte) {
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		XorSlice(src, dst)
+		return
+	}
+	logC := int(gf256.log[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= gf256.exp[logC+int(gf256.log[s])]
+		}
+	}
+}
+
+// XorSlice computes dst[i] ^= src[i] for all i. Lengths must match.
+func XorSlice(src, dst []byte) {
+	// Word-at-a-time XOR: the common strip sizes are multiples of 8.
+	n := len(dst) &^ 7
+	for i := 0; i < n; i += 8 {
+		dst[i] ^= src[i]
+		dst[i+1] ^= src[i+1]
+		dst[i+2] ^= src[i+2]
+		dst[i+3] ^= src[i+3]
+		dst[i+4] ^= src[i+4]
+		dst[i+5] ^= src[i+5]
+		dst[i+6] ^= src[i+6]
+		dst[i+7] ^= src[i+7]
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= src[i]
+	}
+}

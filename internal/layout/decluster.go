@@ -1,0 +1,84 @@
+package layout
+
+import (
+	"fmt"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+)
+
+// ParityDecluster is the Holland–Gibson parity-declustered RAID5 layout: a
+// (v, b, r, k, λ)-BIBD over the v disks places logical RAID5 stripes of
+// width k onto the blocks of the design, rotating parity through each
+// block's k positions. Rebuild reads after one failure spread over all
+// v-1 survivors at the declustering ratio α = (k-1)/(v-1).
+//
+// One cycle uses every block k times (once per parity rotation), so each
+// disk contributes r·k slots per cycle.
+type ParityDecluster struct {
+	design     *bibd.Design
+	stripes    []Stripe
+	dataStrips []Strip
+}
+
+var _ Scheme = (*ParityDecluster)(nil)
+
+// NewParityDecluster builds the declustered layout from a verified design.
+func NewParityDecluster(d *bibd.Design) (*ParityDecluster, error) {
+	if err := d.Verify(); err != nil {
+		return nil, fmt.Errorf("layout: parity declustering: %w", err)
+	}
+	p := &ParityDecluster{design: d}
+
+	// nextSlot[d] is the next free slot on disk d; blocks are laid out in
+	// order, each block consuming k consecutive slots on each member disk
+	// (one per parity rotation).
+	nextSlot := make([]int, d.V)
+	for _, blk := range d.Blocks {
+		base := make([]int, len(blk))
+		for i, disk := range blk {
+			base[i] = nextSlot[disk]
+			nextSlot[disk] += d.K
+		}
+		for rot := 0; rot < d.K; rot++ {
+			stripe := Stripe{Data: d.K - 1, Layer: LayerInner}
+			stripe.Strips = make([]Strip, 0, d.K)
+			for i, disk := range blk {
+				if i == rot {
+					continue
+				}
+				st := Strip{Disk: disk, Slot: base[i] + rot}
+				stripe.Strips = append(stripe.Strips, st)
+				p.dataStrips = append(p.dataStrips, st)
+			}
+			stripe.Strips = append(stripe.Strips, Strip{Disk: blk[rot], Slot: base[rot] + rot})
+			p.stripes = append(p.stripes, stripe)
+		}
+	}
+	return p, nil
+}
+
+// Design returns the underlying block design.
+func (p *ParityDecluster) Design() *bibd.Design { return p.design }
+
+// Name implements Scheme.
+func (p *ParityDecluster) Name() string {
+	return fmt.Sprintf("parity-decluster(v=%d,k=%d,%s)", p.design.V, p.design.K, p.design.Name)
+}
+
+// Disks implements Scheme.
+func (p *ParityDecluster) Disks() int { return p.design.V }
+
+// SlotsPerDisk implements Scheme.
+func (p *ParityDecluster) SlotsPerDisk() int { return p.design.R() * p.design.K }
+
+// Stripes implements Scheme.
+func (p *ParityDecluster) Stripes() []Stripe { return p.stripes }
+
+// DataStrips implements Scheme.
+func (p *ParityDecluster) DataStrips() []Strip { return p.dataStrips }
+
+// DeclusteringRatio returns α = (k-1)/(v-1), the fraction of each
+// surviving disk read during single-failure rebuild.
+func (p *ParityDecluster) DeclusteringRatio() float64 {
+	return float64(p.design.K-1) / float64(p.design.V-1)
+}

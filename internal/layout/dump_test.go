@@ -1,0 +1,98 @@
+package layout
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+)
+
+// TestExportImportRoundTrip: every scheme survives JSON export → import
+// with identical structure.
+func TestExportImportRoundTrip(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		dump := Export(s)
+		var buf bytes.Buffer
+		if err := dump.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		parsed, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		custom, err := parsed.Scheme()
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if custom.Disks() != s.Disks() || custom.SlotsPerDisk() != s.SlotsPerDisk() {
+			t.Fatalf("%s: geometry changed in round trip", s.Name())
+		}
+		if len(custom.Stripes()) != len(s.Stripes()) {
+			t.Fatalf("%s: stripe count changed", s.Name())
+		}
+		for si, want := range s.Stripes() {
+			got := custom.Stripes()[si]
+			if got.Data != want.Data || got.Layer != want.Layer || len(got.Strips) != len(want.Strips) {
+				t.Fatalf("%s: stripe %d changed", s.Name(), si)
+			}
+			for mi := range want.Strips {
+				if got.Strips[mi] != want.Strips[mi] {
+					t.Fatalf("%s: stripe %d member %d changed", s.Name(), si, mi)
+				}
+			}
+		}
+		for i, want := range s.DataStrips() {
+			if custom.DataStrips()[i] != want {
+				t.Fatalf("%s: data strip %d changed", s.Name(), i)
+			}
+		}
+		// Band structure preserved for banded schemes.
+		if b, ok := s.(Bander); ok {
+			if custom.BandWidth() != b.BandWidth() {
+				t.Fatalf("%s: band width changed", s.Name())
+			}
+		}
+	}
+}
+
+func TestDumpSchemeRejectsInvalid(t *testing.T) {
+	d, err := bibd.ForArray(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, err := NewOIRAID(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Export(oi)
+
+	mutate := func(f func(*Dump)) error {
+		var buf bytes.Buffer
+		if err := base.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		copyDump, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(copyDump)
+		_, err = copyDump.Scheme()
+		return err
+	}
+	if err := mutate(func(d *Dump) { d.Stripes[0].Strips[0] = [2]int{99, 0} }); err == nil {
+		t.Error("out-of-range disk must fail")
+	}
+	if err := mutate(func(d *Dump) { d.Stripes[0].Data = 99 }); err == nil {
+		t.Error("bad data count must fail")
+	}
+	if err := mutate(func(d *Dump) { d.BandWidth = 7 }); err == nil {
+		t.Error("non-dividing band width must fail")
+	}
+	if err := mutate(func(d *Dump) { d.DataStrips = d.DataStrips[1:] }); err == nil {
+		t.Error("dropped data strip must fail (uncovered strip)")
+	}
+	if _, err := ReadDump(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON must fail")
+	}
+}

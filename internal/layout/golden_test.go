@@ -1,0 +1,48 @@
+package layout
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+)
+
+// goldenOIRAIDDigests pin the exact OI-RAID layout (strip map + stripes)
+// produced for each catalogued array size with default options. The
+// layout IS the on-disk format: an array written by one build must be
+// readable by the next, so any change to these digests is a breaking
+// format change and must be deliberate (bump the digests and call it out
+// in release notes).
+var goldenOIRAIDDigests = map[int]string{
+	8:  "ab27416f8f9c235893b0c50eaa766261653c05414c2c5155aa3f50ffceb235a8",
+	9:  "483f20c197f11e8e0eec707c8dc8e3f42e911198ee364766011dbd58a519c48e",
+	15: "8f52b0858aeb9c1c19d0458fb68b8c8743d8614954b1dd4db5551f7f968e5494",
+	16: "29aa7f21a1e030273087cd534e1ddb6cd262ccc4b4439fa57ab983e3a237c03b",
+	25: "d69a3250bc4dc6f71cf0fb30735f869e9417b9f9d8cd7becf0572b2229c6e726",
+	27: "995039a1e3219e08a15c2c74de2ced483985438741ba6f36f3e9c74c7a2073cc",
+	49: "42d0783d4afc4951a80368e42f7b1aa86beb4f64fe2d000af0e51f635d9d48b9",
+}
+
+func TestOIRAIDLayoutGolden(t *testing.T) {
+	for v, want := range goldenOIRAIDDigests {
+		d, err := bibd.ForArray(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewOIRAID(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Export(s).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got := fmt.Sprintf("%x", sha256.Sum256(buf.Bytes()))
+		if got != want {
+			t.Errorf("v=%d: layout digest changed to %s — this breaks on-disk "+
+				"compatibility with existing arrays; if intentional, update the golden table", v, got)
+		}
+	}
+}

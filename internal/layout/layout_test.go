@@ -1,0 +1,484 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+)
+
+func mustOIRAID(t testing.TB, v int, opts ...OIRAIDOption) *OIRAID {
+	t.Helper()
+	d, err := bibd.ForArray(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOIRAID(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// allSchemes builds one of each scheme at comparable scale for the generic
+// invariant tests.
+func allSchemes(t testing.TB) []Scheme {
+	t.Helper()
+	r5, err := NewRAID5(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r6, err := NewRAID6(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fano, err := bibd.ForDeclustering(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewParityDecluster(fano)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sts, err := bibd.ForDeclustering(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd2, err := NewParityDecluster(sts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewS2RAID(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Scheme{
+		r5, r6, pd, pd2, s2,
+		mustOIRAID(t, 9),
+		mustOIRAID(t, 15),
+		mustOIRAID(t, 16),
+		mustOIRAID(t, 25),
+		mustOIRAID(t, 9, WithSkew(false)),
+	}
+}
+
+func TestValidateAllSchemes(t *testing.T) {
+	for _, s := range allSchemes(t) {
+		if err := Validate(s); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewRAID5(1); err == nil {
+		t.Error("NewRAID5(1) should fail")
+	}
+	if _, err := NewRAID6(2); err == nil {
+		t.Error("NewRAID6(2) should fail")
+	}
+	if _, err := NewS2RAID(4, 3); err == nil {
+		t.Error("NewS2RAID with composite g should fail")
+	}
+	if _, err := NewS2RAID(3, 1); err == nil {
+		t.Error("NewS2RAID(m=1) should fail")
+	}
+	bad := &bibd.Design{V: 7, K: 3, Lambda: 1}
+	if _, err := NewParityDecluster(bad); err == nil {
+		t.Error("NewParityDecluster with invalid design should fail")
+	}
+	fano := bibd.Fano()
+	if _, err := NewOIRAID(fano); err == nil {
+		t.Error("NewOIRAID with non-resolvable design should fail")
+	}
+	d, err := bibd.ForArray(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOIRAID(d, WithRows(0)); err == nil {
+		t.Error("NewOIRAID rows=0 should fail")
+	}
+	// Odd row counts remain structurally valid (balance degrades by at
+	// most one strip per disk).
+	for _, rows := range []int{1, 5, 7} {
+		o, err := NewOIRAID(d, WithRows(rows))
+		if err != nil {
+			t.Fatalf("NewOIRAID rows=%d: %v", rows, err)
+		}
+		if err := Validate(o); err != nil {
+			t.Errorf("NewOIRAID rows=%d: %v", rows, err)
+		}
+	}
+}
+
+func TestRAID5Shape(t *testing.T) {
+	r, err := NewRAID5(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DataFraction(r); math.Abs(got-4.0/5) > 1e-12 {
+		t.Errorf("raid5 data fraction = %v, want 0.8", got)
+	}
+	if len(r.Stripes()) != 5 {
+		t.Errorf("raid5(5) stripes = %d, want 5", len(r.Stripes()))
+	}
+	// Parity visits every disk exactly once per cycle.
+	parityCount := make([]int, 5)
+	for _, s := range r.Stripes() {
+		if s.Parity() != 1 {
+			t.Fatalf("raid5 stripe parity = %d", s.Parity())
+		}
+		parityCount[s.Strips[len(s.Strips)-1].Disk]++
+	}
+	for d, c := range parityCount {
+		if c != 1 {
+			t.Errorf("disk %d holds parity %d times, want 1", d, c)
+		}
+	}
+}
+
+func TestRAID6Shape(t *testing.T) {
+	r, err := NewRAID6(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DataFraction(r); math.Abs(got-4.0/6) > 1e-12 {
+		t.Errorf("raid6 data fraction = %v, want 2/3", got)
+	}
+	for _, s := range r.Stripes() {
+		if s.Parity() != 2 {
+			t.Fatalf("raid6 stripe parity = %d, want 2", s.Parity())
+		}
+	}
+}
+
+func TestParityDeclusterShape(t *testing.T) {
+	d, err := bibd.ForDeclustering(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := NewParityDecluster(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pd.Disks() != 7 || pd.SlotsPerDisk() != 9 {
+		t.Fatalf("pd geometry %dx%d, want 7x9", pd.Disks(), pd.SlotsPerDisk())
+	}
+	if got, want := pd.DeclusteringRatio(), 2.0/6; math.Abs(got-want) > 1e-12 {
+		t.Errorf("declustering ratio = %v, want %v", got, want)
+	}
+	if got := DataFraction(pd); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("pd data fraction = %v, want 2/3 (k-1)/k", got)
+	}
+}
+
+func TestS2RAIDShape(t *testing.T) {
+	s, err := NewS2RAID(5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Disks() != 20 || s.SlotsPerDisk() != 5 || s.Parallelism() != 5 {
+		t.Fatalf("s2 geometry wrong: %d disks, %d slots", s.Disks(), s.SlotsPerDisk())
+	}
+	if err := Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	if got := DataFraction(s); math.Abs(got-3.0/4) > 1e-12 {
+		t.Errorf("s2 data fraction = %v, want 3/4", got)
+	}
+	// The disjoint-recovery property: for every disk, the stripes covering
+	// its g partitions touch each survivor at most once.
+	for d := 0; d < s.Disks(); d++ {
+		touched := make(map[int]int)
+		for _, st := range s.Stripes() {
+			hit := false
+			for _, m := range st.Strips {
+				if m.Disk == d {
+					hit = true
+				}
+			}
+			if !hit {
+				continue
+			}
+			for _, m := range st.Strips {
+				if m.Disk != d {
+					touched[m.Disk]++
+				}
+			}
+		}
+		for other, c := range touched {
+			if c > 1 {
+				t.Fatalf("disk %d rebuild touches disk %d %d times; sub-arrays not disjoint", d, other, c)
+			}
+		}
+	}
+}
+
+func TestOIRAIDShape(t *testing.T) {
+	for _, v := range []int{9, 15, 16, 25} {
+		o := mustOIRAID(t, v)
+		d := o.Design()
+		k, c, r := d.K, o.GroupsPerClass(), d.R()
+		if o.Disks() != v {
+			t.Fatalf("v=%d: disks = %d", v, o.Disks())
+		}
+		if o.SlotsPerDisk() != r*o.Rows() {
+			t.Fatalf("v=%d: slots = %d, want %d", v, o.SlotsPerDisk(), r*o.Rows())
+		}
+		want := float64(k-1) * float64(c-1) / (float64(k) * float64(c))
+		if got := DataFraction(o); math.Abs(got-want) > 1e-12 {
+			t.Errorf("v=%d: data fraction = %v, want %v", v, got, want)
+		}
+		// Stripe census: b·W inner + r·(k-1)·W outer.
+		var inner, outer int
+		for _, s := range o.Stripes() {
+			switch s.Layer {
+			case LayerInner:
+				inner++
+				if len(s.Strips) != k || s.Data != k-1 {
+					t.Fatalf("v=%d: inner stripe shape %d/%d", v, s.Data, len(s.Strips))
+				}
+			case LayerOuter:
+				outer++
+				if len(s.Strips) != c || s.Data != c-1 {
+					t.Fatalf("v=%d: outer stripe shape %d/%d", v, s.Data, len(s.Strips))
+				}
+			}
+		}
+		if inner != d.B()*o.Rows() {
+			t.Errorf("v=%d: inner stripes = %d, want %d", v, inner, d.B()*o.Rows())
+		}
+		if outer != r*(k-1)*o.Rows() {
+			t.Errorf("v=%d: outer stripes = %d, want %d", v, outer, r*(k-1)*o.Rows())
+		}
+	}
+}
+
+// TestOIRAIDStripMembership verifies the two-layer role structure strip by
+// strip: every strip is in exactly one inner stripe; data strips are in
+// exactly one outer stripe as data; outer parity strips are outer parity
+// once and inner data once; inner parity strips are in no outer stripe.
+func TestOIRAIDStripMembership(t *testing.T) {
+	o := mustOIRAID(t, 16)
+	slots := o.SlotsPerDisk()
+	type role struct{ innerData, innerParity, outerData, outerParity int }
+	roles := make([]role, o.Disks()*slots)
+	for _, s := range o.Stripes() {
+		for mi, st := range s.Strips {
+			r := &roles[st.Disk*slots+st.Slot]
+			parity := mi >= s.Data
+			switch {
+			case s.Layer == LayerInner && parity:
+				r.innerParity++
+			case s.Layer == LayerInner:
+				r.innerData++
+			case parity:
+				r.outerParity++
+			default:
+				r.outerData++
+			}
+		}
+	}
+	dataSet := make(map[int]bool)
+	for _, st := range o.DataStrips() {
+		dataSet[st.Disk*slots+st.Slot] = true
+	}
+	for i, r := range roles {
+		if r.innerData+r.innerParity != 1 {
+			t.Fatalf("strip %d: inner membership %d+%d, want exactly 1", i, r.innerData, r.innerParity)
+		}
+		switch {
+		case r.innerParity == 1:
+			if r.outerData+r.outerParity != 0 {
+				t.Fatalf("strip %d: inner parity also in outer stripe", i)
+			}
+			if dataSet[i] {
+				t.Fatalf("strip %d: inner parity listed as data", i)
+			}
+		case r.outerParity == 1:
+			if r.outerData != 0 || dataSet[i] {
+				t.Fatalf("strip %d: outer parity has wrong roles", i)
+			}
+		default:
+			if r.outerData != 1 || !dataSet[i] {
+				t.Fatalf("strip %d: data strip roles wrong: %+v in data set: %v", i, r, dataSet[i])
+			}
+		}
+	}
+}
+
+// TestOIRAIDParityBalance: inner and outer parity strips spread evenly
+// across disks over one cycle (the point of the skewed layout).
+func TestOIRAIDParityBalance(t *testing.T) {
+	o := mustOIRAID(t, 25)
+	innerP := make([]int, o.Disks())
+	outerP := make([]int, o.Disks())
+	for _, s := range o.Stripes() {
+		for mi, st := range s.Strips {
+			if mi < s.Data {
+				continue
+			}
+			if s.Layer == LayerInner {
+				innerP[st.Disk]++
+			} else {
+				outerP[st.Disk]++
+			}
+		}
+	}
+	for d := 0; d < o.Disks(); d++ {
+		if innerP[d] != innerP[0] {
+			t.Errorf("inner parity imbalance: disk %d has %d, disk 0 has %d", d, innerP[d], innerP[0])
+		}
+	}
+	// Outer parity balance: exact equality per disk.
+	for d := 0; d < o.Disks(); d++ {
+		if outerP[d] != outerP[0] {
+			t.Errorf("outer parity imbalance: disk %d has %d, disk 0 has %d", d, outerP[d], outerP[0])
+		}
+	}
+}
+
+// TestOIRAIDOuterStripesWithinClassesAreDisjointGroups: outer stripes span
+// strips on pairwise distinct disks drawn from one class's disjoint groups,
+// all in the same partition band (slot range) of the class.
+func TestOIRAIDOuterStripesDisjoint(t *testing.T) {
+	o := mustOIRAID(t, 9)
+	W := o.Rows()
+	for _, s := range o.Stripes() {
+		if s.Layer != LayerOuter {
+			continue
+		}
+		class := s.Strips[0].Slot / W
+		disks := make(map[int]bool)
+		for _, st := range s.Strips {
+			if st.Slot/W != class {
+				t.Fatalf("outer stripe crosses classes: %+v", s.Strips)
+			}
+			if disks[st.Disk] {
+				t.Fatalf("outer stripe repeats disk %d", st.Disk)
+			}
+			disks[st.Disk] = true
+		}
+	}
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	r, err := NewRAID5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate a data strip.
+	r.dataStrips = append(r.dataStrips, r.dataStrips[0])
+	if err := Validate(r); err == nil {
+		t.Error("Validate accepted duplicated data strip")
+	}
+	r, _ = NewRAID5(4)
+	// Point a stripe at an out-of-range slot.
+	r.stripes[0].Strips[0].Slot = 99
+	if err := Validate(r); err == nil {
+		t.Error("Validate accepted out-of-range strip")
+	}
+	r, _ = NewRAID5(4)
+	// Two strips of one stripe on the same disk.
+	r.stripes[0].Strips[0].Disk = r.stripes[0].Strips[1].Disk
+	if err := Validate(r); err == nil {
+		t.Error("Validate accepted same-disk stripe members")
+	}
+}
+
+func TestStripIndex(t *testing.T) {
+	r, err := NewRAID5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := StripIndex(r, Strip{Disk: 2, Slot: 3}); got != 11 {
+		t.Errorf("StripIndex = %d, want 11", got)
+	}
+}
+
+func BenchmarkNewOIRAID49(b *testing.B) {
+	d, err := bibd.ForArray(49)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewOIRAID(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestOIRAIDGeneralizedValidate: stronger code configurations remain
+// structurally valid layouts and expose the configured parity counts.
+func TestOIRAIDGeneralizedValidate(t *testing.T) {
+	d, err := bibd.ForArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ pi, po int }{{2, 1}, {1, 2}, {2, 2}, {3, 3}} {
+		o, err := NewOIRAID(d, WithInnerParity(cfg.pi), WithOuterParity(cfg.po))
+		if err != nil {
+			t.Fatalf("(pi=%d,po=%d): %v", cfg.pi, cfg.po, err)
+		}
+		if err := Validate(o); err != nil {
+			t.Fatalf("(pi=%d,po=%d): %v", cfg.pi, cfg.po, err)
+		}
+		if o.InnerParity() != cfg.pi || o.OuterParity() != cfg.po {
+			t.Fatalf("(pi=%d,po=%d): accessors report (%d,%d)",
+				cfg.pi, cfg.po, o.InnerParity(), o.OuterParity())
+		}
+		// Stripe shapes match the configuration.
+		for _, s := range o.Stripes() {
+			switch s.Layer {
+			case LayerInner:
+				if s.Parity() != cfg.pi {
+					t.Fatalf("(pi=%d,po=%d): inner stripe parity %d", cfg.pi, cfg.po, s.Parity())
+				}
+			case LayerOuter:
+				if s.Parity() != cfg.po {
+					t.Fatalf("(pi=%d,po=%d): outer stripe parity %d", cfg.pi, cfg.po, s.Parity())
+				}
+			}
+		}
+	}
+}
+
+func TestOIRAIDGeneralizedOptionValidation(t *testing.T) {
+	d, err := bibd.ForArray(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []struct{ pi, po int }{{0, 1}, {3, 1}, {1, 0}, {1, 3}, {-1, 1}} {
+		if _, err := NewOIRAID(d, WithInnerParity(cfg.pi), WithOuterParity(cfg.po)); err == nil {
+			t.Errorf("(pi=%d,po=%d) on k=3,c=3 should fail", cfg.pi, cfg.po)
+		}
+	}
+}
+
+// TestOIRAIDGeneralizedParityBalance: inner parity stays exactly even per
+// disk for pi=2 with the default row count.
+func TestOIRAIDGeneralizedParityBalance(t *testing.T) {
+	d, err := bibd.ForArray(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := NewOIRAID(d, WithInnerParity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	innerP := make([]int, o.Disks())
+	for _, s := range o.Stripes() {
+		if s.Layer != LayerInner {
+			continue
+		}
+		for mi := s.Data; mi < len(s.Strips); mi++ {
+			innerP[s.Strips[mi].Disk]++
+		}
+	}
+	for dd, c := range innerP {
+		if c != innerP[0] {
+			t.Fatalf("inner parity imbalance: disk %d has %d, disk 0 has %d", dd, c, innerP[0])
+		}
+	}
+}

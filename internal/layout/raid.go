@@ -1,0 +1,106 @@
+package layout
+
+import (
+	"fmt"
+)
+
+// RAID5 is the classical left-symmetric rotated-parity array over n disks:
+// one stripe per row, parity cycling across disks. Its cycle is n rows so
+// every disk holds parity exactly once per cycle.
+type RAID5 struct {
+	n          int
+	stripes    []Stripe
+	dataStrips []Strip
+}
+
+var _ Scheme = (*RAID5)(nil)
+
+// NewRAID5 builds a RAID5 layout over n ≥ 2 disks.
+func NewRAID5(n int) (*RAID5, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("%w: raid5 needs ≥ 2 disks, got %d", errInvalidConfig, n)
+	}
+	r := &RAID5{n: n}
+	for row := 0; row < n; row++ {
+		parityDisk := row % n
+		stripe := Stripe{Data: n - 1, Layer: LayerInner}
+		stripe.Strips = make([]Strip, 0, n)
+		for d := 0; d < n; d++ {
+			if d == parityDisk {
+				continue
+			}
+			st := Strip{Disk: d, Slot: row}
+			stripe.Strips = append(stripe.Strips, st)
+			r.dataStrips = append(r.dataStrips, st)
+		}
+		stripe.Strips = append(stripe.Strips, Strip{Disk: parityDisk, Slot: row})
+		r.stripes = append(r.stripes, stripe)
+	}
+	return r, nil
+}
+
+// Name implements Scheme.
+func (r *RAID5) Name() string { return fmt.Sprintf("raid5(n=%d)", r.n) }
+
+// Disks implements Scheme.
+func (r *RAID5) Disks() int { return r.n }
+
+// SlotsPerDisk implements Scheme.
+func (r *RAID5) SlotsPerDisk() int { return r.n }
+
+// Stripes implements Scheme.
+func (r *RAID5) Stripes() []Stripe { return r.stripes }
+
+// DataStrips implements Scheme.
+func (r *RAID5) DataStrips() []Strip { return r.dataStrips }
+
+// RAID6 is the rotated double-parity array over n disks (P+Q computed by a
+// Reed–Solomon code in the data plane). Each row is one stripe with n-2
+// data strips and 2 parity strips; parity positions rotate per row.
+type RAID6 struct {
+	n          int
+	stripes    []Stripe
+	dataStrips []Strip
+}
+
+var _ Scheme = (*RAID6)(nil)
+
+// NewRAID6 builds a RAID6 layout over n ≥ 3 disks.
+func NewRAID6(n int) (*RAID6, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("%w: raid6 needs ≥ 3 disks, got %d", errInvalidConfig, n)
+	}
+	r := &RAID6{n: n}
+	for row := 0; row < n; row++ {
+		p := row % n
+		q := (row + 1) % n
+		stripe := Stripe{Data: n - 2, Layer: LayerInner}
+		stripe.Strips = make([]Strip, 0, n)
+		for d := 0; d < n; d++ {
+			if d == p || d == q {
+				continue
+			}
+			st := Strip{Disk: d, Slot: row}
+			stripe.Strips = append(stripe.Strips, st)
+			r.dataStrips = append(r.dataStrips, st)
+		}
+		stripe.Strips = append(stripe.Strips, Strip{Disk: p, Slot: row}, Strip{Disk: q, Slot: row})
+		r.stripes = append(r.stripes, stripe)
+	}
+	return r, nil
+}
+
+// Name implements Scheme.
+func (r *RAID6) Name() string { return fmt.Sprintf("raid6(n=%d)", r.n) }
+
+// Disks implements Scheme.
+func (r *RAID6) Disks() int { return r.n }
+
+// SlotsPerDisk implements Scheme.
+func (r *RAID6) SlotsPerDisk() int { return r.n }
+
+// Stripes implements Scheme.
+func (r *RAID6) Stripes() []Stripe { return r.stripes }
+
+// DataStrips implements Scheme.
+func (r *RAID6) DataStrips() []Strip { return r.dataStrips }

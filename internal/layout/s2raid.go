@@ -1,0 +1,90 @@
+package layout
+
+import (
+	"fmt"
+)
+
+// S2RAID is the skewed sub-array RAID5 layout (after Wan et al.'s S²-RAID):
+// g·m disks arranged as a g×m grid, each disk split into g partitions.
+// Partition p of the disks is tiled by g sub-RAID5 arrays of width m, the
+// ℓ-th taking the disk in column i from row (ℓ + i·p) mod g. For prime g
+// the sub-arrays holding one disk's partitions draw their members from
+// pairwise-disjoint disk sets, so single-disk rebuild proceeds g-way
+// parallel: each survivor reads at most 1/g of a disk.
+type S2RAID struct {
+	g, m       int
+	stripes    []Stripe
+	dataStrips []Strip
+}
+
+var _ Scheme = (*S2RAID)(nil)
+
+// NewS2RAID builds the layout for a g×m grid of disks. Requires g ≥ 2 and
+// m ≥ 2; the g-way parallel-recovery property needs g prime (enforced, as
+// in the original construction's Latin-square requirement).
+func NewS2RAID(g, m int) (*S2RAID, error) {
+	if g < 2 || m < 2 {
+		return nil, fmt.Errorf("%w: s2-raid needs g ≥ 2, m ≥ 2; got g=%d m=%d", errInvalidConfig, g, m)
+	}
+	if !isPrime(g) {
+		return nil, fmt.Errorf("%w: s2-raid skew requires prime g, got %d", errInvalidConfig, g)
+	}
+	s := &S2RAID{g: g, m: m}
+	disk := func(row, col int) int { return row*m + col }
+	for p := 0; p < g; p++ { // partition (= slot)
+		for l := 0; l < g; l++ { // sub-array within partition
+			stripe := Stripe{Data: m - 1, Layer: LayerInner}
+			stripe.Strips = make([]Strip, 0, m)
+			parityCol := (p + l) % m
+			var paritySt Strip
+			for col := 0; col < m; col++ {
+				row := (l + col*p) % g
+				st := Strip{Disk: disk(row, col), Slot: p}
+				if col == parityCol {
+					paritySt = st
+					continue
+				}
+				stripe.Strips = append(stripe.Strips, st)
+				s.dataStrips = append(s.dataStrips, st)
+			}
+			stripe.Strips = append(stripe.Strips, paritySt)
+			s.stripes = append(s.stripes, stripe)
+		}
+	}
+	return s, nil
+}
+
+// Name implements Scheme.
+func (s *S2RAID) Name() string { return fmt.Sprintf("s2-raid(g=%d,m=%d)", s.g, s.m) }
+
+// Disks implements Scheme.
+func (s *S2RAID) Disks() int { return s.g * s.m }
+
+// SlotsPerDisk implements Scheme.
+func (s *S2RAID) SlotsPerDisk() int { return s.g }
+
+// Stripes implements Scheme.
+func (s *S2RAID) Stripes() []Stripe { return s.stripes }
+
+// DataStrips implements Scheme.
+func (s *S2RAID) DataStrips() []Strip { return s.dataStrips }
+
+// Parallelism returns g, the number of sub-arrays a single-disk rebuild
+// reads in parallel.
+func (s *S2RAID) Parallelism() int { return s.g }
+
+// BandWidth implements Bander: each of the g partitions is one slot wide
+// and physically contiguous across cycles.
+func (s *S2RAID) BandWidth() int { return 1 }
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+// Package layout defines the data-layout abstraction shared by OI-RAID and
+// the baseline arrays, and implements the concrete layouts:
+//
+//   - RAID5: rotated single parity across all disks (the classical array
+//     OI-RAID is compared against).
+//   - RAID6: rotated Reed–Solomon double parity.
+//   - ParityDecluster: Holland–Gibson single-layer BIBD declustering.
+//   - S2RAID: skewed sub-array RAID5 with partition-parallel recovery.
+//   - OIRAID: the paper's two-layer layout (package-level entry point; the
+//     geometry lives in oiraid.go).
+//
+// A layout is a Scheme: a periodic map of strips (fixed-size disk extents)
+// to disks, together with the coding stripes that tie strips into parity
+// relations. One period is a "cycle"; byte addressing repeats the cycle
+// down the disks. All recovery, tolerance, and balance analyses (package
+// core) and the byte-accurate array (package store) are generic over
+// Scheme.
+package layout
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Strip identifies one strip within a layout cycle: a slot on a disk.
+type Strip struct {
+	// Disk is the disk index in [0, Disks()).
+	Disk int
+	// Slot is the strip slot on the disk in [0, SlotsPerDisk()).
+	Slot int
+}
+
+// Layer distinguishes the coding layers of hierarchical schemes.
+type Layer int
+
+// Layer values. Single-layer schemes use only LayerInner.
+const (
+	// LayerInner is the (only or) intra-group layer.
+	LayerInner Layer = iota
+	// LayerOuter is OI-RAID's cross-group layer.
+	LayerOuter
+)
+
+func (l Layer) String() string {
+	switch l {
+	case LayerInner:
+		return "inner"
+	case LayerOuter:
+		return "outer"
+	default:
+		return fmt.Sprintf("Layer(%d)", int(l))
+	}
+}
+
+// Stripe is one parity relation: Data data strips followed by parity
+// strips. A stripe with p parity strips is MDS: it repairs any p missing
+// members from the remaining ones.
+type Stripe struct {
+	// Strips lists members: the first Data are data, the rest parity.
+	Strips []Strip
+	// Data is the number of data members.
+	Data int
+	// Layer tags which coding layer the stripe belongs to.
+	Layer Layer
+}
+
+// Parity returns the number of parity strips.
+func (s Stripe) Parity() int { return len(s.Strips) - s.Data }
+
+// Scheme is a periodic data layout with its coding relations.
+type Scheme interface {
+	// Name identifies the scheme and its parameters, e.g. "oi-raid(v=25,k=5)".
+	Name() string
+	// Disks returns the number of disks.
+	Disks() int
+	// SlotsPerDisk returns the cycle length: strips per disk per cycle.
+	SlotsPerDisk() int
+	// Stripes returns all coding stripes of one cycle. The slice is shared;
+	// callers must not mutate it.
+	Stripes() []Stripe
+	// DataStrips returns the physical locations of the user-data strips of
+	// one cycle in logical (byte-address) order. The slice is shared;
+	// callers must not mutate it.
+	DataStrips() []Strip
+}
+
+// Validate checks the structural invariants every Scheme must satisfy:
+//
+//  1. strips referenced by stripes and DataStrips are in range;
+//  2. every stripe has ≥1 data and ≥1 parity strip, all on distinct disks;
+//  3. every strip of the cycle appears in at least one stripe;
+//  4. every strip is parity of at most one stripe;
+//  5. DataStrips is duplicate-free and consists exactly of the strips that
+//     are parity of no stripe.
+//
+// These guarantee that the generic recovery planner and the byte-accurate
+// array agree on what each strip means.
+func Validate(s Scheme) error {
+	n, slots := s.Disks(), s.SlotsPerDisk()
+	if n <= 0 || slots <= 0 {
+		return fmt.Errorf("layout %s: empty geometry %dx%d", s.Name(), n, slots)
+	}
+	idx := func(st Strip) (int, error) {
+		if st.Disk < 0 || st.Disk >= n || st.Slot < 0 || st.Slot >= slots {
+			return 0, fmt.Errorf("layout %s: strip %+v out of range", s.Name(), st)
+		}
+		return st.Disk*slots + st.Slot, nil
+	}
+
+	inStripe := make([]int, n*slots)
+	parityOf := make([]int, n*slots)
+	for si, stripe := range s.Stripes() {
+		if stripe.Data < 1 || stripe.Parity() < 1 {
+			return fmt.Errorf("layout %s: stripe %d has %d data / %d parity", s.Name(), si, stripe.Data, stripe.Parity())
+		}
+		disksSeen := make(map[int]bool, len(stripe.Strips))
+		for mi, st := range stripe.Strips {
+			i, err := idx(st)
+			if err != nil {
+				return err
+			}
+			if disksSeen[st.Disk] {
+				return fmt.Errorf("layout %s: stripe %d has two strips on disk %d", s.Name(), si, st.Disk)
+			}
+			disksSeen[st.Disk] = true
+			inStripe[i]++
+			if mi >= stripe.Data {
+				parityOf[i]++
+			}
+		}
+	}
+	for i, c := range inStripe {
+		if c == 0 {
+			return fmt.Errorf("layout %s: strip (disk %d, slot %d) in no stripe", s.Name(), i/slots, i%slots)
+		}
+		if parityOf[i] > 1 {
+			return fmt.Errorf("layout %s: strip (disk %d, slot %d) is parity of %d stripes", s.Name(), i/slots, i%slots, parityOf[i])
+		}
+	}
+
+	seen := make([]bool, n*slots)
+	for _, st := range s.DataStrips() {
+		i, err := idx(st)
+		if err != nil {
+			return err
+		}
+		if seen[i] {
+			return fmt.Errorf("layout %s: data strip %+v duplicated", s.Name(), st)
+		}
+		seen[i] = true
+		if parityOf[i] != 0 {
+			return fmt.Errorf("layout %s: data strip %+v is also parity", s.Name(), st)
+		}
+	}
+	for i := range seen {
+		if !seen[i] && parityOf[i] == 0 {
+			return fmt.Errorf("layout %s: strip (disk %d, slot %d) neither data nor parity", s.Name(), i/slots, i%slots)
+		}
+	}
+	return nil
+}
+
+// DataFraction returns the fraction of raw capacity holding user data.
+func DataFraction(s Scheme) float64 {
+	total := s.Disks() * s.SlotsPerDisk()
+	return float64(len(s.DataStrips())) / float64(total)
+}
+
+// Bander is optionally implemented by schemes whose slot space divides
+// into bands that the physical disk format should keep contiguous across
+// layout cycles. OI-RAID's bands are its partitions (one per parallel
+// class): laying each partition out contiguously is what makes
+// single-failure rebuild reads fully sequential. S²-RAID's bands are its
+// sub-array partitions. Schemes without banding use one band per cycle.
+type Bander interface {
+	// BandWidth returns the band size in slots; it must divide
+	// SlotsPerDisk().
+	BandWidth() int
+}
+
+// StripIndex flattens a strip to disk*SlotsPerDisk+slot for use as a map
+// key or dense-array index.
+func StripIndex(s Scheme, st Strip) int { return st.Disk*s.SlotsPerDisk() + st.Slot }
+
+// errInvalidConfig tags configuration errors from scheme constructors.
+var errInvalidConfig = errors.New("layout: invalid configuration")

@@ -1,0 +1,213 @@
+// Package matrix implements dense matrix algebra over GF(2^8), the
+// building block for the Reed–Solomon coder in package erasure.
+//
+// Matrices are small (dimension = shard counts, typically < 64), so the
+// implementation favours clarity: plain Gauss–Jordan elimination, row-major
+// [][]byte storage.
+package matrix
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/oiraid/oiraid/internal/gf"
+)
+
+// ErrSingular is returned when a matrix that must be invertible is not.
+var ErrSingular = errors.New("matrix: singular")
+
+// Matrix is a dense row-major matrix over GF(2^8).
+type Matrix [][]byte
+
+// New returns a zero rows×cols matrix backed by a single allocation.
+func New(rows, cols int) Matrix {
+	backing := make([]byte, rows*cols)
+	m := make(Matrix, rows)
+	for i := range m {
+		m[i], backing = backing[:cols:cols], backing[cols:]
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// Vandermonde returns the rows×cols Vandermonde matrix with row i equal to
+// (a_i^0, a_i^1, …) where a_i = 2^i in GF(2^8). Any square submatrix formed
+// from distinct rows is invertible, the property Reed–Solomon relies on.
+func Vandermonde(rows, cols int) Matrix {
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		a := gf.Exp256(r)
+		acc := byte(1)
+		for c := 0; c < cols; c++ {
+			m[r][c] = acc
+			acc = gf.Mul256(acc, a)
+		}
+	}
+	return m
+}
+
+// Cauchy returns the rows×cols Cauchy matrix with entries
+// 1/(x_r + y_c) where x_r = r + cols and y_c = c; all submatrices of a
+// Cauchy matrix are invertible. rows+cols must not exceed 256.
+func Cauchy(rows, cols int) (Matrix, error) {
+	if rows+cols > 256 {
+		return nil, fmt.Errorf("matrix: cauchy %dx%d exceeds field size", rows, cols)
+	}
+	m := New(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m[r][c] = gf.Inv256(byte(r+cols) ^ byte(c))
+		}
+	}
+	return m, nil
+}
+
+// Rows returns the number of rows.
+func (m Matrix) Rows() int { return len(m) }
+
+// Cols returns the number of columns (0 for an empty matrix).
+func (m Matrix) Cols() int {
+	if len(m) == 0 {
+		return 0
+	}
+	return len(m[0])
+}
+
+// Clone returns a deep copy.
+func (m Matrix) Clone() Matrix {
+	out := New(m.Rows(), m.Cols())
+	for i, row := range m {
+		copy(out[i], row)
+	}
+	return out
+}
+
+// Mul returns m·other. The inner dimensions must agree.
+func (m Matrix) Mul(other Matrix) (Matrix, error) {
+	if m.Cols() != other.Rows() {
+		return nil, fmt.Errorf("matrix: mul dimension mismatch %dx%d · %dx%d",
+			m.Rows(), m.Cols(), other.Rows(), other.Cols())
+	}
+	out := New(m.Rows(), other.Cols())
+	for i, row := range m {
+		for k, a := range row {
+			if a == 0 {
+				continue
+			}
+			gf.MulAddSlice256(a, other[k], out[i])
+		}
+	}
+	return out, nil
+}
+
+// MulVec computes dst = m·src where src has length Cols and dst length Rows.
+func (m Matrix) MulVec(src, dst []byte) error {
+	if len(src) != m.Cols() || len(dst) != m.Rows() {
+		return fmt.Errorf("matrix: mulvec dimension mismatch")
+	}
+	for i, row := range m {
+		var acc byte
+		for j, a := range row {
+			acc ^= gf.Mul256(a, src[j])
+		}
+		dst[i] = acc
+	}
+	return nil
+}
+
+// SubMatrix returns the view [r0,r1)×[c0,c1) as a copy.
+func (m Matrix) SubMatrix(r0, r1, c0, c1 int) Matrix {
+	out := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out[i-r0], m[i][c0:c1])
+	}
+	return out
+}
+
+// SelectRows returns a copy of the given rows, in order.
+func (m Matrix) SelectRows(rows []int) Matrix {
+	out := New(len(rows), m.Cols())
+	for i, r := range rows {
+		copy(out[i], m[r])
+	}
+	return out
+}
+
+// Invert returns the inverse of the square matrix m, or ErrSingular.
+func (m Matrix) Invert() (Matrix, error) {
+	n := m.Rows()
+	if n != m.Cols() {
+		return nil, fmt.Errorf("matrix: invert non-square %dx%d", n, m.Cols())
+	}
+	work := m.Clone()
+	inv := Identity(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		work[col], work[pivot] = work[pivot], work[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		// Scale pivot row to 1.
+		if p := work[col][col]; p != 1 {
+			ip := gf.Inv256(p)
+			gf.MulSlice256(ip, work[col], work[col])
+			gf.MulSlice256(ip, inv[col], inv[col])
+		}
+		// Eliminate other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if f := work[r][col]; f != 0 {
+				gf.MulAddSlice256(f, work[col], work[r])
+				gf.MulAddSlice256(f, inv[col], inv[r])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// IsIdentity reports whether m is the identity matrix.
+func (m Matrix) IsIdentity() bool {
+	n := m.Rows()
+	if n != m.Cols() {
+		return false
+	}
+	for i, row := range m {
+		for j, v := range row {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if v != want {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m Matrix) String() string {
+	s := ""
+	for _, row := range m {
+		s += fmt.Sprintf("%3d\n", row)
+	}
+	return s
+}

@@ -1,0 +1,267 @@
+package matrix
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/oiraid/oiraid/internal/gf"
+)
+
+func TestNewAndDims(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("dims = %dx%d, want 3x5", m.Rows(), m.Cols())
+	}
+	var empty Matrix
+	if empty.Rows() != 0 || empty.Cols() != 0 {
+		t.Fatalf("empty dims = %dx%d, want 0x0", empty.Rows(), empty.Cols())
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if !id.IsIdentity() {
+		t.Fatal("Identity(4) is not identity")
+	}
+	m := New(4, 4)
+	m[0][1] = 1
+	if m.IsIdentity() {
+		t.Fatal("non-identity reported as identity")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := New(5, 5)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = byte(rng.Intn(256))
+		}
+	}
+	got, err := m.Mul(Identity(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m[i] {
+			if got[i][j] != m[i][j] {
+				t.Fatalf("M·I != M at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	if _, err := New(2, 3).Mul(New(4, 2)); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 1; n <= 12; n++ {
+		// Random matrices over GF(256) are invertible with probability
+		// ≈ 0.996; retry until one is.
+		for attempt := 0; ; attempt++ {
+			m := New(n, n)
+			for i := range m {
+				for j := range m[i] {
+					m[i][j] = byte(rng.Intn(256))
+				}
+			}
+			inv, err := m.Invert()
+			if errors.Is(err, ErrSingular) {
+				if attempt > 20 {
+					t.Fatalf("n=%d: too many singular matrices", n)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			prod, err := m.Mul(inv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !prod.IsIdentity() {
+				t.Fatalf("n=%d: M·M⁻¹ != I", n)
+			}
+			break
+		}
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := New(3, 3)
+	m[0] = []byte{1, 2, 3}
+	m[1] = []byte{2, 4, 6} // 2·row0 in GF(2^8): 2*1=2, 2*2=4, 2*3=6
+	m[2] = []byte{0, 0, 1}
+	if _, err := m.Invert(); !errors.Is(err, ErrSingular) {
+		t.Fatalf("expected ErrSingular, got %v", err)
+	}
+	if _, err := New(2, 3).Invert(); err == nil {
+		t.Fatal("expected error inverting non-square matrix")
+	}
+}
+
+// TestVandermondeSubmatricesInvertible verifies the MDS-enabling property:
+// every square submatrix formed by choosing k distinct rows of a
+// (k+m)×k Vandermonde matrix is invertible.
+func TestVandermondeSubmatricesInvertible(t *testing.T) {
+	const k, m = 5, 3
+	v := Vandermonde(k+m, k)
+	rows := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			sub := v.SelectRows(rows)
+			if _, err := sub.Invert(); err != nil {
+				t.Fatalf("singular submatrix for rows %v: %v", rows, err)
+			}
+			return
+		}
+		for r := start; r < k+m; r++ {
+			rows[depth] = r
+			rec(r+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+// TestCauchySubmatricesInvertible does the same for Cauchy matrices
+// extended with an identity block (the systematic RS generator shape).
+func TestCauchySubmatricesInvertible(t *testing.T) {
+	const k, m = 4, 3
+	c, err := Cauchy(m, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build systematic generator [I; C].
+	gen := New(k+m, k)
+	for i := 0; i < k; i++ {
+		gen[i][i] = 1
+	}
+	for i := 0; i < m; i++ {
+		copy(gen[k+i], c[i])
+	}
+	rows := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			if _, err := gen.SelectRows(rows).Invert(); err != nil {
+				t.Fatalf("singular generator submatrix for rows %v", rows)
+			}
+			return
+		}
+		for r := start; r < k+m; r++ {
+			rows[depth] = r
+			rec(r+1, depth+1)
+		}
+	}
+	rec(0, 0)
+}
+
+func TestCauchyTooLarge(t *testing.T) {
+	if _, err := Cauchy(200, 100); err == nil {
+		t.Fatal("expected error for oversized Cauchy matrix")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := Vandermonde(4, 3)
+	src := []byte{7, 11, 13}
+	dst := make([]byte, 4)
+	if err := m.MulVec(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		var want byte
+		for j := 0; j < 3; j++ {
+			want ^= gf.Mul256(m[i][j], src[j])
+		}
+		if dst[i] != want {
+			t.Fatalf("MulVec[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+	if err := m.MulVec([]byte{1}, dst); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestSubMatrixAndSelectRows(t *testing.T) {
+	m := Vandermonde(5, 5)
+	sub := m.SubMatrix(1, 4, 2, 5)
+	if sub.Rows() != 3 || sub.Cols() != 3 {
+		t.Fatalf("submatrix dims %dx%d", sub.Rows(), sub.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if sub[i][j] != m[i+1][j+2] {
+				t.Fatal("submatrix content mismatch")
+			}
+		}
+	}
+	sel := m.SelectRows([]int{4, 0})
+	if sel[0][1] != m[4][1] || sel[1][1] != m[0][1] {
+		t.Fatal("SelectRows content mismatch")
+	}
+	// Mutating the selection must not affect the source.
+	sel[0][0] ^= 0xff
+	if m[4][0] == sel[0][0] {
+		t.Fatal("SelectRows aliases source")
+	}
+}
+
+// TestQuickInvertProperty: for random invertible matrices, (M⁻¹)⁻¹ == M.
+func TestQuickInvertProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		n := 2 + rng.Intn(6)
+		m := New(n, n)
+		for i := range m {
+			for j := range m[i] {
+				m[i][j] = byte(rng.Intn(256))
+			}
+		}
+		inv, err := m.Invert()
+		if err != nil {
+			return true // singular: skip
+		}
+		back, err := inv.Invert()
+		if err != nil {
+			return false
+		}
+		for i := range m {
+			for j := range m[i] {
+				if back[i][j] != m[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInvert16(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	m := New(16, 16)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = byte(rng.Intn(256))
+		}
+	}
+	if _, err := m.Invert(); err != nil {
+		b.Skip("random matrix singular")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Invert(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

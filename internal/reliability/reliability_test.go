@@ -1,0 +1,292 @@
+package reliability
+
+import (
+	"math"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+func analyzerFor(t testing.TB, s layout.Scheme, err error) *core.Analyzer {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func oiAnalyzer(t testing.TB, v int) *core.Analyzer {
+	t.Helper()
+	d, err := bibd.ForArray(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := layout.NewOIRAID(d)
+	return analyzerFor(t, s, err)
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{MTTFHours: 1, MTTRHours: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{MTTFHours: 0, MTTRHours: 1}).Validate(); err == nil {
+		t.Fatal("zero MTTF must fail")
+	}
+	if err := (Params{MTTFHours: 1, MTTRHours: -1}).Validate(); err == nil {
+		t.Fatal("negative MTTR must fail")
+	}
+}
+
+// TestMTTDLMatchesRAID5ClosedForm validates the Markov solver against the
+// textbook RAID5 result MTTDL ≈ MTTF² / (n(n-1)·MTTR).
+func TestMTTDLMatchesRAID5ClosedForm(t *testing.T) {
+	const n = 10
+	p := Params{MTTFHours: 100_000, MTTRHours: 10}
+	got, err := MTTDL(n, p, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.MTTFHours * p.MTTFHours / (float64(n) * float64(n-1) * p.MTTRHours)
+	if ratio := got / want; ratio < 0.98 || ratio > 1.05 {
+		t.Fatalf("MTTDL = %.4g, closed form %.4g (ratio %.3f)", got, want, ratio)
+	}
+}
+
+func TestMTTDLValidation(t *testing.T) {
+	p := Params{MTTFHours: 1000, MTTRHours: 10}
+	if _, err := MTTDL(0, p, []float64{0, 1}); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := MTTDL(5, p, nil); err == nil {
+		t.Fatal("empty lossFrac must fail")
+	}
+	if _, err := MTTDL(5, p, []float64{0.5}); err == nil {
+		t.Fatal("lossFrac[0] != 0 must fail")
+	}
+	if _, err := MTTDL(5, Params{}, []float64{0, 1}); err == nil {
+		t.Fatal("invalid params must fail")
+	}
+}
+
+// TestMTTDLOrdering reproduces the reliability ranking: with identical
+// disk parameters, tolerance 3 (OI-RAID) ≫ tolerance 2 (RAID6) ≫
+// tolerance 1 (RAID5); adding OI-RAID's faster rebuild (MTTR/r) widens
+// the gap further.
+func TestMTTDLOrdering(t *testing.T) {
+	p := Params{MTTFHours: 500_000, MTTRHours: 20}
+	n := 9
+
+	oi := oiAnalyzer(t, 9)
+	f4 := oi.EstimateUnrecoverable(4, 1<<20, nil)
+	oiLoss := []float64{0, 0, 0, 0, f4}
+	mttdlOI, err := MTTDL(n, p, oiLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mttdlR6, err := MTTDL(n, p, []float64{0, 0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mttdlR5, err := MTTDL(n, p, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(mttdlOI > 10*mttdlR6 && mttdlR6 > 10*mttdlR5) {
+		t.Fatalf("ordering violated: oi=%.3g r6=%.3g r5=%.3g", mttdlOI, mttdlR6, mttdlR5)
+	}
+	// Faster rebuild (r = 4 for v=9) improves MTTDL further.
+	fast := Params{MTTFHours: p.MTTFHours, MTTRHours: p.MTTRHours / 4}
+	mttdlFast, err := MTTDL(n, fast, oiLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mttdlFast <= mttdlOI {
+		t.Fatalf("faster rebuild did not improve MTTDL: %.3g vs %.3g", mttdlFast, mttdlOI)
+	}
+}
+
+// TestMonteCarloOrdering: the geometry-exact simulation must rank the
+// schemes the same way. Aggressive parameters keep losses observable.
+func TestMonteCarloOrdering(t *testing.T) {
+	p := Params{MTTFHours: 2000, MTTRHours: 100}
+	const mission = 20_000
+	const trials = 800
+
+	r5, err := layout.NewRAID5(9)
+	a5 := analyzerFor(t, r5, err)
+	r6, err := layout.NewRAID6(9)
+	a6 := analyzerFor(t, r6, err)
+	oi := oiAnalyzer(t, 9)
+
+	m5, err := MonteCarlo(a5, p, mission, trials, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m6, err := MonteCarlo(a6, p, mission, trials, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moi, err := MonteCarlo(oi, p, mission, trials, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(m5.ProbLoss > m6.ProbLoss && m6.ProbLoss > moi.ProbLoss) {
+		t.Fatalf("MC ordering violated: raid5=%.3f raid6=%.3f oi=%.3f",
+			m5.ProbLoss, m6.ProbLoss, moi.ProbLoss)
+	}
+	if m5.ProbLoss < 0.5 {
+		t.Fatalf("raid5 with these parameters should almost surely lose data, got %.3f", m5.ProbLoss)
+	}
+	if m5.MeanLossHours <= 0 || m5.MeanLossHours > mission {
+		t.Fatalf("mean loss time %v out of range", m5.MeanLossHours)
+	}
+}
+
+// TestMonteCarloAgreesWithMarkov: for RAID5 with mission ≪ MTTDL, the
+// per-mission loss probability ≈ mission/MTTDL; the MC estimate must land
+// within a loose statistical band.
+func TestMonteCarloAgreesWithMarkov(t *testing.T) {
+	p := Params{MTTFHours: 5000, MTTRHours: 100}
+	r5, err := layout.NewRAID5(5)
+	a5 := analyzerFor(t, r5, err)
+	mttdl, err := MTTDL(5, p, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const mission = 10_000
+	mc, err := MonteCarlo(a5, p, mission, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential absorption: P(loss) = 1 - exp(-mission/MTTDL).
+	want := 1 - math.Exp(-mission/mttdl)
+	if mc.ProbLoss < want*0.7 || mc.ProbLoss > want*1.4 {
+		t.Fatalf("MC P(loss) = %.4f, Markov predicts %.4f", mc.ProbLoss, want)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	oi := oiAnalyzer(t, 9)
+	p := Params{MTTFHours: 1000, MTTRHours: 10}
+	if _, err := MonteCarlo(oi, p, 0, 10, 1); err == nil {
+		t.Fatal("zero mission must fail")
+	}
+	if _, err := MonteCarlo(oi, p, 100, 0, 1); err == nil {
+		t.Fatal("zero trials must fail")
+	}
+	if _, err := MonteCarlo(oi, Params{}, 100, 10, 1); err == nil {
+		t.Fatal("bad params must fail")
+	}
+}
+
+func TestMonteCarloDeterminism(t *testing.T) {
+	oi := oiAnalyzer(t, 9)
+	p := Params{MTTFHours: 1000, MTTRHours: 200}
+	a, err := MonteCarlo(oi, p, 50_000, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(oi, p, 50_000, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed gave different results: %+v vs %+v", a, b)
+	}
+}
+
+func BenchmarkMonteCarloOIRAID9(b *testing.B) {
+	oi := oiAnalyzer(b, 9)
+	p := Params{MTTFHours: 2000, MTTRHours: 100}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MonteCarlo(oi, p, 20_000, 50, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestLossProbabilityMatchesMonteCarlo: the transient uniformization
+// solution must agree with the geometry-exact Monte Carlo for RAID5.
+func TestLossProbabilityMatchesMonteCarlo(t *testing.T) {
+	p := Params{MTTFHours: 5000, MTTRHours: 100}
+	r5, err := layout.NewRAID5(5)
+	a5 := analyzerFor(t, r5, err)
+	const mission = 10_000
+	mc, err := MonteCarlo(a5, p, mission, 4000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := LossProbability(5, p, []float64{0, 0, 1}, mission)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact < mc.ProbLoss*0.85 || exact > mc.ProbLoss*1.15 {
+		t.Fatalf("uniformization P(loss) = %.4f, Monte Carlo %.4f", exact, mc.ProbLoss)
+	}
+	// And with the exponential-absorption approximation via MTTDL.
+	mttdl, err := MTTDL(5, p, []float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx := 1 - math.Exp(-mission/mttdl)
+	if exact < approx*0.9 || exact > approx*1.1 {
+		t.Fatalf("uniformization %.4f vs exponential approximation %.4f", exact, approx)
+	}
+}
+
+// TestLossProbabilityLongMission: the segmented evolution handles Λt far
+// beyond the naive exp(-Λt) underflow range, and converges to certain
+// loss for an effectively immortal mission.
+func TestLossProbabilityLongMission(t *testing.T) {
+	p := Params{MTTFHours: 5000, MTTRHours: 1} // Λ ≈ 1/h
+	pl, err := LossProbability(5, p, []float64{0, 0, 1}, 5e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 0.99 {
+		t.Fatalf("P(loss over ~5700 years) = %v, want ≈ 1", pl)
+	}
+	short, err := LossProbability(5, p, []float64{0, 0, 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short <= 0 || short >= pl {
+		t.Fatalf("short-mission P(loss) = %v out of order", short)
+	}
+}
+
+func TestLossProbabilityValidation(t *testing.T) {
+	p := Params{MTTFHours: 1000, MTTRHours: 10}
+	if _, err := LossProbability(5, p, []float64{0, 0, 1}, 0); err == nil {
+		t.Fatal("zero mission must fail")
+	}
+	if _, err := LossProbability(5, p, nil, 10); err == nil {
+		t.Fatal("empty lossFrac must fail")
+	}
+	if _, err := LossProbability(5, Params{}, []float64{0, 1}, 10); err == nil {
+		t.Fatal("bad params must fail")
+	}
+}
+
+// TestLossProbabilityMonotoneInTime: property check across mission times.
+func TestLossProbabilityMonotoneInTime(t *testing.T) {
+	p := Params{MTTFHours: 100_000, MTTRHours: 10}
+	prev := 0.0
+	for _, hrs := range []float64{10, 100, 1000, 10_000, 100_000, 1_000_000} {
+		pl, err := LossProbability(9, p, []float64{0, 0, 0, 0, 0.4}, hrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pl < prev-1e-12 || pl < 0 || pl > 1 {
+			t.Fatalf("P(loss, %v h) = %v not monotone/valid (prev %v)", hrs, pl, prev)
+		}
+		prev = pl
+	}
+}

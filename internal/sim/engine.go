@@ -1,0 +1,74 @@
+// Package sim is the event-driven storage simulator that regenerates the
+// paper's performance results: it executes recovery plans from package
+// core against the disk service model of package disk, with optional
+// foreground load, and reports rebuild times, per-disk loads, and
+// degraded-mode latencies.
+//
+// The simulator is deterministic: a single-threaded event loop with seeded
+// randomness, so every experiment is exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+)
+
+// event is a scheduled callback.
+type event struct {
+	at  float64
+	seq int64 // tie-breaker preserving schedule order
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// engine is a discrete-event scheduler.
+type engine struct {
+	now   float64
+	seq   int64
+	queue eventHeap
+	// limit aborts the run when the clock passes it (0 = no limit).
+	limit    float64
+	timedOut bool
+}
+
+// at schedules fn at absolute time t (≥ now).
+func (e *engine) at(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, event{at: t, seq: e.seq, fn: fn})
+}
+
+// after schedules fn d seconds from now.
+func (e *engine) after(d float64, fn func()) { e.at(e.now+d, fn) }
+
+// run drains the event queue.
+func (e *engine) run() {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(event)
+		e.now = ev.at
+		if e.limit > 0 && e.now > e.limit {
+			e.timedOut = true
+			return
+		}
+		ev.fn()
+	}
+}

@@ -1,0 +1,173 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harnesses: streaming summaries, percentiles, histograms, and
+// balance metrics (coefficient of variation).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates observations and reports order statistics. The zero
+// value is ready to use.
+type Summary struct {
+	values []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range s.values {
+		total += v
+	}
+	return total / float64(len(s.values))
+}
+
+// Std returns the population standard deviation.
+func (s *Summary) Std() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	acc := 0.0
+	for _, v := range s.values {
+		d := v - m
+		acc += d * d
+	}
+	return math.Sqrt(acc / float64(n))
+}
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[0]
+}
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 {
+	s.ensureSorted()
+	if len(s.values) == 0 {
+		return 0
+	}
+	return s.values[len(s.values)-1]
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using
+// nearest-rank interpolation, or 0 with no observations.
+func (s *Summary) Percentile(p float64) float64 {
+	s.ensureSorted()
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.values[0]
+	}
+	if p >= 100 {
+		return s.values[n-1]
+	}
+	rank := p / 100 * float64(n-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := rank - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// CV returns the coefficient of variation (std/mean), the balance metric
+// for per-disk load distributions; 0 when the mean is 0.
+func (s *Summary) CV() float64 {
+	m := s.Mean()
+	if m == 0 {
+		return 0
+	}
+	return s.Std() / m
+}
+
+func (s *Summary) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+}
+
+// String renders the summary for experiment output.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Percentile(50), s.Percentile(95), s.Percentile(99), s.Max())
+}
+
+// OfInts summarises an integer slice (per-disk strip counts and the like).
+func OfInts(xs []int) *Summary {
+	s := &Summary{values: make([]float64, 0, len(xs))}
+	for _, x := range xs {
+		s.Add(float64(x))
+	}
+	return s
+}
+
+// OfFloats summarises a float slice.
+func OfFloats(xs []float64) *Summary {
+	s := &Summary{values: make([]float64, 0, len(xs))}
+	s.values = append(s.values, xs...)
+	return s
+}
+
+// Histogram is a fixed-width bucket histogram.
+type Histogram struct {
+	// Lo is the lower bound of the first bucket; Width the bucket width.
+	Lo, Width float64
+	// Counts holds per-bucket counts; out-of-range observations clamp to
+	// the first/last bucket.
+	Counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram of n buckets covering [lo, lo+n·width).
+func NewHistogram(lo, width float64, n int) *Histogram {
+	return &Histogram{Lo: lo, Width: width, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.Lo) / h.Width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.total++
+}
+
+// Total returns the observation count.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the share of observations in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if s.N() != 0 || s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("zero-value summary must report zeros")
+	}
+	for _, v := range []float64{4, 1, 3, 2, 5} {
+		s.Add(v)
+	}
+	if s.N() != 5 || !almost(s.Mean(), 3) || !almost(s.Min(), 1) || !almost(s.Max(), 5) {
+		t.Fatalf("summary wrong: %v", s.String())
+	}
+	if !almost(s.Std(), math.Sqrt(2)) {
+		t.Fatalf("std = %v, want sqrt(2)", s.Std())
+	}
+	if !almost(s.Percentile(50), 3) {
+		t.Fatalf("p50 = %v, want 3", s.Percentile(50))
+	}
+	if !almost(s.Percentile(0), 1) || !almost(s.Percentile(100), 5) {
+		t.Fatal("p0/p100 wrong")
+	}
+	if !almost(s.Percentile(25), 2) {
+		t.Fatalf("p25 = %v, want 2", s.Percentile(25))
+	}
+}
+
+func TestSummaryAddAfterQuery(t *testing.T) {
+	var s Summary
+	s.Add(10)
+	_ = s.Max()
+	s.Add(20)
+	if !almost(s.Max(), 20) {
+		t.Fatal("Add after a query must invalidate the sort")
+	}
+}
+
+func TestCV(t *testing.T) {
+	s := OfInts([]int{5, 5, 5, 5})
+	if !almost(s.CV(), 0) {
+		t.Fatalf("uniform CV = %v, want 0", s.CV())
+	}
+	var z Summary
+	z.Add(0)
+	if z.CV() != 0 {
+		t.Fatal("CV with zero mean must be 0")
+	}
+	u := OfInts([]int{0, 10})
+	if !almost(u.CV(), 1) {
+		t.Fatalf("CV = %v, want 1", u.CV())
+	}
+}
+
+func TestOfFloats(t *testing.T) {
+	s := OfFloats([]float64{1.5, 2.5})
+	if !almost(s.Mean(), 2) {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}
+
+// TestPercentileMonotone is a property test: percentiles are monotone in p
+// and bounded by min/max.
+func TestPercentileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prop := func() bool {
+		var s Summary
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := s.Percentile(p)
+			if v < prev || v < s.Min()-1e-9 || v > s.Max()+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 1, 10)
+	for _, v := range []float64{-5, 0.5, 0.9, 3.2, 9.5, 42} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 { // -5 clamps in, plus 0.5 and 0.9
+		t.Fatalf("bucket 0 = %d, want 3", h.Counts[0])
+	}
+	if h.Counts[3] != 1 || h.Counts[9] != 2 {
+		t.Fatalf("buckets = %v", h.Counts)
+	}
+	if !almost(h.Fraction(0), 0.5) {
+		t.Fatalf("fraction = %v", h.Fraction(0))
+	}
+	empty := NewHistogram(0, 1, 2)
+	if empty.Fraction(0) != 0 {
+		t.Fatal("empty histogram fraction must be 0")
+	}
+}

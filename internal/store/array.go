@@ -1,0 +1,513 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/erasure"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// Array errors.
+var (
+	ErrDiskFailed    = errors.New("store: disk is failed")
+	ErrDataLoss      = errors.New("store: failure pattern exceeds fault tolerance")
+	ErrNoReplacement = errors.New("store: failed disk has no replacement device")
+)
+
+// IOStats counts device operations, the measured side of the paper's
+// update-complexity claim.
+type IOStats struct {
+	// ReadOps/WriteOps are strip-granularity device accesses.
+	ReadOps, WriteOps int64
+	// DegradedReads counts reads served by reconstruction.
+	DegradedReads int64
+	// ReadRepairs counts strips healed in place after a checksum failure
+	// (latent sector errors caught by a ChecksummedDevice).
+	ReadRepairs int64
+}
+
+// ioCounters is the lock-free accumulator behind IOStats, so concurrent
+// readers (which hold only the read lock) can update the counters.
+type ioCounters struct {
+	readOps, writeOps, degradedReads, readRepairs atomic.Int64
+}
+
+func (c *ioCounters) snapshot() IOStats {
+	return IOStats{
+		ReadOps:       c.readOps.Load(),
+		WriteOps:      c.writeOps.Load(),
+		DegradedReads: c.degradedReads.Load(),
+		ReadRepairs:   c.readRepairs.Load(),
+	}
+}
+
+func (c *ioCounters) reset() {
+	c.readOps.Store(0)
+	c.writeOps.Store(0)
+	c.degradedReads.Store(0)
+	c.readRepairs.Store(0)
+}
+
+// Array is a byte-accurate RAID array over strip devices, laid out by any
+// layout.Scheme. It is safe for concurrent use: reads (including degraded
+// reads) run concurrently under a read lock; writes, failure injection,
+// rebuild, scrub, and repair serialise under the write lock.
+type Array struct {
+	mu  sync.RWMutex
+	an  *core.Analyzer
+	sch layout.Scheme
+
+	devs       []Device
+	replaced   []Device // replacement device for rebuilt disks, nil otherwise
+	failed     []bool
+	stripBytes int
+	cycles     int64
+	codes      map[[2]int]erasure.Code
+
+	// Incremental-rebuild state: cycles below rebuiltCycles have been
+	// reconstructed onto the replacement devices, so I/O for them treats
+	// the failed disks as alive via their replacements. rebuildPlan is
+	// non-nil while an incremental rebuild is underway.
+	rebuildPlan   *core.Plan
+	rebuiltCycles int64
+
+	// intent, when set, records in-flight read-modify-writes per cycle so
+	// RecoverIntent can close the write hole after a crash.
+	intent IntentLog
+
+	stats ioCounters
+}
+
+// NewArray assembles an array from one device per disk. All devices must
+// share the strip size and hold a whole number of layout cycles
+// (SlotsPerDisk strips each); capacity is truncated to the smallest
+// device.
+func NewArray(an *core.Analyzer, devs []Device) (*Array, error) {
+	if len(devs) != an.Disks() {
+		return nil, fmt.Errorf("store: %d devices for %d disks", len(devs), an.Disks())
+	}
+	stripBytes := devs[0].StripBytes()
+	minStrips := devs[0].Strips()
+	for _, d := range devs[1:] {
+		if d.StripBytes() != stripBytes {
+			return nil, errors.New("store: devices disagree on strip size")
+		}
+		if d.Strips() < minStrips {
+			minStrips = d.Strips()
+		}
+	}
+	cycles := minStrips / int64(an.SlotsPerDisk())
+	if cycles < 1 {
+		return nil, fmt.Errorf("store: devices too small: %d strips < one cycle of %d", minStrips, an.SlotsPerDisk())
+	}
+	a := &Array{
+		an:         an,
+		sch:        an.Scheme(),
+		devs:       devs,
+		replaced:   make([]Device, len(devs)),
+		failed:     make([]bool, len(devs)),
+		stripBytes: stripBytes,
+		cycles:     cycles,
+		codes:      make(map[[2]int]erasure.Code),
+	}
+	for _, shape := range an.StripeShapes() {
+		code, err := erasure.NewCode(shape[0], shape[1])
+		if err != nil {
+			return nil, fmt.Errorf("store: stripe shape %v: %w", shape, err)
+		}
+		a.codes[shape] = code
+	}
+	return a, nil
+}
+
+// Capacity returns the usable (data) capacity in bytes.
+func (a *Array) Capacity() int64 {
+	return a.cycles * int64(len(a.sch.DataStrips())) * int64(a.stripBytes)
+}
+
+// StripBytes returns the strip size.
+func (a *Array) StripBytes() int { return a.stripBytes }
+
+// Cycles returns the number of layout cycles.
+func (a *Array) Cycles() int64 { return a.cycles }
+
+// Stats returns a snapshot of the I/O counters.
+func (a *Array) Stats() IOStats { return a.stats.snapshot() }
+
+// ResetStats zeroes the I/O counters.
+func (a *Array) ResetStats() { a.stats.reset() }
+
+// FailedDisks returns the currently failed disk ids.
+func (a *Array) FailedDisks() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []int
+	for d, f := range a.failed {
+		if f {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FailDisk marks disk d failed. Its device is no longer read or written;
+// content is served by reconstruction until Rebuild. Failing a disk while
+// an incremental rebuild is underway aborts that rebuild (the plan is
+// stale); partial progress is discarded and the next Rebuild starts over
+// against the full failure set.
+func (a *Array) FailDisk(d int) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d < 0 || d >= len(a.devs) {
+		return fmt.Errorf("store: no disk %d", d)
+	}
+	a.failed[d] = true
+	a.replaced[d] = nil
+	a.rebuildPlan = nil
+	a.rebuiltCycles = 0
+	return nil
+}
+
+// locate maps a logical data-strip index to (disk, absolute device strip).
+func (a *Array) locate(dataIdx int64) (disk int, devStrip int64) {
+	perCycle := int64(len(a.sch.DataStrips()))
+	cycle := dataIdx / perCycle
+	st := a.sch.DataStrips()[dataIdx%perCycle]
+	return st.Disk, cycle*int64(a.an.SlotsPerDisk()) + int64(st.Slot)
+}
+
+// device returns the live device for disk d (replacement after rebuild).
+func (a *Array) device(d int) Device {
+	if a.replaced[d] != nil {
+		return a.replaced[d]
+	}
+	return a.devs[d]
+}
+
+// liveDevice returns the device currently holding valid content for strip
+// (d, devStrip), or nil when the strip is lost: a failed disk's strips
+// become valid again on its replacement once their cycle has been rebuilt
+// (incremental rebuild's high-water mark).
+func (a *Array) liveDevice(d int, devStrip int64) Device {
+	if !a.failed[d] {
+		return a.device(d)
+	}
+	// devStrip = cycle·slots + slot with slot < slots, so the comparison
+	// below is exactly cycle < rebuiltCycles.
+	if a.replaced[d] != nil && devStrip < a.rebuiltCycles*int64(a.an.SlotsPerDisk()) {
+		return a.replaced[d]
+	}
+	return nil
+}
+
+// stripAlive reports whether the strip's content is directly readable.
+func (a *Array) stripAlive(d int, cycle int64) bool {
+	return !a.failed[d] || (a.replaced[d] != nil && cycle < a.rebuiltCycles)
+}
+
+// readStrip reads one physical strip, reconstructing if the disk is
+// failed. A checksum failure (latent sector error from a
+// ChecksummedDevice) is healed in place: the strip is reconstructed from
+// parity and rewritten.
+func (a *Array) readStrip(d int, devStrip int64, p []byte) error {
+	dev := a.liveDevice(d, devStrip)
+	if dev == nil {
+		return a.reconstructStrip(d, devStrip, p)
+	}
+	a.stats.readOps.Add(1)
+	err := dev.ReadStrip(devStrip, p)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	if err := a.reconstructStrip(d, devStrip, p); err != nil {
+		return fmt.Errorf("store: read repair of strip (%d,%d): %w", d, devStrip, err)
+	}
+	a.stats.writeOps.Add(1)
+	a.stats.readRepairs.Add(1)
+	return dev.WriteStrip(devStrip, p)
+}
+
+// reconstructStrip rebuilds strip (d, devStrip) into p: single-stripe
+// decoding when one live stripe suffices, full multi-phase peeling for
+// deep multi-failure patterns.
+func (a *Array) reconstructStrip(d int, devStrip int64, p []byte) error {
+	a.stats.degradedReads.Add(1)
+	slots := int64(a.an.SlotsPerDisk())
+	cycle, slot := devStrip/slots, int(devStrip%slots)
+	target := layout.Strip{Disk: d, Slot: slot}
+	alive := func(disk int) bool { return a.stripAlive(disk, cycle) }
+	info, ok := a.an.DecodePath(target, alive)
+	if !ok {
+		return a.reconstructDeep(cycle, target, p)
+	}
+	stripe := a.sch.Stripes()[info.Stripe]
+	shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+	present := make([]bool, len(info.Members))
+	for mi, st := range info.Members {
+		if st.Disk == d || !a.stripAlive(st.Disk, cycle) {
+			continue
+		}
+		dev := a.liveDevice(st.Disk, cycle*slots+int64(st.Slot))
+		a.stats.readOps.Add(1)
+		if err := dev.ReadStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
+			return err
+		}
+		present[mi] = true
+	}
+	code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+	if err := code.Reconstruct(shards, present); err != nil {
+		return fmt.Errorf("store: reconstruct (%d,%d): %w", d, slot, err)
+	}
+	copy(p, shards[info.Target])
+	return nil
+}
+
+// reconstructDeep recovers the target strip by executing the multi-phase
+// recovery plan for this cycle in memory (no device writes). It is the
+// slow path for failure patterns where no single live stripe covers the
+// strip — e.g. reading a group that lost two disks before any rebuild.
+func (a *Array) reconstructDeep(cycle int64, target layout.Strip, p []byte) error {
+	var failed []int
+	for d, f := range a.failed {
+		if f {
+			failed = append(failed, d)
+		}
+	}
+	plan := a.an.Plan(failed, core.PlanOptions{})
+	if !plan.Complete {
+		return fmt.Errorf("%w: strip %v has no reconstruction path", ErrDataLoss, target)
+	}
+	slots := int64(a.an.SlotsPerDisk())
+	recovered := make(map[layout.Strip][]byte)
+	read := func(st layout.Strip, buf []byte) error {
+		if content, ok := recovered[st]; ok {
+			copy(buf, content)
+			return nil
+		}
+		a.stats.readOps.Add(1)
+		return a.device(st.Disk).ReadStrip(cycle*slots+int64(st.Slot), buf)
+	}
+	for _, task := range plan.Tasks {
+		stripe := a.sch.Stripes()[task.Via]
+		shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+		present := make([]bool, len(stripe.Strips))
+		for mi, st := range stripe.Strips {
+			isSource := false
+			for _, src := range task.Reads {
+				if src == st {
+					isSource = true
+					break
+				}
+			}
+			if !isSource {
+				continue
+			}
+			if err := read(st, shards[mi]); err != nil {
+				return err
+			}
+			present[mi] = true
+		}
+		code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+		if err := code.Reconstruct(shards, present); err != nil {
+			return fmt.Errorf("store: deep reconstruct stripe %d: %w", task.Via, err)
+		}
+		for _, tgt := range task.Targets {
+			for mi, st := range stripe.Strips {
+				if st == tgt {
+					recovered[tgt] = append([]byte(nil), shards[mi]...)
+					break
+				}
+			}
+		}
+		if content, ok := recovered[target]; ok {
+			copy(p, content)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: strip %v not produced by recovery plan", ErrDataLoss, target)
+}
+
+// ReadAt implements io.ReaderAt over the logical data space, serving
+// degraded reads transparently.
+func (a *Array) ReadAt(p []byte, off int64) (int, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative offset %d", off)
+	}
+	total := 0
+	buf := make([]byte, a.stripBytes)
+	for total < len(p) {
+		pos := off + int64(total)
+		if pos >= a.Capacity() {
+			return total, io.EOF
+		}
+		dataIdx := pos / int64(a.stripBytes)
+		within := int(pos % int64(a.stripBytes))
+		n := a.stripBytes - within
+		if n > len(p)-total {
+			n = len(p) - total
+		}
+		d, devStrip := a.locate(dataIdx)
+		if err := a.readStrip(d, devStrip, buf); err != nil {
+			return total, err
+		}
+		copy(p[total:total+n], buf[within:])
+		total += n
+	}
+	return total, nil
+}
+
+// WriteAt implements io.WriterAt over the logical data space. Every
+// touched data strip is updated read-modify-write together with its parity
+// closure (inner parity, outer parity, and the outer parity's inner parity
+// for OI-RAID). Writes during degraded mode update only live strips; the
+// rebuild reconstructs the rest.
+func (a *Array) WriteAt(p []byte, off int64) (int, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative offset %d", off)
+	}
+	total := 0
+	for total < len(p) {
+		pos := off + int64(total)
+		if pos >= a.Capacity() {
+			return total, io.ErrShortWrite
+		}
+		dataIdx := pos / int64(a.stripBytes)
+		within := int(pos % int64(a.stripBytes))
+		n := a.stripBytes - within
+		if n > len(p)-total {
+			n = len(p) - total
+		}
+		if err := a.writeStripRange(dataIdx, within, p[total:total+n]); err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// writeStripRange applies a sub-strip write to logical data strip dataIdx
+// as a snapshot-then-commit read-modify-write: first the old values of the
+// data strip and its whole parity closure are collected (reconstructing
+// strips on failed disks, so both redundancy layers stay mutually
+// consistent in degraded mode), then the new values are computed in
+// memory, then every strip on a live disk is written.
+func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
+	d, devStrip := a.locate(dataIdx)
+	slots := int64(a.an.SlotsPerDisk())
+	cycle, slot := devStrip/slots, int(devStrip%slots)
+	target := layout.Strip{Disk: d, Slot: slot}
+
+	oldData := make([]byte, a.stripBytes)
+	if err := a.readStrip(d, devStrip, oldData); err != nil {
+		return err
+	}
+	newData := append([]byte(nil), oldData...)
+	copy(newData[within:], data)
+
+	type pair struct{ old, new []byte }
+	updates := map[layout.Strip]*pair{target: {old: oldData, new: newData}}
+
+	// Compute the closure breadth-first: each stripe in which an updated
+	// strip is a data member gets its parities updated by delta; parity
+	// strips then propagate further (outer parity is a data member of its
+	// inner stripe). The parity graphs of the shipped schemes are acyclic;
+	// the depth guard catches malformed custom schemes.
+	frontier := []layout.Strip{target}
+	for depth := 0; len(frontier) > 0; depth++ {
+		if depth > 8 {
+			return fmt.Errorf("store: parity closure deeper than 8 levels; cyclic scheme?")
+		}
+		var next []layout.Strip
+		for _, st := range frontier {
+			up := updates[st]
+			for _, si := range a.an.DataMemberStripes(st) {
+				stripe := a.sch.Stripes()[si]
+				code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+				du, ok := code.(erasure.DeltaUpdater)
+				if !ok {
+					return fmt.Errorf("store: code %T lacks delta updates", code)
+				}
+				dataPos := -1
+				for mi := 0; mi < stripe.Data; mi++ {
+					if stripe.Strips[mi] == st {
+						dataPos = mi
+						break
+					}
+				}
+				if dataPos < 0 {
+					return fmt.Errorf("store: strip %v not a data member of stripe %d", st, si)
+				}
+				// Snapshot old parity values (reconstructing failed ones)
+				// and apply the delta jointly across the stripe's parities.
+				nPar := stripe.Parity()
+				oldParity := make([][]byte, nPar)
+				newParity := make([][]byte, nPar)
+				pairs := make([]*pair, nPar)
+				for j := 0; j < nPar; j++ {
+					pst := stripe.Strips[stripe.Data+j]
+					if pu, seen := updates[pst]; seen {
+						pairs[j] = pu
+						oldParity[j] = pu.old
+						newParity[j] = pu.new
+						continue
+					}
+					oldParity[j] = make([]byte, a.stripBytes)
+					if err := a.readStrip(pst.Disk, cycle*slots+int64(pst.Slot), oldParity[j]); err != nil {
+						return err
+					}
+					newParity[j] = append([]byte(nil), oldParity[j]...)
+					pairs[j] = &pair{old: oldParity[j], new: newParity[j]}
+					updates[pst] = pairs[j]
+					next = append(next, pst)
+				}
+				if err := du.UpdateParity(dataPos, up.old, up.new, newParity); err != nil {
+					return err
+				}
+				for j := 0; j < nPar; j++ {
+					pairs[j].new = newParity[j]
+					updates[stripe.Strips[stripe.Data+j]].new = newParity[j]
+				}
+			}
+		}
+		frontier = next
+	}
+
+	// Commit: write every updated strip that has a live location — a
+	// failed disk's strip is written to its replacement once its cycle has
+	// been rebuilt, keeping incremental rebuild and online writes
+	// coherent. The intent log brackets the commit so a crash between
+	// strip writes is repairable.
+	if a.intent != nil {
+		if err := a.intent.Record(cycle); err != nil {
+			return err
+		}
+	}
+	for st, up := range updates {
+		dev := a.liveDevice(st.Disk, cycle*slots+int64(st.Slot))
+		if dev == nil {
+			continue
+		}
+		a.stats.writeOps.Add(1)
+		if err := dev.WriteStrip(cycle*slots+int64(st.Slot), up.new); err != nil {
+			return err
+		}
+	}
+	if a.intent != nil {
+		if err := a.intent.Clear(cycle); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// ErrCorrupt reports a strip whose content failed checksum verification —
+// a latent sector error. The array's read path treats such strips as
+// erased and reconstructs them from parity (read repair).
+var ErrCorrupt = errors.New("store: strip checksum mismatch")
+
+// castagnoli is the CRC-32C table used for strip checksums (the
+// polynomial storage systems conventionally use).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ChecksummedDevice wraps a Device with per-strip CRC-32C verification:
+// every write records the strip's checksum, every read verifies it and
+// returns ErrCorrupt on mismatch. It turns silent media corruption into
+// detectable erasures, which the array's parity then heals.
+//
+// Checksums live in memory: they protect the running array (the common
+// deployment keeps them in NVRAM or a metadata device); after a restart,
+// strips are re-trusted until rewritten, and Scrub/Repair provide the
+// durable integrity check.
+type ChecksummedDevice struct {
+	inner Device
+
+	mu   sync.RWMutex
+	sums map[int64]uint32
+}
+
+var _ Device = (*ChecksummedDevice)(nil)
+
+// NewChecksummedDevice wraps dev.
+func NewChecksummedDevice(dev Device) *ChecksummedDevice {
+	return &ChecksummedDevice{inner: dev, sums: make(map[int64]uint32)}
+}
+
+// Strips implements Device.
+func (c *ChecksummedDevice) Strips() int64 { return c.inner.Strips() }
+
+// StripBytes implements Device.
+func (c *ChecksummedDevice) StripBytes() int { return c.inner.StripBytes() }
+
+// ReadStrip implements Device, verifying the checksum when one is known.
+func (c *ChecksummedDevice) ReadStrip(idx int64, p []byte) error {
+	if err := c.inner.ReadStrip(idx, p); err != nil {
+		return err
+	}
+	c.mu.RLock()
+	want, known := c.sums[idx]
+	c.mu.RUnlock()
+	if known && crc32.Checksum(p, castagnoli) != want {
+		return fmt.Errorf("%w: strip %d", ErrCorrupt, idx)
+	}
+	return nil
+}
+
+// WriteStrip implements Device, recording the new checksum.
+func (c *ChecksummedDevice) WriteStrip(idx int64, p []byte) error {
+	if err := c.inner.WriteStrip(idx, p); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.sums[idx] = crc32.Checksum(p, castagnoli)
+	c.mu.Unlock()
+	return nil
+}
+
+// Close implements Device.
+func (c *ChecksummedDevice) Close() error { return c.inner.Close() }
+
+// Inner exposes the wrapped device (tests corrupt it behind the wrapper's
+// back to exercise the detection path).
+func (c *ChecksummedDevice) Inner() Device { return c.inner }

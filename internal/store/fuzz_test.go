@@ -1,0 +1,51 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzArrayIO: arbitrary offsets/sizes must never panic or corrupt
+// neighbouring bytes; successful writes must read back exactly.
+func FuzzArrayIO(f *testing.F) {
+	f.Add(int64(0), 10, int64(5), 20)
+	f.Add(int64(-1), 3, int64(1<<40), 1)
+	f.Add(int64(511), 514, int64(0), 0)
+	f.Fuzz(func(t *testing.T, wOff int64, wLen int, rOff int64, rLen int) {
+		if wLen < 0 || wLen > 1<<16 || rLen < 0 || rLen > 1<<16 {
+			return
+		}
+		arr := newOIArray(t, 9)
+		if _, err := arr.WriteAt(make([]byte, arr.Capacity()), 0); err != nil {
+			t.Fatal(err)
+		}
+		payload := bytes.Repeat([]byte{0xA5}, wLen)
+		n, err := arr.WriteAt(payload, wOff)
+		if err == nil && wOff >= 0 && wOff+int64(wLen) <= arr.Capacity() {
+			if n != wLen {
+				t.Fatalf("short write %d of %d without error", n, wLen)
+			}
+			back := make([]byte, wLen)
+			if _, err := arr.ReadAt(back, wOff); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(back, payload) {
+				t.Fatal("read-back mismatch")
+			}
+			// Neighbouring byte untouched.
+			if wOff > 0 {
+				b := make([]byte, 1)
+				if _, err := arr.ReadAt(b, wOff-1); err != nil {
+					t.Fatal(err)
+				}
+				if b[0] != 0 {
+					t.Fatal("write spilled onto preceding byte")
+				}
+			}
+		}
+		buf := make([]byte, rLen)
+		if _, err := arr.ReadAt(buf, rOff); err != nil {
+			return // out-of-range errors are fine; panics are not
+		}
+	})
+}

@@ -1,0 +1,231 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// IntentLog records which layout cycles have in-flight read-modify-writes,
+// closing the RAID write hole: a crash between a data-strip write and its
+// parity updates leaves the stripe inconsistent, and the log tells
+// recovery exactly which cycles to re-synchronise. Implementations must
+// persist Record before returning (to the extent their medium allows).
+type IntentLog interface {
+	// Record marks the cycle dirty.
+	Record(cycle int64) error
+	// Clear unmarks the cycle.
+	Clear(cycle int64) error
+	// Pending lists cycles recorded but never cleared (after a crash).
+	Pending() ([]int64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemIntentLog is an in-memory IntentLog for tests and volatile arrays.
+type MemIntentLog struct {
+	mu    sync.Mutex
+	dirty map[int64]bool
+}
+
+var _ IntentLog = (*MemIntentLog)(nil)
+
+// NewMemIntentLog returns an empty in-memory log.
+func NewMemIntentLog() *MemIntentLog { return &MemIntentLog{dirty: make(map[int64]bool)} }
+
+// Record implements IntentLog.
+func (m *MemIntentLog) Record(cycle int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirty[cycle] = true
+	return nil
+}
+
+// Clear implements IntentLog.
+func (m *MemIntentLog) Clear(cycle int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.dirty, cycle)
+	return nil
+}
+
+// Pending implements IntentLog.
+func (m *MemIntentLog) Pending() ([]int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int64, 0, len(m.dirty))
+	for c := range m.dirty {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Close implements IntentLog.
+func (m *MemIntentLog) Close() error { return nil }
+
+// FileIntentLog persists dirty cycles as an append-only text log
+// ("+<cycle>" on Record, "-<cycle>" on Clear); Pending replays it. The
+// log is compacted whenever no cycles are outstanding.
+type FileIntentLog struct {
+	mu       sync.Mutex
+	path     string
+	f        *os.File
+	dirty    map[int64]int // reference counts (nested writes to one cycle)
+	appended int
+}
+
+var _ IntentLog = (*FileIntentLog)(nil)
+
+// OpenFileIntentLog opens (or creates) the log at path, preserving any
+// pending entries from a previous run.
+func OpenFileIntentLog(path string) (*FileIntentLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: intent log: %w", err)
+	}
+	l := &FileIntentLog{path: path, f: f, dirty: make(map[int64]int)}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if len(line) < 2 {
+			continue
+		}
+		cycle, err := strconv.ParseInt(line[1:], 10, 64)
+		if err != nil {
+			continue // torn final line after a crash
+		}
+		switch line[0] {
+		case '+':
+			l.dirty[cycle]++
+			l.appended++
+		case '-':
+			if l.dirty[cycle] > 0 {
+				l.dirty[cycle]--
+				if l.dirty[cycle] == 0 {
+					delete(l.dirty, cycle)
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: intent log: %w", err)
+	}
+	return l, nil
+}
+
+// Record implements IntentLog.
+func (l *FileIntentLog) Record(cycle int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := fmt.Fprintf(l.f, "+%d\n", cycle); err != nil {
+		return err
+	}
+	l.dirty[cycle]++
+	l.appended++
+	return nil
+}
+
+// Clear implements IntentLog.
+func (l *FileIntentLog) Clear(cycle int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, err := fmt.Fprintf(l.f, "-%d\n", cycle); err != nil {
+		return err
+	}
+	if l.dirty[cycle] > 0 {
+		l.dirty[cycle]--
+		if l.dirty[cycle] == 0 {
+			delete(l.dirty, cycle)
+		}
+	}
+	// Compact opportunistically once the log has grown and nothing is
+	// outstanding.
+	if len(l.dirty) == 0 && l.appended > 1024 {
+		if err := l.f.Truncate(0); err == nil {
+			if _, err := l.f.Seek(0, 0); err != nil {
+				return err
+			}
+			l.appended = 0
+		}
+	}
+	return nil
+}
+
+// Pending implements IntentLog.
+func (l *FileIntentLog) Pending() ([]int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]int64, 0, len(l.dirty))
+	for c := range l.dirty {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Close implements IntentLog.
+func (l *FileIntentLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// SetIntentLog attaches a write-intent log to the array. Every
+// read-modify-write records its cycle before touching devices and clears
+// it after the commit; RecoverIntent re-synchronises the cycles a crash
+// left dirty.
+func (a *Array) SetIntentLog(log IntentLog) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.intent = log
+}
+
+// RecoverIntent repairs every stripe of the cycles the intent log reports
+// pending — the post-crash write-hole fix: parity is recomputed from data
+// (outer layer first), restoring stripe consistency whichever half of the
+// interrupted update reached the media. It returns the number of cycles
+// re-synchronised. The array must be healthy.
+func (a *Array) RecoverIntent() (cycles int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.intent == nil {
+		return 0, nil
+	}
+	for _, f := range a.failed {
+		if f {
+			return 0, ErrDiskFailed
+		}
+	}
+	pending, err := a.intent.Pending()
+	if err != nil {
+		return 0, err
+	}
+	slots := int64(a.an.SlotsPerDisk())
+	for _, cycle := range pending {
+		if cycle < 0 || cycle >= a.cycles {
+			continue
+		}
+		for _, pass := range []layout.Layer{layout.LayerOuter, layout.LayerInner} {
+			if err := a.repairCycleLayer(cycle, slots, pass); err != nil {
+				return cycles, err
+			}
+		}
+		if err := a.intent.Clear(cycle); err != nil {
+			return cycles, err
+		}
+		cycles++
+	}
+	return cycles, nil
+}

@@ -1,0 +1,137 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// TestArrayModelRandomOps drives the array with a random sequence of
+// writes, reads, disk failures, and rebuilds, checking every read against
+// a plain in-memory reference model. This is the end-to-end invariant of
+// the whole data plane: under any interleaving of operations within the
+// fault tolerance, the array behaves exactly like a flat byte buffer.
+func TestArrayModelRandomOps(t *testing.T) {
+	configs := []struct {
+		name string
+		mk   func() (*core.Analyzer, error)
+		tol  int
+	}{
+		{"oi-raid-9", func() (*core.Analyzer, error) {
+			d, err := bibd.ForArray(9)
+			if err != nil {
+				return nil, err
+			}
+			s, err := layout.NewOIRAID(d)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewAnalyzer(s)
+		}, 3},
+		{"oi-raid-9-pi2", func() (*core.Analyzer, error) {
+			d, err := bibd.ForArray(9)
+			if err != nil {
+				return nil, err
+			}
+			s, err := layout.NewOIRAID(d, layout.WithInnerParity(2))
+			if err != nil {
+				return nil, err
+			}
+			return core.NewAnalyzer(s)
+		}, 5},
+		{"raid6-7", func() (*core.Analyzer, error) {
+			s, err := layout.NewRAID6(7)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewAnalyzer(s)
+		}, 2},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			an, err := cfg.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			arr, err := NewMemArray(an, 2, 128)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := make([]byte, arr.Capacity())
+			if _, err := arr.WriteAt(model, 0); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(321))
+			failed := map[int]bool{}
+
+			for op := 0; op < 300; op++ {
+				switch choice := rng.Intn(10); {
+				case choice < 4: // random write
+					n := 1 + rng.Intn(700)
+					off := rng.Int63n(arr.Capacity() - int64(n))
+					buf := make([]byte, n)
+					rng.Read(buf)
+					if _, err := arr.WriteAt(buf, off); err != nil {
+						t.Fatalf("op %d write: %v", op, err)
+					}
+					copy(model[off:], buf)
+				case choice < 8: // random read, compared to the model
+					n := 1 + rng.Intn(700)
+					off := rng.Int63n(arr.Capacity() - int64(n))
+					buf := make([]byte, n)
+					if _, err := arr.ReadAt(buf, off); err != nil {
+						t.Fatalf("op %d read: %v", op, err)
+					}
+					if !bytes.Equal(buf, model[off:off+int64(n)]) {
+						t.Fatalf("op %d: read mismatch at %d (failed disks %v)", op, off, failed)
+					}
+				case choice == 8: // fail a disk, staying within tolerance
+					if len(failed) >= cfg.tol {
+						continue
+					}
+					d := rng.Intn(an.Disks())
+					if failed[d] {
+						continue
+					}
+					if err := arr.FailDisk(d); err != nil {
+						t.Fatalf("op %d fail: %v", op, err)
+					}
+					failed[d] = true
+				default: // rebuild everything
+					if len(failed) == 0 {
+						continue
+					}
+					for d := range failed {
+						dev, err := NewMemDevice(2*int64(an.SlotsPerDisk()), 128)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := arr.ReplaceDisk(d, dev); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := arr.Rebuild(); err != nil {
+						t.Fatalf("op %d rebuild: %v", op, err)
+					}
+					failed = map[int]bool{}
+					if bad, err := arr.Scrub(); err != nil || bad != 0 {
+						t.Fatalf("op %d scrub after rebuild: bad=%d err=%v", op, bad, err)
+					}
+				}
+			}
+			// Final full comparison (rebuild first if degraded).
+			buf := make([]byte, arr.Capacity())
+			if _, err := arr.ReadAt(buf, 0); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf, model) {
+				t.Fatal("final content mismatch")
+			}
+		})
+	}
+}

@@ -1,0 +1,294 @@
+package store
+
+import (
+	"fmt"
+
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/erasure"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// ReplaceDisk attaches a fresh device onto which failed disk d will be
+// rebuilt. The device must match the array geometry.
+func (a *Array) ReplaceDisk(d int, dev Device) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d < 0 || d >= len(a.devs) {
+		return fmt.Errorf("store: no disk %d", d)
+	}
+	if !a.failed[d] {
+		return fmt.Errorf("store: disk %d is not failed", d)
+	}
+	if dev.StripBytes() != a.stripBytes || dev.Strips() < a.cycles*int64(a.an.SlotsPerDisk()) {
+		return fmt.Errorf("store: replacement for disk %d has wrong geometry", d)
+	}
+	a.replaced[d] = dev
+	return nil
+}
+
+// Rebuild reconstructs every failed disk onto its replacement device,
+// following the multi-phase plan from the analyzer (inner-layer repairs
+// first, outer-layer repairs where groups lost several disks). On success
+// the replacements become live and the failure flags clear.
+//
+// Rebuild is RebuildStep run to completion; use RebuildStep directly for
+// online rebuilds that interleave with foreground I/O.
+func (a *Array) Rebuild() error {
+	for {
+		done, err := a.RebuildStep(1 << 20)
+		if err != nil || done {
+			return err
+		}
+	}
+}
+
+// RebuildProgress reports incremental-rebuild progress in layout cycles.
+func (a *Array) RebuildProgress() (rebuilt, total int64) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.rebuiltCycles, a.cycles
+}
+
+// RebuildStep advances an incremental rebuild by up to batch layout
+// cycles, then releases the array for foreground I/O. Reads and writes
+// for already-rebuilt cycles are served from the replacement devices, so
+// the array stays fully coherent while the rebuild is in flight. When the
+// last cycle completes the replacements become live, the failure flags
+// clear, and done is true.
+func (a *Array) RebuildStep(batch int64) (done bool, err error) {
+	if batch < 1 {
+		return false, fmt.Errorf("store: rebuild batch %d < 1", batch)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	var failed []int
+	for d, f := range a.failed {
+		if f {
+			failed = append(failed, d)
+		}
+	}
+	if len(failed) == 0 {
+		return true, nil
+	}
+	for _, d := range failed {
+		if a.replaced[d] == nil {
+			return false, fmt.Errorf("%w: disk %d", ErrNoReplacement, d)
+		}
+	}
+	if a.rebuildPlan == nil {
+		plan := a.an.Plan(failed, core.PlanOptions{})
+		if !plan.Complete {
+			return false, fmt.Errorf("%w: %d strips unrecoverable", ErrDataLoss, len(plan.Unrecovered))
+		}
+		a.rebuildPlan = plan
+		a.rebuiltCycles = 0
+	}
+
+	slots := int64(a.an.SlotsPerDisk())
+	end := a.rebuiltCycles + batch
+	if end > a.cycles {
+		end = a.cycles
+	}
+	for cycle := a.rebuiltCycles; cycle < end; cycle++ {
+		if err := a.rebuildCycle(cycle, slots); err != nil {
+			return false, err
+		}
+		a.rebuiltCycles = cycle + 1
+	}
+	if a.rebuiltCycles < a.cycles {
+		return false, nil
+	}
+	for _, d := range failed {
+		a.devs[d] = a.replaced[d]
+		a.replaced[d] = nil
+		a.failed[d] = false
+	}
+	a.rebuildPlan = nil
+	a.rebuiltCycles = 0
+	return true, nil
+}
+
+// rebuildCycle executes the active plan's tasks for one cycle.
+func (a *Array) rebuildCycle(cycle, slots int64) error {
+	rebuilt := make(map[[2]int64]bool) // (disk, devStrip) written this cycle
+	readSrc := func(disk int, devStrip int64, p []byte) error {
+		a.stats.readOps.Add(1)
+		if a.failed[disk] {
+			if !rebuilt[[2]int64{int64(disk), devStrip}] {
+				return fmt.Errorf("store: internal: phase read of unrebuilt strip (%d,%d)", disk, devStrip)
+			}
+			return a.replaced[disk].ReadStrip(devStrip, p)
+		}
+		return a.device(disk).ReadStrip(devStrip, p)
+	}
+
+	for _, task := range a.rebuildPlan.Tasks {
+		stripe := a.sch.Stripes()[task.Via]
+		code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+		shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+		present := make([]bool, len(stripe.Strips))
+
+		// Map each planned source onto its member position.
+		for _, src := range task.Reads {
+			pos := -1
+			for mi, st := range stripe.Strips {
+				if st == src {
+					pos = mi
+					break
+				}
+			}
+			if pos < 0 {
+				return fmt.Errorf("store: internal: source %v not in stripe %d", src, task.Via)
+			}
+			if err := readSrc(src.Disk, cycle*slots+int64(src.Slot), shards[pos]); err != nil {
+				return err
+			}
+			present[pos] = true
+		}
+		if err := code.Reconstruct(shards, present); err != nil {
+			return fmt.Errorf("store: rebuild stripe %d: %w", task.Via, err)
+		}
+		for _, tgt := range task.Targets {
+			pos := -1
+			for mi, st := range stripe.Strips {
+				if st == tgt {
+					pos = mi
+					break
+				}
+			}
+			if pos < 0 {
+				return fmt.Errorf("store: internal: target %v not in stripe %d", tgt, task.Via)
+			}
+			devStrip := cycle*slots + int64(tgt.Slot)
+			a.stats.writeOps.Add(1)
+			if err := a.replaced[tgt.Disk].WriteStrip(devStrip, shards[pos]); err != nil {
+				return err
+			}
+			rebuilt[[2]int64{int64(tgt.Disk), devStrip}] = true
+		}
+	}
+	return nil
+}
+
+// Scrub verifies every stripe of every cycle against its parity and
+// returns the number of inconsistent stripes. The array must be healthy
+// (no failed disks).
+func (a *Array) Scrub() (bad int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, f := range a.failed {
+		if f {
+			return 0, ErrDiskFailed
+		}
+	}
+	slots := int64(a.an.SlotsPerDisk())
+	for cycle := int64(0); cycle < a.cycles; cycle++ {
+		for si, stripe := range a.sch.Stripes() {
+			code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+			shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+			for mi, st := range stripe.Strips {
+				a.stats.readOps.Add(1)
+				if err := a.device(st.Disk).ReadStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
+					return bad, err
+				}
+			}
+			ok, err := code.Verify(shards)
+			if err != nil {
+				return bad, fmt.Errorf("store: scrub stripe %d: %w", si, err)
+			}
+			if !ok {
+				bad++
+			}
+		}
+	}
+	return bad, nil
+}
+
+// Repair scrubs every stripe and recomputes the parity strips of
+// inconsistent ones from their data members (silent-corruption recovery,
+// assuming data strips are authoritative). It returns the number of
+// stripes repaired. The array must be healthy.
+//
+// Stripes are processed outer-layer first: outer parity strips are data
+// members of inner stripes, so fixing them may dirty inner parity, which
+// the inner pass then recomputes.
+func (a *Array) Repair() (repaired int, err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, f := range a.failed {
+		if f {
+			return 0, ErrDiskFailed
+		}
+	}
+	slots := int64(a.an.SlotsPerDisk())
+	for cycle := int64(0); cycle < a.cycles; cycle++ {
+		for _, pass := range []layout.Layer{layout.LayerOuter, layout.LayerInner} {
+			n, err := a.repairCycleLayerCount(cycle, slots, pass)
+			repaired += n
+			if err != nil {
+				return repaired, err
+			}
+		}
+	}
+	return repaired, nil
+}
+
+// repairCycleLayer re-synchronises one cycle's stripes of the given layer
+// (LayerInner matches every non-outer stripe).
+func (a *Array) repairCycleLayer(cycle, slots int64, pass layout.Layer) error {
+	_, err := a.repairCycleLayerCount(cycle, slots, pass)
+	return err
+}
+
+func (a *Array) repairCycleLayerCount(cycle, slots int64, pass layout.Layer) (repaired int, err error) {
+	for si, stripe := range a.sch.Stripes() {
+		if (pass == layout.LayerOuter) != (stripe.Layer == layout.LayerOuter) {
+			continue
+		}
+		code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+		shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+		for mi, st := range stripe.Strips {
+			a.stats.readOps.Add(1)
+			if err := a.device(st.Disk).ReadStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
+				return repaired, err
+			}
+		}
+		ok, err := code.Verify(shards)
+		if err != nil {
+			return repaired, fmt.Errorf("store: repair stripe %d: %w", si, err)
+		}
+		if ok {
+			continue
+		}
+		if err := code.Encode(shards); err != nil {
+			return repaired, err
+		}
+		for mi := stripe.Data; mi < len(stripe.Strips); mi++ {
+			st := stripe.Strips[mi]
+			a.stats.writeOps.Add(1)
+			if err := a.device(st.Disk).WriteStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
+				return repaired, err
+			}
+		}
+		repaired++
+	}
+	return repaired, nil
+}
+
+// NewMemArray is a convenience constructor: an array of in-memory devices
+// holding the given number of layout cycles.
+func NewMemArray(an *core.Analyzer, cycles int64, stripBytes int) (*Array, error) {
+	if cycles < 1 {
+		return nil, fmt.Errorf("store: cycles %d < 1", cycles)
+	}
+	devs := make([]Device, an.Disks())
+	for i := range devs {
+		dev, err := NewMemDevice(cycles*int64(an.SlotsPerDisk()), stripBytes)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = dev
+	}
+	return NewArray(an, devs)
+}

@@ -1,0 +1,809 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"io"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+const testStrip = 512
+
+func oiAnalyzer(t testing.TB, v int) *core.Analyzer {
+	t.Helper()
+	d, err := bibd.ForArray(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := layout.NewOIRAID(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func newOIArray(t testing.TB, v int) *Array {
+	t.Helper()
+	arr, err := NewMemArray(oiAnalyzer(t, v), 2, testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+func analyzerFor(t testing.TB, s layout.Scheme, err error) *core.Analyzer {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.NewAnalyzer(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// fillArray writes a deterministic pattern over the whole data space and
+// returns its hash.
+func fillArray(t testing.TB, arr *Array, seed int64) [32]byte {
+	t.Helper()
+	content := make([]byte, arr.Capacity())
+	rng := rand.New(rand.NewSource(seed))
+	for i := range content {
+		content[i] = byte(rng.Intn(256))
+	}
+	if n, err := arr.WriteAt(content, 0); err != nil || int64(n) != arr.Capacity() {
+		t.Fatalf("fill: wrote %d of %d: %v", n, arr.Capacity(), err)
+	}
+	return sha256.Sum256(content)
+}
+
+func hashArray(t testing.TB, arr *Array) [32]byte {
+	t.Helper()
+	content := make([]byte, arr.Capacity())
+	if n, err := arr.ReadAt(content, 0); err != nil || int64(n) != arr.Capacity() {
+		t.Fatalf("read back %d of %d: %v", n, arr.Capacity(), err)
+	}
+	return sha256.Sum256(content)
+}
+
+func TestMemDeviceRoundTrip(t *testing.T) {
+	dev, err := NewMemDevice(10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := bytes.Repeat([]byte{0xAB}, 64)
+	if err := dev.WriteStrip(3, p); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]byte, 64)
+	if err := dev.ReadStrip(3, q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, q) {
+		t.Fatal("content mismatch")
+	}
+	if err := dev.ReadStrip(10, q); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("expected ErrOutOfRange, got %v", err)
+	}
+	if err := dev.WriteStrip(0, q[:10]); err == nil {
+		t.Fatal("short buffer must fail")
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadStrip(0, q); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+	if _, err := NewMemDevice(0, 64); err == nil {
+		t.Fatal("zero strips must fail")
+	}
+}
+
+func TestFileDeviceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk0.img")
+	dev, err := NewFileDevice(path, 8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	p := bytes.Repeat([]byte{0x5C}, 128)
+	if err := dev.WriteStrip(7, p); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]byte, 128)
+	if err := dev.ReadStrip(7, q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, q) {
+		t.Fatal("content mismatch")
+	}
+	if err := dev.ReadStrip(8, q); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("expected ErrOutOfRange, got %v", err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteStrip(0, p); !errors.Is(err, ErrClosed) {
+		t.Fatalf("expected ErrClosed, got %v", err)
+	}
+}
+
+func TestArrayWriteReadRoundTrip(t *testing.T) {
+	arr := newOIArray(t, 9)
+	want := fillArray(t, arr, 1)
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("read-back hash differs from written content")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+func TestArrayUnalignedIO(t *testing.T) {
+	arr := newOIArray(t, 9)
+	fillArray(t, arr, 2)
+	patch := []byte("hello, unaligned world")
+	off := int64(testStrip - 7) // crosses a strip boundary
+	if _, err := arr.WriteAt(patch, off); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(patch))
+	if _, err := arr.ReadAt(got, off); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, patch) {
+		t.Fatalf("got %q, want %q", got, patch)
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub after unaligned write: bad=%d err=%v", bad, err)
+	}
+}
+
+func TestArrayEOF(t *testing.T) {
+	arr := newOIArray(t, 9)
+	buf := make([]byte, 10)
+	if _, err := arr.ReadAt(buf, arr.Capacity()); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+	if _, err := arr.ReadAt(buf, -1); err == nil {
+		t.Fatal("negative offset must fail")
+	}
+	if _, err := arr.WriteAt(buf, arr.Capacity()-5); !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("expected ErrShortWrite, got %v", err)
+	}
+}
+
+// TestDegradedReadsUpToThreeFailures: OI-RAID content stays fully readable
+// with 1, 2, and 3 failed disks.
+func TestDegradedReadsUpToThreeFailures(t *testing.T) {
+	arr := newOIArray(t, 9)
+	want := fillArray(t, arr, 3)
+	for _, d := range []int{0, 4, 8} {
+		if err := arr.FailDisk(d); err != nil {
+			t.Fatal(err)
+		}
+		if got := hashArray(t, arr); got != want {
+			t.Fatalf("content changed after failing disk %d", d)
+		}
+	}
+	stats := arr.Stats()
+	if stats.DegradedReads == 0 {
+		t.Fatal("expected degraded reads")
+	}
+}
+
+// TestRebuildRestoresContent: kill three disks, rebuild onto fresh
+// devices, verify hash and parity consistency.
+func TestRebuildRestoresContent(t *testing.T) {
+	arr := newOIArray(t, 9)
+	want := fillArray(t, arr, 4)
+	for _, d := range []int{1, 3, 5} {
+		if err := arr.FailDisk(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Rebuild(); !errors.Is(err, ErrNoReplacement) {
+		t.Fatalf("rebuild without replacements: %v", err)
+	}
+	for _, d := range []int{1, 3, 5} {
+		dev, err := NewMemDevice(2*int64(arr.an.SlotsPerDisk()), testStrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.ReplaceDisk(d, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arr.FailedDisks()) != 0 {
+		t.Fatal("failure flags not cleared")
+	}
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("content differs after rebuild")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub after rebuild: bad=%d err=%v", bad, err)
+	}
+}
+
+// TestWritesDuringDegradedMode: writes to strips on a failed disk update
+// the live parities, and the rebuild reconstructs the *new* content.
+func TestWritesDuringDegradedMode(t *testing.T) {
+	arr := newOIArray(t, 9)
+	fillArray(t, arr, 5)
+	if err := arr.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite the whole data space while degraded.
+	content := make([]byte, arr.Capacity())
+	rng := rand.New(rand.NewSource(99))
+	for i := range content {
+		content[i] = byte(rng.Intn(256))
+	}
+	if _, err := arr.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded reads must already see the new content.
+	got := make([]byte, arr.Capacity())
+	if _, err := arr.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("degraded read returned stale content")
+	}
+	// Rebuild and verify.
+	dev, err := NewMemDevice(2*int64(arr.an.SlotsPerDisk()), testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.ReplaceDisk(2, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := arr.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("rebuilt content differs from degraded-mode writes")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+// TestUpdateIOCounts pins the measured small-write cost: OI-RAID performs
+// 4 reads + 4 writes per aligned strip write, RAID5 2+2, RAID6 3+3.
+func TestUpdateIOCounts(t *testing.T) {
+	cases := []struct {
+		name       string
+		an         *core.Analyzer
+		wantRW     int64
+		wantWrites int64
+	}{
+		{"oi-raid", oiAnalyzer(t, 9), 4, 4},
+	}
+	r5, err := layout.NewRAID5(5)
+	cases = append(cases, struct {
+		name       string
+		an         *core.Analyzer
+		wantRW     int64
+		wantWrites int64
+	}{"raid5", analyzerFor(t, r5, err), 2, 2})
+	r6, err := layout.NewRAID6(6)
+	cases = append(cases, struct {
+		name       string
+		an         *core.Analyzer
+		wantRW     int64
+		wantWrites int64
+	}{"raid6", analyzerFor(t, r6, err), 3, 3})
+
+	for _, tc := range cases {
+		arr, err := NewMemArray(tc.an, 1, testStrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, testStrip)
+		arr.ResetStats()
+		if _, err := arr.WriteAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		st := arr.Stats()
+		if st.ReadOps != tc.wantRW || st.WriteOps != tc.wantWrites {
+			t.Errorf("%s: update cost %d reads / %d writes, want %d/%d",
+				tc.name, st.ReadOps, st.WriteOps, tc.wantRW, tc.wantWrites)
+		}
+	}
+}
+
+// TestRAID6ArrayWithRS: the multi-parity delta path produces consistent
+// parity (scrub-clean) and survives two failures.
+func TestRAID6ArrayWithRS(t *testing.T) {
+	r6, err := layout.NewRAID6(6)
+	an := analyzerFor(t, r6, err)
+	arr, err := NewMemArray(an, 2, testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillArray(t, arr, 6)
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+	for _, d := range []int{0, 3} {
+		if err := arr.FailDisk(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("raid6 degraded read mismatch")
+	}
+	for _, d := range []int{0, 3} {
+		dev, _ := NewMemDevice(2*int64(an.SlotsPerDisk()), testStrip)
+		if err := arr.ReplaceDisk(d, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("raid6 rebuild mismatch")
+	}
+}
+
+func TestDataLossReported(t *testing.T) {
+	r5, err := layout.NewRAID5(5)
+	an := analyzerFor(t, r5, err)
+	arr, err := NewMemArray(an, 1, testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillArray(t, arr, 7)
+	arr.FailDisk(0)
+	arr.FailDisk(1)
+	buf := make([]byte, testStrip)
+	if _, err := arr.ReadAt(buf, 0); err == nil {
+		t.Fatal("double failure on raid5 must surface data loss on read")
+	}
+	for _, d := range []int{0, 1} {
+		dev, _ := NewMemDevice(int64(an.SlotsPerDisk()), testStrip)
+		arr.ReplaceDisk(d, dev)
+	}
+	if err := arr.Rebuild(); !errors.Is(err, ErrDataLoss) {
+		t.Fatalf("expected ErrDataLoss, got %v", err)
+	}
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	if _, err := NewArray(an, make([]Device, 3)); err == nil {
+		t.Fatal("wrong device count must fail")
+	}
+	if _, err := NewMemArray(an, 0, testStrip); err == nil {
+		t.Fatal("zero cycles must fail")
+	}
+	// Mismatched strip sizes.
+	devs := make([]Device, an.Disks())
+	for i := range devs {
+		sb := testStrip
+		if i == 2 {
+			sb = testStrip * 2
+		}
+		dev, err := NewMemDevice(int64(an.SlotsPerDisk()), sb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = dev
+	}
+	if _, err := NewArray(an, devs); err == nil {
+		t.Fatal("mismatched strip sizes must fail")
+	}
+}
+
+func TestFileBackedArray(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	dir := t.TempDir()
+	devs := make([]Device, an.Disks())
+	for i := range devs {
+		dev, err := NewFileDevice(filepath.Join(dir, "disk"+string(rune('a'+i))+".img"),
+			int64(an.SlotsPerDisk()), testStrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = dev
+	}
+	arr, err := NewArray(an, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillArray(t, arr, 8)
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("file-backed round trip failed")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+func BenchmarkArrayWrite(b *testing.B) {
+	arr := newOIArray(b, 9)
+	buf := make([]byte, testStrip)
+	b.SetBytes(testStrip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * testStrip) % arr.Capacity()
+		if _, err := arr.WriteAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArrayDegradedRead(b *testing.B) {
+	arr := newOIArray(b, 9)
+	buf := make([]byte, testStrip)
+	if _, err := arr.WriteAt(buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	arr.FailDisk(0)
+	b.SetBytes(testStrip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := (int64(i) * testStrip) % arr.Capacity()
+		if _, err := arr.ReadAt(buf, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestRepairFixesSilentParityCorruption: corrupt a parity strip directly
+// on a device; Scrub detects it and Repair recomputes it, including the
+// cascading inner-parity fix when the corrupted strip is an outer parity.
+func TestRepairFixesSilentParityCorruption(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	arr, err := NewMemArray(an, 1, testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillArray(t, arr, 44)
+
+	// Locate an outer parity strip: in a stripe with Layer outer, the
+	// last member.
+	var victim layout.Strip
+	for _, s := range an.Scheme().Stripes() {
+		if s.Layer == layout.LayerOuter {
+			victim = s.Strips[len(s.Strips)-1]
+			break
+		}
+	}
+	// Corrupt it behind the array's back.
+	raw := make([]byte, testStrip)
+	dev := arr.devs[victim.Disk]
+	if err := dev.ReadStrip(int64(victim.Slot), raw); err != nil {
+		t.Fatal(err)
+	}
+	raw[7] ^= 0xFF
+	if err := dev.WriteStrip(int64(victim.Slot), raw); err != nil {
+		t.Fatal(err)
+	}
+
+	bad, err := arr.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad == 0 {
+		t.Fatal("scrub missed the corruption")
+	}
+	repaired, err := arr.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 {
+		t.Fatal("repair fixed nothing")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub after repair: bad=%d err=%v", bad, err)
+	}
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("repair altered user data")
+	}
+	if _, err := arr.Repair(); err != nil {
+		t.Fatal(err)
+	}
+	arr.FailDisk(0)
+	if _, err := arr.Repair(); !errors.Is(err, ErrDiskFailed) {
+		t.Fatalf("repair on degraded array: %v", err)
+	}
+}
+
+// TestConcurrentReaders: reads (healthy and degraded) run concurrently;
+// run with -race to catch synchronisation bugs.
+func TestConcurrentReaders(t *testing.T) {
+	arr := newOIArray(t, 9)
+	want := make([]byte, arr.Capacity())
+	rand.New(rand.NewSource(8)).Read(want)
+	if _, err := arr.WriteAt(want, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.FailDisk(4); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, 300)
+			for i := 0; i < 200; i++ {
+				off := rng.Int63n(arr.Capacity() - 300)
+				if _, err := arr.ReadAt(buf, off); err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(buf, want[off:off+300]) {
+					errs <- errors.New("concurrent read mismatch")
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if arr.Stats().DegradedReads == 0 {
+		t.Fatal("expected degraded reads in the mix")
+	}
+}
+
+// TestIncrementalRebuildWithOnlineIO: RebuildStep interleaved with reads
+// and writes stays coherent — writes landing in already-rebuilt cycles go
+// to the replacement device, writes in not-yet-rebuilt cycles are
+// reconstructed later, and the final array scrubs clean with the model's
+// content.
+func TestIncrementalRebuildWithOnlineIO(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	arr, err := NewMemArray(an, 8, testStrip) // 8 cycles → several steps
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := make([]byte, arr.Capacity())
+	rng := rand.New(rand.NewSource(77))
+	rng.Read(model)
+	if _, err := arr.WriteAt(model, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.FailDisk(3); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewMemDevice(8*int64(an.SlotsPerDisk()), testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.ReplaceDisk(3, dev); err != nil {
+		t.Fatal(err)
+	}
+
+	step := 0
+	for {
+		done, err := arr.RebuildStep(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, total := arr.RebuildProgress()
+		if done {
+			if rebuilt != 0 {
+				t.Fatalf("progress after completion = %d", rebuilt)
+			}
+			break
+		}
+		if rebuilt <= 0 || rebuilt >= total {
+			t.Fatalf("mid-rebuild progress %d/%d out of range", rebuilt, total)
+		}
+		// Interleave online I/O: overwrite a random range spanning both
+		// rebuilt and pending cycles, and verify reads.
+		n := 1 + rng.Intn(4000)
+		off := rng.Int63n(arr.Capacity() - int64(n))
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if _, err := arr.WriteAt(buf, off); err != nil {
+			t.Fatalf("step %d write: %v", step, err)
+		}
+		copy(model[off:], buf)
+		got := make([]byte, n)
+		if _, err := arr.ReadAt(got, off); err != nil {
+			t.Fatalf("step %d read: %v", step, err)
+		}
+		if !bytes.Equal(got, buf) {
+			t.Fatalf("step %d read-back mismatch", step)
+		}
+		step++
+	}
+	if step < 2 {
+		t.Fatalf("only %d incremental steps; batch too large for the test", step)
+	}
+	// Full verification.
+	got := make([]byte, arr.Capacity())
+	if _, err := arr.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("content diverged after online rebuild")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+// TestRebuildStepValidation: bad batches and a second failure mid-rebuild.
+func TestRebuildStepValidation(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	arr, err := NewMemArray(an, 4, testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillArray(t, arr, 3)
+	if _, err := arr.RebuildStep(0); err == nil {
+		t.Fatal("batch 0 must fail")
+	}
+	if done, err := arr.RebuildStep(1); err != nil || !done {
+		t.Fatalf("healthy array step = (%v, %v), want done", done, err)
+	}
+	arr.FailDisk(1)
+	dev, _ := NewMemDevice(4*int64(an.SlotsPerDisk()), testStrip)
+	arr.ReplaceDisk(1, dev)
+	if done, err := arr.RebuildStep(1); err != nil || done {
+		t.Fatalf("first step = (%v, %v), want in-progress", done, err)
+	}
+	// A second failure aborts the rebuild in flight.
+	arr.FailDisk(5)
+	if rebuilt, _ := arr.RebuildProgress(); rebuilt != 0 {
+		t.Fatalf("progress after mid-rebuild failure = %d, want 0", rebuilt)
+	}
+	// Disk 1's replacement was kept; disk 5 needs one.
+	dev5, _ := NewMemDevice(4*int64(an.SlotsPerDisk()), testStrip)
+	if err := arr.ReplaceDisk(5, dev5); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("content differs after restarted rebuild")
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+// TestChecksummedDeviceBasics: checksums verify on read, detect silent
+// corruption, and unknown strips pass through un-verified.
+func TestChecksummedDeviceBasics(t *testing.T) {
+	mem, err := NewMemDevice(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewChecksummedDevice(mem)
+	if dev.Strips() != 4 || dev.StripBytes() != 64 {
+		t.Fatal("geometry passthrough wrong")
+	}
+	p := bytes.Repeat([]byte{0x11}, 64)
+	if err := dev.WriteStrip(2, p); err != nil {
+		t.Fatal(err)
+	}
+	q := make([]byte, 64)
+	if err := dev.ReadStrip(2, q); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p, q) {
+		t.Fatal("round trip failed")
+	}
+	// Silent corruption behind the wrapper's back.
+	raw := make([]byte, 64)
+	if err := dev.Inner().ReadStrip(2, raw); err != nil {
+		t.Fatal(err)
+	}
+	raw[5] ^= 0x80
+	if err := dev.Inner().WriteStrip(2, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadStrip(2, q); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+	// Never-written strip: no checksum, read passes.
+	if err := dev.ReadStrip(0, q); err != nil {
+		t.Fatalf("unverified strip read failed: %v", err)
+	}
+	if err := dev.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadRepairHealsLatentSectorError: corrupt a data strip behind a
+// checksummed device; a foreground read detects it, reconstructs from
+// parity, heals in place, and subsequent reads hit clean media.
+func TestReadRepairHealsLatentSectorError(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	devs := make([]Device, an.Disks())
+	for i := range devs {
+		mem, err := NewMemDevice(int64(an.SlotsPerDisk()), testStrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs[i] = NewChecksummedDevice(mem)
+	}
+	arr, err := NewArray(an, devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fillArray(t, arr, 66)
+
+	// Corrupt the physical location of logical strip 0 silently.
+	d, devStrip := arr.locate(0)
+	cd := devs[d].(*ChecksummedDevice)
+	raw := make([]byte, testStrip)
+	if err := cd.Inner().ReadStrip(devStrip, raw); err != nil {
+		t.Fatal(err)
+	}
+	raw[0] ^= 0xFF
+	if err := cd.Inner().WriteStrip(devStrip, raw); err != nil {
+		t.Fatal(err)
+	}
+
+	arr.ResetStats()
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("content wrong despite read repair")
+	}
+	st := arr.Stats()
+	if st.ReadRepairs != 1 {
+		t.Fatalf("read repairs = %d, want 1", st.ReadRepairs)
+	}
+	// The strip is healed: a second full read performs no repairs.
+	arr.ResetStats()
+	if got := hashArray(t, arr); got != want {
+		t.Fatal("content wrong after repair")
+	}
+	if st := arr.Stats(); st.ReadRepairs != 0 || st.DegradedReads != 0 {
+		t.Fatalf("post-repair stats = %+v, want clean reads", st)
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+func TestReplaceDiskValidation(t *testing.T) {
+	arr := newOIArray(t, 9)
+	if err := arr.ReplaceDisk(0, nil); err == nil {
+		t.Fatal("replacing a healthy disk must fail")
+	}
+	arr.FailDisk(0)
+	small, _ := NewMemDevice(1, testStrip)
+	if err := arr.ReplaceDisk(0, small); err == nil {
+		t.Fatal("undersized replacement must fail")
+	}
+	wrongStrip, _ := NewMemDevice(2*int64(arr.an.SlotsPerDisk()), testStrip*2)
+	if err := arr.ReplaceDisk(0, wrongStrip); err == nil {
+		t.Fatal("wrong strip size must fail")
+	}
+	if err := arr.ReplaceDisk(99, small); err == nil {
+		t.Fatal("unknown disk must fail")
+	}
+}

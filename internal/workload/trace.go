@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace replays a recorded access sequence, looping when it reaches the
+// end — the bridge for driving the simulator or the byte-accurate array
+// with captured I/O traces instead of synthetic distributions.
+type Trace struct {
+	accesses []Access
+	pos      int
+	name     string
+}
+
+var _ Generator = (*Trace)(nil)
+
+// NewTrace wraps an access list as a looping generator.
+func NewTrace(name string, accesses []Access) (*Trace, error) {
+	if len(accesses) == 0 {
+		return nil, errors.New("workload: empty trace")
+	}
+	for i, a := range accesses {
+		if a.Index < 0 {
+			return nil, fmt.Errorf("workload: trace record %d has negative index", i)
+		}
+	}
+	return &Trace{accesses: accesses, name: name}, nil
+}
+
+// Next implements Generator.
+func (t *Trace) Next() Access {
+	a := t.accesses[t.pos]
+	t.pos = (t.pos + 1) % len(t.accesses)
+	return a
+}
+
+// Name implements Generator.
+func (t *Trace) Name() string { return fmt.Sprintf("trace(%s,n=%d)", t.name, len(t.accesses)) }
+
+// Len returns the number of records before the trace loops.
+func (t *Trace) Len() int { return len(t.accesses) }
+
+// ParseTrace reads the plain-text trace format: one record per line,
+// "<strip-index> <R|W>", with '#' comments and blank lines ignored.
+func ParseTrace(name string, r io.Reader) (*Trace, error) {
+	var accesses []Access
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: trace line %d: want \"<index> <R|W>\", got %q", lineNo, line)
+		}
+		idx, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil || idx < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad index %q", lineNo, fields[0])
+		}
+		var write bool
+		switch strings.ToUpper(fields[1]) {
+		case "R":
+			write = false
+		case "W":
+			write = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: op %q not R or W", lineNo, fields[1])
+		}
+		accesses = append(accesses, Access{Index: idx, Write: write})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read trace: %w", err)
+	}
+	return NewTrace(name, accesses)
+}
+
+// WriteTrace emits the plain-text trace format for the given accesses.
+func WriteTrace(w io.Writer, accesses []Access) error {
+	bw := bufio.NewWriter(w)
+	for _, a := range accesses {
+		op := "R"
+		if a.Write {
+			op = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s\n", a.Index, op); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Record captures n accesses from any generator into a slice (e.g. to
+// persist a synthetic workload for reproducible replay).
+func Record(g Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

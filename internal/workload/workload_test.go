@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := NewSequential(0, 0, 1); err == nil {
+		t.Error("size 0 must fail")
+	}
+	if _, err := NewUniform(10, -0.1, 1); err == nil {
+		t.Error("negative write fraction must fail")
+	}
+	if _, err := NewUniform(10, 1.1, 1); err == nil {
+		t.Error("write fraction > 1 must fail")
+	}
+	if _, err := NewZipf(10, 0.9, 0, 1); err == nil {
+		t.Error("zipf s ≤ 1 must fail")
+	}
+	if _, err := NewPoisson(0, 1); err == nil {
+		t.Error("rate 0 must fail")
+	}
+}
+
+func TestSequentialWraps(t *testing.T) {
+	g, err := NewSequential(3, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 1, 2, 0, 1}
+	for i, w := range want {
+		a := g.Next()
+		if a.Index != w || a.Write {
+			t.Fatalf("access %d = %+v, want index %d read", i, a, w)
+		}
+	}
+}
+
+func TestUniformInRangeAndWriteFraction(t *testing.T) {
+	g, err := NewUniform(100, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Index < 0 || a.Index >= 100 {
+			t.Fatalf("index %d out of range", a.Index)
+		}
+		if a.Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("write fraction = %v, want ≈ 0.3", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g, err := NewZipf(1000, 1.5, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	const n = 50000
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Index < 0 || a.Index >= 1000 {
+			t.Fatalf("index %d out of range", a.Index)
+		}
+		counts[a.Index]++
+	}
+	// Strip 0 must be the clear hot spot.
+	if float64(counts[0])/n < 0.3 {
+		t.Fatalf("zipf head fraction = %v, want > 0.3", float64(counts[0])/n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := NewUniform(1000, 0.5, 99)
+	g2, _ := NewUniform(1000, 0.5, 99)
+	for i := 0; i < 100; i++ {
+		if g1.Next() != g2.Next() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	z1, _ := NewZipf(1000, 1.2, 0.5, 3)
+	z2, _ := NewZipf(1000, 1.2, 0.5, 3)
+	for i := 0; i < 100; i++ {
+		if z1.Next() != z2.Next() {
+			t.Fatal("zipf streams with same seed must match")
+		}
+	}
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	p, err := NewPoisson(200, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := p.NextGap()
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		total += g
+	}
+	mean := total / n
+	if math.Abs(mean-0.005) > 0.0005 {
+		t.Fatalf("mean gap = %v, want ≈ 1/200", mean)
+	}
+}
+
+func TestNames(t *testing.T) {
+	s, _ := NewSequential(10, 0, 1)
+	u, _ := NewUniform(10, 0, 1)
+	z, _ := NewZipf(10, 1.5, 0, 1)
+	for _, g := range []Generator{s, u, z} {
+		if g.Name() == "" {
+			t.Error("empty generator name")
+		}
+	}
+}
+
+func TestTraceReplayAndLoop(t *testing.T) {
+	tr, err := NewTrace("test", []Access{{Index: 5}, {Index: 7, Write: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Access{{5, false}, {7, true}, {5, false}, {7, true}}
+	for i, w := range want {
+		if got := tr.Next(); got != w {
+			t.Fatalf("access %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, err := NewTrace("empty", nil); err == nil {
+		t.Fatal("empty trace must fail")
+	}
+	if _, err := NewTrace("neg", []Access{{Index: -1}}); err == nil {
+		t.Fatal("negative index must fail")
+	}
+}
+
+func TestParseTrace(t *testing.T) {
+	input := strings.NewReader(`
+# a comment
+5 R
+12 W
+
+3 r
+`)
+	tr, err := ParseTrace("input", input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("parsed %d records, want 3", tr.Len())
+	}
+	if a := tr.Next(); a.Index != 5 || a.Write {
+		t.Fatalf("record 0 = %+v", a)
+	}
+	if a := tr.Next(); a.Index != 12 || !a.Write {
+		t.Fatalf("record 1 = %+v", a)
+	}
+	for _, bad := range []string{"x R", "5", "5 Q", "-3 R"} {
+		if _, err := ParseTrace("bad", strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q must fail", bad)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	gen, err := NewZipf(500, 1.3, 0.25, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := Record(gen, 200)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, recorded); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseTrace("roundtrip", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recorded {
+		if got := tr.Next(); got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+}

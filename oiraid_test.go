@@ -1,0 +1,219 @@
+package oiraid
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testGeometry(t testing.TB, v int) *Geometry {
+	t.Helper()
+	g, err := NewGeometry(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeometry(t *testing.T) {
+	g := testGeometry(t, 25)
+	if g.Disks() != 25 || g.GroupSize() != 5 || g.Replication() != 6 || g.GroupsPerClass() != 5 {
+		t.Fatalf("geometry parameters wrong: %v", g)
+	}
+	if df := g.DataFraction(); df < 0.63 || df > 0.65 { // (4/5)(4/5) = 0.64
+		t.Fatalf("data fraction = %v, want 0.64", df)
+	}
+	if !strings.Contains(g.String(), "v=25") {
+		t.Fatalf("String() = %q", g.String())
+	}
+	if _, err := NewGeometry(10); err == nil {
+		t.Fatal("unsupported disk count must fail")
+	}
+}
+
+func TestSupportedDiskCounts(t *testing.T) {
+	counts := SupportedDiskCounts(50)
+	want := map[int]bool{4: true, 8: true, 9: true, 15: true, 16: true, 25: true, 27: true, 32: true, 49: true}
+	if len(counts) != len(want) {
+		t.Fatalf("counts = %v", counts)
+	}
+	for _, c := range counts {
+		if !want[c] {
+			t.Fatalf("unexpected size %d", c)
+		}
+	}
+}
+
+func TestGeometryOptions(t *testing.T) {
+	g, err := NewGeometry(9, WithRows(18), WithoutSkew())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Recoverable([]int{0, 1, 2}) != true {
+		t.Fatal("triple failure must remain recoverable without skew")
+	}
+}
+
+func TestGeometryAnalysis(t *testing.T) {
+	g := testGeometry(t, 9)
+	plan := g.Plan([]int{3})
+	if !plan.Complete || plan.Phases != 1 {
+		t.Fatalf("plan = %v", plan)
+	}
+	if !g.Recoverable([]int{0, 4, 8}) {
+		t.Fatal("triple failure must be recoverable")
+	}
+	p := g.Properties(3)
+	if p.GuaranteedTolerance != 3 || p.UpdateWrites != 4 {
+		t.Fatalf("properties = %+v", p)
+	}
+}
+
+// TestEndToEndLifecycle exercises the full public API: create an array,
+// write data, kill three disks, serve degraded reads, rebuild, verify.
+func TestEndToEndLifecycle(t *testing.T) {
+	g := testGeometry(t, 9)
+	arr, err := NewMemArray(g, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := make([]byte, arr.Capacity())
+	rng := rand.New(rand.NewSource(1))
+	for i := range content {
+		content[i] = byte(rng.Intn(256))
+	}
+	if _, err := arr.WriteAt(content, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []int{2, 5, 7} {
+		if err := arr.FailDisk(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(content))
+	if _, err := arr.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, content) {
+		t.Fatal("degraded read mismatch")
+	}
+	for _, d := range []int{2, 5, 7} {
+		dev, err := NewMemDevice(2*int64(g.Analyzer().SlotsPerDisk()), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := arr.ReplaceDisk(d, dev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := arr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if bad, err := arr.Scrub(); err != nil || bad != 0 {
+		t.Fatalf("scrub: bad=%d err=%v", bad, err)
+	}
+}
+
+func TestFileArray(t *testing.T) {
+	g := testGeometry(t, 9)
+	arr, err := NewFileArray(g, t.TempDir(), 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("persistent across the two layers")
+	if _, err := arr.WriteAt(msg, 100); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := arr.ReadAt(got, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("file array round trip failed")
+	}
+}
+
+func TestSimulateRecoveryFacade(t *testing.T) {
+	g := testGeometry(t, 9)
+	cfg := SimConfig{
+		Disk: DiskParams{CapacityBytes: 1 << 30, BandwidthBps: 150e6, Seek: 8 * time.Millisecond},
+	}
+	res, err := SimulateRecovery(g, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RebuildSeconds <= 0 {
+		t.Fatal("no rebuild time")
+	}
+	// RAID5 baseline must be slower.
+	r5, err := NewRAID5(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res5, err := SimulateRecoveryOn(r5, []int{0}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res5.RebuildSeconds <= res.RebuildSeconds {
+		t.Fatalf("raid5 rebuild %.1fs not slower than oi-raid %.1fs",
+			res5.RebuildSeconds, res.RebuildSeconds)
+	}
+}
+
+func TestReliabilityFacade(t *testing.T) {
+	g := testGeometry(t, 9)
+	p := ReliabilityParams{MTTFHours: 500_000, MTTRHours: 20}
+	mttdl, err := EstimateMTTDL(g, p, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := NewRAID5(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mttdl5, err := MTTDLOf(r5, p, 3, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mttdl <= 100*mttdl5 {
+		t.Fatalf("oi-raid MTTDL %.3g not ≫ raid5 %.3g", mttdl, mttdl5)
+	}
+	pl, err := MonteCarloDataLoss(g, ReliabilityParams{MTTFHours: 2000, MTTRHours: 100}, 20000, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl < 0 || pl > 1 {
+		t.Fatalf("P(loss) = %v", pl)
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	if _, err := NewRAID5(1); err == nil {
+		t.Fatal("raid5(1) must fail")
+	}
+	if _, err := NewRAID6(2); err == nil {
+		t.Fatal("raid6(2) must fail")
+	}
+	if _, err := NewS2RAID(4, 4); err == nil {
+		t.Fatal("s2(composite g) must fail")
+	}
+	if _, err := NewParityDecluster(1000, 900); err == nil {
+		t.Fatal("oversized pd must fail")
+	}
+	for _, mk := range []func() (*Analyzer, error){
+		func() (*Analyzer, error) { return NewRAID5(8) },
+		func() (*Analyzer, error) { return NewRAID6(8) },
+		func() (*Analyzer, error) { return NewParityDecluster(13, 4) },
+		func() (*Analyzer, error) { return NewS2RAID(3, 4) },
+	} {
+		a, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Disks() == 0 {
+			t.Fatal("empty analyzer")
+		}
+	}
+}

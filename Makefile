@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet check bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine's concurrency protocol is the main race-detector target;
+# -count=2 reshuffles goroutine interleavings.
+race:
+	$(GO) test -race -count=2 ./internal/engine/... ./internal/server/... ./cmd/oiraidd/...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+clean:
+	$(GO) clean ./...

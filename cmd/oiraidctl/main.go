@@ -17,6 +17,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	"github.com/oiraid/oiraid"
+	"github.com/oiraid/oiraid/internal/server"
 	"github.com/oiraid/oiraid/internal/store"
 )
 
@@ -52,10 +54,19 @@ func main() {
 		length = fs.Int64("len", 0, "bytes to read")
 		diskID = fs.Int("disk", -1, "disk id")
 		failIn = fs.String("fail", "", "comma-separated disk ids")
+		remote = fs.String("remote", "", "oiraidd base URL; run the command against a server instead of -dir")
 	)
 	fs.Parse(os.Args[2:])
 
 	var err error
+	if *remote != "" {
+		err = remoteCmd(server.NewClient(*remote), cmd, *off, *length, *diskID, os.Stdin, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	switch cmd {
 	case "create":
 		err = create(*dir, *disks, *cycles, *strip)
@@ -90,10 +101,13 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze> [flags]
+	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze|metrics> [flags]
 
   export  -disks N               write the layout as JSON to stdout
-  analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties`)
+  analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
+
+With -remote URL the status, write, read, fail, rebuild, and metrics
+commands run against an oiraidd server instead of a local -dir array.`)
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "oiraid.json") }
@@ -256,7 +270,7 @@ func readCmd(dir string, off, length int64, out io.Writer) error {
 	}
 	buf := make([]byte, length)
 	n, err := arr.ReadAt(buf, off)
-	if err != nil && err != io.EOF {
+	if err != nil && !errors.Is(err, io.EOF) {
 		return err
 	}
 	_, werr := out.Write(buf[:n])
@@ -331,7 +345,84 @@ func scrubCmd(dir string) error {
 	}
 	fmt.Printf("scrub: %d inconsistent stripes\n", bad)
 	if bad > 0 {
-		os.Exit(1)
+		return fmt.Errorf("%d inconsistent stripe(s)", bad)
+	}
+	return nil
+}
+
+// remoteCmd routes a command to an oiraidd server through the HTTP
+// client; only the operational subcommands exist remotely.
+func remoteCmd(c *server.Client, cmd string, off, length int64, diskID int, in io.Reader, out io.Writer) error {
+	switch cmd {
+	case "status":
+		return remoteStatus(c, out)
+	case "write":
+		data, err := io.ReadAll(in)
+		if err != nil {
+			return err
+		}
+		n, err := c.WriteAt(data, off)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d bytes at offset %d\n", n, off)
+		return nil
+	case "read":
+		if length <= 0 {
+			return fmt.Errorf("need -len > 0")
+		}
+		buf := make([]byte, length)
+		n, err := c.ReadAt(buf, off)
+		if err != nil && !errors.Is(err, io.EOF) {
+			return err
+		}
+		_, werr := out.Write(buf[:n])
+		return werr
+	case "fail":
+		if err := c.FailDisk(diskID); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "disk %d marked failed\n", diskID)
+		return nil
+	case "rebuild":
+		if err := c.Rebuild(true); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "rebuild complete")
+		return nil
+	case "metrics":
+		m, err := c.Metrics()
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(out, m)
+		return nil
+	default:
+		return fmt.Errorf("command %q is not available with -remote", cmd)
+	}
+}
+
+func remoteStatus(c *server.Client, w io.Writer) error {
+	st, err := c.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d disks, %d cycles, strip: %d B, usable capacity: %d B\n",
+		st.Disks, st.Cycles, st.StripBytes, st.Capacity)
+	switch {
+	case len(st.Failed) == 0:
+		fmt.Fprintln(w, "state: healthy")
+	case st.Rebuilding:
+		fmt.Fprintf(w, "state: rebuilding, failed disks %v, %d/%d cycles done\n",
+			st.Failed, st.Rebuilt, st.Cycles)
+	case !st.Exposure.Recoverable:
+		fmt.Fprintf(w, "state: FAILED — pattern %v exceeds fault tolerance (data loss)\n", st.Failed)
+	case len(st.Exposure.CriticalDisks) > 0:
+		fmt.Fprintf(w, "state: degraded, failed disks %v — CRITICAL: losing any of disks %v would lose data\n",
+			st.Failed, st.Exposure.CriticalDisks)
+	default:
+		fmt.Fprintf(w, "state: degraded, failed disks %v — %d further arbitrary failure(s) still survivable\n",
+			st.Failed, st.Exposure.Slack)
 	}
 	return nil
 }

@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+
+	"github.com/oiraid/oiraid"
+	"github.com/oiraid/oiraid/internal/server"
 )
 
 // TestLifecycle drives the full command surface against a temp directory:
@@ -72,6 +78,88 @@ func TestLifecycle(t *testing.T) {
 	}
 	if !bytes.Equal(out.Bytes(), payload) {
 		t.Fatal("content differs after rebuild")
+	}
+}
+
+// TestRemoteLifecycle drives the -remote command path against an
+// in-process oiraidd: write → read → fail → degraded read → rebuild →
+// status/metrics.
+func TestRemoteLifecycle(t *testing.T) {
+	g, err := oiraid.NewGeometry(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := oiraid.NewMemArray(g, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := oiraid.NewEngine(arr, oiraid.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := oiraid.NewServer(eng, oiraid.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+	c := server.NewClient(ts.URL)
+
+	payload := make([]byte, 3000)
+	rand.New(rand.NewSource(9)).Read(payload)
+	if err := remoteCmd(c, "write", 64, 0, -1, bytes.NewReader(payload), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := remoteCmd(c, "read", 64, int64(len(payload)), -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("remote read back differs")
+	}
+
+	out.Reset()
+	if err := remoteCmd(c, "fail", 0, 0, 4, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := remoteCmd(c, "status", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "degraded") {
+		t.Fatalf("status after failure: %s", out.String())
+	}
+	out.Reset()
+	if err := remoteCmd(c, "read", 64, int64(len(payload)), -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("remote degraded read differs")
+	}
+
+	out.Reset()
+	if err := remoteCmd(c, "rebuild", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := remoteCmd(c, "status", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "healthy") {
+		t.Fatalf("status after rebuild: %s", out.String())
+	}
+	out.Reset()
+	if err := remoteCmd(c, "metrics", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "oiraid_engine_writes_total") {
+		t.Fatalf("metrics output: %s", out.String())
+	}
+	if err := remoteCmd(c, "scrub", 0, 0, -1, nil, io.Discard); err == nil {
+		t.Fatal("scrub must be rejected with -remote")
+	}
+	if err := remoteCmd(c, "read", 0, 0, -1, nil, io.Discard); err == nil {
+		t.Fatal("read without -len must fail")
 	}
 }
 

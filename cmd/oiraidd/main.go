@@ -1,0 +1,147 @@
+// Command oiraidd serves an OI-RAID array over HTTP: the concurrency
+// engine (internal/engine) fronted by the strip API (internal/server).
+//
+// Usage:
+//
+//	oiraidd -addr :7979 -disks 9 -cycles 4 -strip 4096           # memory-backed
+//	oiraidd -addr :7979 -disks 9 -cycles 4 -strip 4096 -dir a    # file-backed
+//
+// With -dir the daemon persists one device image per disk under the
+// directory, reopening existing images on restart; without it the array
+// lives in memory and vanishes on exit. The process shuts down
+// gracefully on SIGINT/SIGTERM: in-flight requests complete, a running
+// rebuild finishes its current batch, and the engine drains.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"github.com/oiraid/oiraid"
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/server"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+type config struct {
+	addr    string
+	disks   int
+	cycles  int64
+	strip   int
+	dir     string
+	workers int
+	batch   int64
+	timeout time.Duration
+}
+
+// buildServer assembles geometry → array → engine → server from flags.
+// Split from main so the end-to-end test can boot the identical stack on
+// a loopback listener.
+func buildServer(cfg config) (*server.Server, error) {
+	g, err := oiraid.NewGeometry(cfg.disks)
+	if err != nil {
+		return nil, err
+	}
+	var arr *oiraid.Array
+	opts := engine.Options{Workers: cfg.workers}
+	if cfg.dir != "" {
+		arr, err = openFileArray(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Replacement disks for rebuilds are fresh image files, not the
+		// engine's default in-memory devices.
+		strips := cfg.cycles * int64(g.Analyzer().SlotsPerDisk())
+		opts.Replace = func(d int) (store.Device, error) {
+			return store.NewFileDevice(imgPath(cfg.dir, d), strips, cfg.strip)
+		}
+	} else {
+		arr, err = oiraid.NewMemArray(g, cfg.cycles, cfg.strip)
+		if err != nil {
+			return nil, err
+		}
+	}
+	eng, err := engine.New(arr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return server.New(eng, server.Options{
+		RequestTimeout: cfg.timeout,
+		RebuildBatch:   cfg.batch,
+	}), nil
+}
+
+func imgPath(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("disk%02d.img", i)) }
+
+// openFileArray reopens existing device images under dir, or creates the
+// set on first boot.
+func openFileArray(g *oiraid.Geometry, cfg config) (*oiraid.Array, error) {
+	if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+		return nil, err
+	}
+	if _, err := os.Stat(imgPath(cfg.dir, 0)); os.IsNotExist(err) {
+		return oiraid.NewFileArray(g, cfg.dir, cfg.cycles, cfg.strip)
+	}
+	strips := cfg.cycles * int64(g.Analyzer().SlotsPerDisk())
+	devs := make([]oiraid.Device, g.Disks())
+	for i := range devs {
+		dev, err := store.OpenFileDevice(imgPath(cfg.dir, i), strips, cfg.strip)
+		if err != nil {
+			return nil, fmt.Errorf("disk %d: %w", i, err)
+		}
+		devs[i] = dev
+	}
+	return store.NewArray(g.Analyzer(), devs)
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:7979", "listen address")
+	flag.IntVar(&cfg.disks, "disks", 9, "number of disks")
+	flag.Int64Var(&cfg.cycles, "cycles", 4, "layout cycles per disk")
+	flag.IntVar(&cfg.strip, "strip", 4096, "strip size in bytes")
+	flag.StringVar(&cfg.dir, "dir", "", "device-image directory (empty: memory-backed)")
+	flag.IntVar(&cfg.workers, "workers", 0, "I/O pool size (0: engine default)")
+	flag.Int64Var(&cfg.batch, "rebuild-batch", 1, "layout cycles per rebuild batch")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	if err := run(cfg); err != nil {
+		log.Fatalf("oiraidd: %v", err)
+	}
+}
+
+func run(cfg config) error {
+	srv, err := buildServer(cfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("oiraidd: serving %d disks on http://%s", cfg.disks, l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("oiraidd: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		return srv.Shutdown(sctx)
+	}
+}

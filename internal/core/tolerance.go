@@ -55,14 +55,14 @@ func (a *Analyzer) findUnrecoverable(pattern []int, start, size int) []int {
 // Exposure describes the risk state of a degraded array.
 type Exposure struct {
 	// Recoverable reports whether the current pattern loses no data.
-	Recoverable bool
+	Recoverable bool `json:"recoverable"`
 	// CriticalDisks lists the surviving disks whose additional failure
 	// would cause data loss. Empty while the array retains full slack.
-	CriticalDisks []int
+	CriticalDisks []int `json:"critical_disks,omitempty"`
 	// Slack is the number of additional arbitrary failures guaranteed to
 	// be survivable from this state (0 when CriticalDisks is non-empty;
 	// computed exhaustively up to maxSlack).
-	Slack int
+	Slack int `json:"slack"`
 }
 
 // MeasureExposure reports the risk state after the given failures: which

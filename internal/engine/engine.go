@@ -1,0 +1,565 @@
+// Package engine is the concurrency layer over store.Array: striped locks
+// keyed by stripe id let reads and read-modify-writes on disjoint stripes
+// proceed in parallel while the 4-strip update closure of one stripe (data
+// strip, inner parity, outer parity, outer parity's inner parity) stays
+// atomic; a bounded worker pool fans multi-strip requests out; and a
+// background goroutine drives incremental rebuild batches under the same
+// coordination so foreground I/O interleaves safely with recovery.
+//
+// Locking model. Every engine operation holds the engine's mode lock
+// shared; structural transitions (FailDisk, rebuild completion) hold it
+// exclusive. While at most one disk is failed, every reconstruction path
+// decodes through a single stripe that contains the target strip, so
+// holding the striped locks of the target's stripe set — read-shared for
+// reads, exclusive for the write closure — is a complete exclusion
+// protocol, and writes go through Array.ConcurrentWriteAt (the array's
+// read lock) to run in parallel. With two or more disks failed, a read may
+// take the multi-phase deep-reconstruction path across arbitrary stripes,
+// so writes fall back to the exclusive mode lock; reads stay shared (the
+// deep path only reads, and read repair is idempotent). Array-internal
+// structural state is additionally protected by the array's own RWMutex,
+// which RebuildStep takes exclusively — rebuild batches therefore
+// serialise against every device access without blocking the engine's
+// admission path between batches.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/layout"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// Engine errors.
+var (
+	// ErrClosed reports an operation on a closed engine.
+	ErrClosed = errors.New("engine: closed")
+	// ErrRebuildRunning reports a StartRebuild while one is in flight.
+	ErrRebuildRunning = errors.New("engine: rebuild already running")
+)
+
+// Options tunes an Engine.
+type Options struct {
+	// Workers bounds the worker pool that fans multi-strip ReadAt/WriteAt
+	// requests out (default 8).
+	Workers int
+	// LockStripes is the size of the striped-lock table (default 128).
+	// (cycle, stripe) pairs hash onto it, so a smaller table trades
+	// parallelism for footprint, never correctness.
+	LockStripes int
+	// Replace provisions a replacement device for a failed disk when a
+	// rebuild starts. Default: a fresh in-memory device of array geometry.
+	Replace func(disk int) (store.Device, error)
+}
+
+// Engine wraps a store.Array for concurrent use.
+type Engine struct {
+	arr *store.Array
+	an  *core.Analyzer
+	sch layout.Scheme
+
+	stripBytes int
+	perCycle   int   // data strips per layout cycle
+	strips     int64 // total data strips
+	nStripes   int   // stripes per layout cycle
+
+	// writeSets[i] / readSets[i] are the stripe ids (per cycle) an
+	// operation on data strip i of a cycle must lock: the full parity
+	// closure for writes, the stripes containing the strip for reads.
+	writeSets [][]int
+	readSets  [][]int
+	locks     []sync.RWMutex
+
+	// mode is held shared by striped operations and exclusive by
+	// structural transitions; failedDisks gates the deep-degraded
+	// fallback (see the package comment).
+	mode        sync.RWMutex
+	failedDisks atomic.Int64
+
+	// submitMu is held shared while enqueueing pool tasks and exclusive
+	// by Close, so the task channel is never closed under a sender.
+	submitMu sync.RWMutex
+	tasks    chan func()
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	replace func(disk int) (store.Device, error)
+
+	rebuildMu   sync.Mutex
+	rebuilding  bool
+	rebuildErr  error
+	rebuildDone chan struct{}
+
+	stats counters
+}
+
+// New builds an engine over the array. The array must not be accessed
+// directly (other than read-only inspection) while the engine owns it.
+func New(arr *store.Array, opts Options) (*Engine, error) {
+	an := arr.Analyzer()
+	sch := an.Scheme()
+	if opts.Workers <= 0 {
+		opts.Workers = 8
+	}
+	if opts.LockStripes <= 0 {
+		opts.LockStripes = 128
+	}
+	e := &Engine{
+		arr:        arr,
+		an:         an,
+		sch:        sch,
+		stripBytes: arr.StripBytes(),
+		perCycle:   len(sch.DataStrips()),
+		nStripes:   len(sch.Stripes()),
+		locks:      make([]sync.RWMutex, opts.LockStripes),
+		tasks:      make(chan func(), 4*opts.Workers),
+		replace:    opts.Replace,
+	}
+	e.strips = arr.Cycles() * int64(e.perCycle)
+	if e.replace == nil {
+		slots := int64(an.SlotsPerDisk())
+		e.replace = func(int) (store.Device, error) {
+			return store.NewMemDevice(arr.Cycles()*slots, e.stripBytes)
+		}
+	}
+	e.buildLockSets()
+	e.failedDisks.Store(int64(len(arr.FailedDisks())))
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for fn := range e.tasks {
+				fn()
+			}
+		}()
+	}
+	return e, nil
+}
+
+// buildLockSets precomputes, per data-strip position within a cycle, the
+// stripe ids to lock. The write set is every stripe in which a strip of
+// the update closure is a data member — which also covers every stripe
+// containing an updated strip as parity, since such a stripe is the one
+// that put the parity strip into the closure. The read set is the stripes
+// containing the strip, any one of which the single-stripe decode path may
+// pick.
+func (e *Engine) buildLockSets() {
+	e.writeSets = make([][]int, e.perCycle)
+	e.readSets = make([][]int, e.perCycle)
+	for i, st := range e.sch.DataStrips() {
+		wset := make(map[int]bool)
+		for _, u := range e.an.UpdateStrips(st) {
+			for _, si := range e.an.DataMemberStripes(u) {
+				wset[si] = true
+			}
+		}
+		e.writeSets[i] = sortedKeys(wset)
+		e.readSets[i] = append([]int(nil), e.an.DataMemberStripes(st)...)
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; sets are tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// StripBytes returns the strip size.
+func (e *Engine) StripBytes() int { return e.stripBytes }
+
+// Strips returns the number of logical data strips.
+func (e *Engine) Strips() int64 { return e.strips }
+
+// Capacity returns the usable capacity in bytes.
+func (e *Engine) Capacity() int64 { return e.arr.Capacity() }
+
+// Array exposes the wrapped array for read-only inspection (tests,
+// scrubbing a quiesced engine).
+func (e *Engine) Array() *store.Array { return e.arr }
+
+// checkStrip validates a logical strip address.
+func (e *Engine) checkStrip(addr int64) error {
+	if addr < 0 || addr >= e.strips {
+		return fmt.Errorf("%w: strip %d of %d", store.ErrStripOutOfRange, addr, e.strips)
+	}
+	return nil
+}
+
+// ReadStrip returns the content of logical data strip addr, reconstructing
+// transparently when its disk is failed.
+func (e *Engine) ReadStrip(addr int64) ([]byte, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := e.checkStrip(addr); err != nil {
+		return nil, err
+	}
+	p := make([]byte, e.stripBytes)
+	if err := e.stripOp(addr, false, func() error {
+		_, err := e.arr.ReadAt(p, addr*int64(e.stripBytes))
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	e.stats.reads.Add(1)
+	return p, nil
+}
+
+// WriteStrip replaces logical data strip addr. len(p) must be StripBytes.
+func (e *Engine) WriteStrip(addr int64, p []byte) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if err := e.checkStrip(addr); err != nil {
+		return err
+	}
+	if len(p) != e.stripBytes {
+		return fmt.Errorf("%w: got %d, strip is %d", store.ErrShortBuffer, len(p), e.stripBytes)
+	}
+	if err := e.stripOp(addr, true, func() error {
+		_, err := e.arr.ConcurrentWriteAt(p, addr*int64(e.stripBytes))
+		return err
+	}); err != nil {
+		return err
+	}
+	e.stats.writes.Add(1)
+	return nil
+}
+
+// stripOp runs fn for one data strip under the engine's exclusion
+// protocol: mode lock shared, then the strip's striped locks — shared for
+// reads, exclusive for the write closure. With ≥2 disks failed, writes
+// escalate to the exclusive mode lock instead (deep reconstruction may
+// cross arbitrary stripes; see the package comment).
+func (e *Engine) stripOp(addr int64, write bool, fn func() error) error {
+	e.mode.RLock()
+	if write && e.failedDisks.Load() >= 2 {
+		e.mode.RUnlock()
+		t := nowNano()
+		e.mode.Lock()
+		e.stats.lockWaitNs.Add(nowNano() - t)
+		defer e.mode.Unlock()
+		return fn()
+	}
+	defer e.mode.RUnlock()
+	cycle := addr / int64(e.perCycle)
+	pos := int(addr % int64(e.perCycle))
+	set := e.readSets[pos]
+	if write {
+		set = e.writeSets[pos]
+	}
+	unlock := e.lockStripes(cycle, set, write)
+	defer unlock()
+	return fn()
+}
+
+// lockStripes acquires the striped locks for the given stripe ids of one
+// cycle in ascending table order (deadlock-free against every other
+// acquisition, which uses the same order), returning the paired unlock.
+func (e *Engine) lockStripes(cycle int64, stripes []int, write bool) (unlock func()) {
+	idx := make([]int, 0, len(stripes))
+	for _, si := range stripes {
+		i := int((cycle*int64(e.nStripes) + int64(si)) % int64(len(e.locks)))
+		dup := false
+		for _, seen := range idx {
+			if seen == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			idx = append(idx, i)
+		}
+	}
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && idx[j] < idx[j-1]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	t := nowNano()
+	for _, i := range idx {
+		if write {
+			e.locks[i].Lock()
+		} else {
+			e.locks[i].RLock()
+		}
+	}
+	e.stats.lockWaitNs.Add(nowNano() - t)
+	return func() {
+		for k := len(idx) - 1; k >= 0; k-- {
+			if write {
+				e.locks[idx[k]].Unlock()
+			} else {
+				e.locks[idx[k]].RUnlock()
+			}
+		}
+	}
+}
+
+// ReadAt reads the byte range [off, off+len(p)) from the logical data
+// space, fanning per-strip reads out over the worker pool. Each strip is
+// read atomically; the range as a whole is not a snapshot.
+func (e *Engine) ReadAt(p []byte, off int64) (int, error) {
+	return e.rangeOp(p, off, false)
+}
+
+// WriteAt writes the byte range [off, off+len(p)), fanning per-strip
+// read-modify-writes out over the worker pool. Each strip updates
+// atomically with its parity closure; the range as a whole is not atomic.
+func (e *Engine) WriteAt(p []byte, off int64) (int, error) {
+	return e.rangeOp(p, off, true)
+}
+
+func (e *Engine) rangeOp(p []byte, off int64, write bool) (int, error) {
+	if e.closed.Load() {
+		return 0, ErrClosed
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: %d", store.ErrNegativeOffset, off)
+	}
+	capacity := e.arr.Capacity()
+	if off+int64(len(p)) > capacity {
+		return 0, fmt.Errorf("%w: range [%d, %d) beyond capacity %d",
+			store.ErrStripOutOfRange, off, off+int64(len(p)), capacity)
+	}
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		opErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if opErr == nil {
+			opErr = err
+		}
+		errMu.Unlock()
+	}
+	total := 0
+	for total < len(p) {
+		pos := off + int64(total)
+		within := int(pos % int64(e.stripBytes))
+		n := e.stripBytes - within
+		if n > len(p)-total {
+			n = len(p) - total
+		}
+		addr := pos / int64(e.stripBytes)
+		chunk := p[total : total+n]
+		wg.Add(1)
+		task := func() {
+			defer wg.Done()
+			var err error
+			if write {
+				err = e.stripOp(addr, true, func() error {
+					_, werr := e.arr.ConcurrentWriteAt(chunk, addr*int64(e.stripBytes)+int64(within))
+					return werr
+				})
+				e.stats.writes.Add(1)
+			} else {
+				err = e.stripOp(addr, false, func() error {
+					_, rerr := e.arr.ReadAt(chunk, addr*int64(e.stripBytes)+int64(within))
+					return rerr
+				})
+				e.stats.reads.Add(1)
+			}
+			if err != nil {
+				fail(err)
+			}
+		}
+		if err := e.submit(task); err != nil {
+			wg.Done()
+			fail(err)
+			break
+		}
+		total += n
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if opErr != nil {
+		return 0, opErr
+	}
+	return total, nil
+}
+
+// submit enqueues a pool task, refusing once the engine is closed.
+func (e *Engine) submit(fn func()) error {
+	e.submitMu.RLock()
+	defer e.submitMu.RUnlock()
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.tasks <- fn
+	return nil
+}
+
+// FailDisk marks disk d failed. In-flight operations drain first (the
+// transition holds the mode lock exclusively), so no striped write runs
+// against a failure set it did not admit under.
+func (e *Engine) FailDisk(d int) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	e.mode.Lock()
+	defer e.mode.Unlock()
+	if err := e.arr.FailDisk(d); err != nil {
+		return err
+	}
+	e.failedDisks.Store(int64(len(e.arr.FailedDisks())))
+	return nil
+}
+
+// StartRebuild provisions replacement devices for every failed disk
+// lacking one (via Options.Replace) and launches the background rebuild
+// goroutine, which drives Array.RebuildStep in batches of the given number
+// of layout cycles (default 1 when batch < 1). It returns immediately;
+// RebuildWait blocks until completion. Starting with no failed disks is a
+// no-op that completes immediately.
+func (e *Engine) StartRebuild(batch int64) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	if e.rebuilding {
+		return ErrRebuildRunning
+	}
+	if err := e.attachReplacements(); err != nil {
+		return err
+	}
+	e.rebuilding = true
+	e.rebuildErr = nil
+	done := make(chan struct{})
+	e.rebuildDone = done
+	go e.rebuildLoop(batch, done)
+	return nil
+}
+
+func (e *Engine) attachReplacements() error {
+	for _, d := range e.arr.NeedsReplacement() {
+		dev, err := e.replace(d)
+		if err != nil {
+			return fmt.Errorf("engine: provision replacement for disk %d: %w", d, err)
+		}
+		if err := e.arr.ReplaceDisk(d, dev); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *Engine) rebuildLoop(batch int64, done chan struct{}) {
+	var err error
+	for {
+		var finished bool
+		finished, err = e.arr.RebuildStep(batch)
+		e.stats.rebuildBatches.Add(1)
+		if err != nil {
+			// A disk that failed mid-rebuild invalidated the plan and has
+			// no replacement yet; provision one and re-plan.
+			if errors.Is(err, store.ErrNoReplacement) {
+				if aerr := e.attachReplacements(); aerr == nil {
+					continue
+				} else {
+					err = aerr
+				}
+			}
+			break
+		}
+		if finished {
+			break
+		}
+	}
+	// Re-derive the failure count under the mode lock: the rebuild either
+	// cleared every failure or aborted, and FailDisk may have raced in a
+	// new one.
+	e.mode.Lock()
+	e.failedDisks.Store(int64(len(e.arr.FailedDisks())))
+	e.mode.Unlock()
+	e.rebuildMu.Lock()
+	e.rebuildErr = err
+	e.rebuilding = false
+	e.rebuildMu.Unlock()
+	close(done)
+}
+
+// RebuildWait blocks until the current rebuild (if any) finishes and
+// returns its error.
+func (e *Engine) RebuildWait() error {
+	e.rebuildMu.Lock()
+	done := e.rebuildDone
+	e.rebuildMu.Unlock()
+	if done == nil {
+		return nil
+	}
+	<-done
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	return e.rebuildErr
+}
+
+// Rebuilding reports whether a background rebuild is in flight.
+func (e *Engine) Rebuilding() bool {
+	e.rebuildMu.Lock()
+	defer e.rebuildMu.Unlock()
+	return e.rebuilding
+}
+
+// Status is the operational snapshot served by GET /v1/status.
+type Status struct {
+	Disks      int           `json:"disks"`
+	StripBytes int           `json:"strip_bytes"`
+	Strips     int64         `json:"strips"`
+	Capacity   int64         `json:"capacity"`
+	Failed     []int         `json:"failed,omitempty"`
+	Rebuilding bool          `json:"rebuilding"`
+	Rebuilt    int64         `json:"rebuilt_cycles"`
+	Cycles     int64         `json:"total_cycles"`
+	Exposure   core.Exposure `json:"exposure"`
+}
+
+// Status reports the current operational state, including the exposure
+// report from core.MeasureExposure (slack searched up to 2 additional
+// failures).
+func (e *Engine) Status() Status {
+	failed := e.arr.FailedDisks()
+	rebuilt, cycles := e.arr.RebuildProgress()
+	return Status{
+		Disks:      e.an.Disks(),
+		StripBytes: e.stripBytes,
+		Strips:     e.strips,
+		Capacity:   e.arr.Capacity(),
+		Failed:     failed,
+		Rebuilding: e.Rebuilding(),
+		Rebuilt:    rebuilt,
+		Cycles:     cycles,
+		Exposure:   e.an.MeasureExposure(failed, 2),
+	}
+}
+
+// Close drains the worker pool and waits for a running rebuild. Further
+// operations return ErrClosed.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
+	e.RebuildWait()
+	e.submitMu.Lock()
+	close(e.tasks)
+	e.submitMu.Unlock()
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,52 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// start anchors the monotonic clock used for lock-wait accounting.
+var start = time.Now()
+
+func nowNano() int64 { return int64(time.Since(start)) }
+
+// counters is the lock-free accumulator behind Stats.
+type counters struct {
+	reads, writes  atomic.Int64
+	rebuildBatches atomic.Int64
+	lockWaitNs     atomic.Int64
+}
+
+// Stats is a snapshot of the engine's counters, merged with the wrapped
+// array's device-level counters. Served by GET /v1/metrics.
+type Stats struct {
+	// Reads/Writes count engine-level strip operations admitted.
+	Reads, Writes int64
+	// DegradedReads counts array reads served by reconstruction.
+	DegradedReads int64
+	// ReadRepairs counts strips healed in place after checksum failures.
+	ReadRepairs int64
+	// DeviceReads/DeviceWrites count strip-granularity device accesses.
+	DeviceReads, DeviceWrites int64
+	// RebuildBatches counts RebuildStep invocations by the background
+	// rebuild goroutine.
+	RebuildBatches int64
+	// LockWaitNs is the cumulative time operations spent blocked acquiring
+	// engine locks (striped locks plus deep-degraded escalation).
+	LockWaitNs int64
+}
+
+// Stats returns a snapshot of the engine and array counters.
+func (e *Engine) Stats() Stats {
+	io := e.arr.Stats()
+	return Stats{
+		Reads:          e.stats.reads.Load(),
+		Writes:         e.stats.writes.Load(),
+		DegradedReads:  io.DegradedReads,
+		ReadRepairs:    io.ReadRepairs,
+		DeviceReads:    io.ReadOps,
+		DeviceWrites:   io.WriteOps,
+		RebuildBatches: e.stats.rebuildBatches.Load(),
+		LockWaitNs:     e.stats.lockWaitNs.Load(),
+	}
+}

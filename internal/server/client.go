@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// Client is the Go client for an oiraidd server. It speaks the strip API
+// and layers byte-granularity ReadAt/WriteAt on top with client-side
+// read-modify-write at unaligned range edges.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	stripBytes int
+	strips     int64
+}
+
+// NewClient targets an oiraidd base URL, e.g. "http://127.0.0.1:7979".
+// The first data call fetches the array geometry from /v1/status.
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 60 * time.Second},
+	}
+}
+
+// remoteError reconstitutes a sentinel error from an HTTP status so
+// callers can errors.Is the same taxonomy locally and remotely.
+func remoteError(status int, body string) error {
+	body = strings.TrimSpace(body)
+	var sentinel error
+	switch status {
+	case http.StatusNotFound:
+		sentinel = store.ErrStripOutOfRange
+	case http.StatusConflict:
+		sentinel = engine.ErrRebuildRunning
+	case http.StatusServiceUnavailable:
+		sentinel = store.ErrDiskFaulty
+	}
+	// Prefer matching the server's rendered message, which embeds the
+	// exact sentinel text.
+	for _, s := range []error{
+		store.ErrStripOutOfRange, store.ErrNoSuchDisk, store.ErrShortBuffer,
+		store.ErrNegativeOffset, store.ErrBadGeometry, store.ErrNotFailed,
+		store.ErrNoReplacement, store.ErrTooManyFailures, store.ErrDiskFaulty,
+		engine.ErrRebuildRunning, engine.ErrClosed,
+	} {
+		if strings.Contains(body, s.Error()) {
+			sentinel = s
+			break
+		}
+	}
+	if sentinel != nil {
+		return fmt.Errorf("%w (http %d: %s)", sentinel, status, body)
+	}
+	return fmt.Errorf("server: http %d: %s", status, body)
+}
+
+func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/octet-stream")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 400 {
+		return nil, remoteError(resp.StatusCode, string(out))
+	}
+	return out, nil
+}
+
+// Status fetches the operational snapshot.
+func (c *Client) Status() (engine.Status, error) {
+	var st engine.Status
+	out, err := c.do(http.MethodGet, "/v1/status", nil)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(out, &st); err != nil {
+		return st, fmt.Errorf("server: decode status: %w", err)
+	}
+	return st, nil
+}
+
+// Metrics fetches the text-format counter dump.
+func (c *Client) Metrics() (string, error) {
+	out, err := c.do(http.MethodGet, "/v1/metrics", nil)
+	return string(out), err
+}
+
+// PutStrip stores one data strip; len(p) must be the array's strip size.
+func (c *Client) PutStrip(addr int64, p []byte) error {
+	_, err := c.do(http.MethodPut, fmt.Sprintf("/v1/strips/%d", addr), p)
+	return err
+}
+
+// GetStrip fetches one data strip.
+func (c *Client) GetStrip(addr int64) ([]byte, error) {
+	return c.do(http.MethodGet, fmt.Sprintf("/v1/strips/%d", addr), nil)
+}
+
+// FailDisk injects a disk failure.
+func (c *Client) FailDisk(id int) error {
+	_, err := c.do(http.MethodPost, fmt.Sprintf("/v1/disks/%d/fail", id), nil)
+	return err
+}
+
+// Rebuild starts a rebuild. With wait true the call blocks until the
+// rebuild completes (or fails); otherwise it returns once started.
+func (c *Client) Rebuild(wait bool) error {
+	path := "/v1/rebuild"
+	if wait {
+		path += "?wait=1"
+	}
+	_, err := c.do(http.MethodPost, path, nil)
+	return err
+}
+
+// geometry caches strip size and count from /v1/status.
+func (c *Client) geometry() (int, int64, error) {
+	if c.stripBytes == 0 {
+		st, err := c.Status()
+		if err != nil {
+			return 0, 0, err
+		}
+		c.stripBytes, c.strips = st.StripBytes, st.Strips
+	}
+	return c.stripBytes, c.strips, nil
+}
+
+// WriteAt writes p at byte offset off in the data space, doing client-side
+// read-modify-write for unaligned leading/trailing partial strips.
+func (c *Client) WriteAt(p []byte, off int64) (int, error) {
+	sb, strips, err := c.geometry()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: %d", store.ErrNegativeOffset, off)
+	}
+	total := 0
+	for total < len(p) {
+		pos := off + int64(total)
+		addr := pos / int64(sb)
+		if addr >= strips {
+			return total, io.ErrShortWrite
+		}
+		within := int(pos % int64(sb))
+		n := sb - within
+		if n > len(p)-total {
+			n = len(p) - total
+		}
+		strip := p[total : total+n]
+		if n != sb {
+			old, err := c.GetStrip(addr)
+			if err != nil {
+				return total, err
+			}
+			copy(old[within:], strip)
+			strip = old
+		}
+		if err := c.PutStrip(addr, strip); err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ReadAt reads len(p) bytes at byte offset off in the data space.
+func (c *Client) ReadAt(p []byte, off int64) (int, error) {
+	sb, strips, err := c.geometry()
+	if err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: %d", store.ErrNegativeOffset, off)
+	}
+	total := 0
+	for total < len(p) {
+		pos := off + int64(total)
+		addr := pos / int64(sb)
+		if addr >= strips {
+			return total, io.EOF
+		}
+		within := int(pos % int64(sb))
+		n := sb - within
+		if n > len(p)-total {
+			n = len(p) - total
+		}
+		strip, err := c.GetStrip(addr)
+		if err != nil {
+			return total, err
+		}
+		copy(p[total:total+n], strip[within:within+n])
+		total += n
+	}
+	return total, nil
+}

@@ -1,0 +1,213 @@
+// Package server exposes an engine.Engine over HTTP — the oiraidd network
+// service. The API is strip-granularity and deliberately small:
+//
+//	PUT  /v1/strips/{addr}     store one data strip (binary body)
+//	GET  /v1/strips/{addr}     fetch one data strip (binary)
+//	POST /v1/disks/{id}/fail   inject a disk failure
+//	POST /v1/rebuild           start a background rebuild (?wait=1 blocks)
+//	GET  /v1/status            operational snapshot incl. exposure report
+//	GET  /v1/metrics           engine counters, text format
+//
+// Sentinel errors from internal/store map onto HTTP statuses, so remote
+// callers can branch the same way local ones do with errors.Is.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// RequestTimeout caps each request's handling time (default 30s).
+	RequestTimeout time.Duration
+	// RebuildBatch is the layout-cycle batch size for POST /v1/rebuild
+	// (default 1, keeping foreground interleave fine-grained).
+	RebuildBatch int64
+}
+
+// Server serves one engine over HTTP.
+type Server struct {
+	eng  *engine.Engine
+	opts Options
+	mux  *http.ServeMux
+	hs   *http.Server
+}
+
+// New builds a server over the engine.
+func New(eng *engine.Engine, opts Options) *Server {
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.RebuildBatch < 1 {
+		opts.RebuildBatch = 1
+	}
+	s := &Server{eng: eng, opts: opts, mux: http.NewServeMux()}
+	s.mux.HandleFunc("PUT /v1/strips/{addr}", s.putStrip)
+	s.mux.HandleFunc("GET /v1/strips/{addr}", s.getStrip)
+	s.mux.HandleFunc("POST /v1/disks/{id}/fail", s.failDisk)
+	s.mux.HandleFunc("POST /v1/rebuild", s.rebuild)
+	s.mux.HandleFunc("GET /v1/status", s.status)
+	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	return s
+}
+
+// Handler returns the routed handler with the per-request timeout applied.
+func (s *Server) Handler() http.Handler {
+	return http.TimeoutHandler(s.mux, s.opts.RequestTimeout, "request timed out\n")
+}
+
+// Serve accepts connections on l until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is http.ErrServerClosed.
+func (s *Server) Serve(l net.Listener) error {
+	s.hs = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       s.opts.RequestTimeout + 10*time.Second,
+		WriteTimeout:      s.opts.RequestTimeout + 10*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return s.hs.Serve(l)
+}
+
+// Shutdown gracefully stops a running Serve: in-flight requests complete
+// (bounded by ctx), then the engine drains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
+	}
+	if cerr := s.eng.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// httpStatus maps the store/engine sentinel taxonomy onto HTTP statuses.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, store.ErrStripOutOfRange), errors.Is(err, store.ErrNoSuchDisk):
+		return http.StatusNotFound
+	case errors.Is(err, store.ErrShortBuffer), errors.Is(err, store.ErrNegativeOffset),
+		errors.Is(err, store.ErrBadGeometry):
+		return http.StatusBadRequest
+	case errors.Is(err, store.ErrNotFailed), errors.Is(err, store.ErrNoReplacement),
+		errors.Is(err, engine.ErrRebuildRunning):
+		return http.StatusConflict
+	case errors.Is(err, store.ErrTooManyFailures):
+		return http.StatusInternalServerError // data loss: nothing a retry can do
+	case errors.Is(err, store.ErrDiskFaulty), errors.Is(err, engine.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func fail(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), httpStatus(err))
+}
+
+func (s *Server) stripAddr(r *http.Request) (int64, error) {
+	addr, err := strconv.ParseInt(r.PathValue("addr"), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad strip address %q", store.ErrStripOutOfRange, r.PathValue("addr"))
+	}
+	return addr, nil
+}
+
+func (s *Server) putStrip(w http.ResponseWriter, r *http.Request) {
+	addr, err := s.stripAddr(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.eng.StripBytes())+1))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.eng.WriteStrip(addr, body); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) getStrip(w http.ResponseWriter, r *http.Request) {
+	addr, err := s.stripAddr(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	p, err := s.eng.ReadStrip(addr)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(p)
+}
+
+func (s *Server) failDisk(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		fail(w, fmt.Errorf("%w: bad disk id %q", store.ErrNoSuchDisk, r.PathValue("id")))
+		return
+	}
+	if err := s.eng.FailDisk(id); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) rebuild(w http.ResponseWriter, r *http.Request) {
+	if err := s.eng.StartRebuild(s.opts.RebuildBatch); err != nil {
+		fail(w, err)
+		return
+	}
+	if r.URL.Query().Get("wait") != "" {
+		if err := s.eng.RebuildWait(); err != nil {
+			fail(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.eng.Status())
+}
+
+func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"oiraid_engine_reads_total", st.Reads},
+		{"oiraid_engine_writes_total", st.Writes},
+		{"oiraid_engine_degraded_reads_total", st.DegradedReads},
+		{"oiraid_engine_read_repairs_total", st.ReadRepairs},
+		{"oiraid_engine_device_reads_total", st.DeviceReads},
+		{"oiraid_engine_device_writes_total", st.DeviceWrites},
+		{"oiraid_engine_rebuild_batches_total", st.RebuildBatches},
+		{"oiraid_engine_lock_wait_ns_total", st.LockWaitNs},
+	} {
+		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+}

@@ -12,13 +12,6 @@ import (
 	"github.com/oiraid/oiraid/internal/layout"
 )
 
-// Array errors.
-var (
-	ErrDiskFailed    = errors.New("store: disk is failed")
-	ErrDataLoss      = errors.New("store: failure pattern exceeds fault tolerance")
-	ErrNoReplacement = errors.New("store: failed disk has no replacement device")
-)
-
 // IOStats counts device operations, the measured side of the paper's
 // update-complexity claim.
 type IOStats struct {
@@ -57,6 +50,24 @@ func (c *ioCounters) reset() {
 // layout.Scheme. It is safe for concurrent use: reads (including degraded
 // reads) run concurrently under a read lock; writes, failure injection,
 // rebuild, scrub, and repair serialise under the write lock.
+//
+// Mutability invariants (what the concurrency engine in internal/engine
+// relies on):
+//
+//   - devs, replaced, failed, rebuildPlan, rebuiltCycles, and intent are
+//     only written under mu; every I/O path reads them under at least the
+//     read lock.
+//   - stats is atomic, so read-lock holders may bump counters.
+//   - Devices serialise their own strip accesses, so a single strip is
+//     never read or written torn, even by read-lock holders (read repair
+//     rewrites strips under the read lock).
+//   - erasure.Code values are immutable after NewArray and safe to share.
+//
+// WriteAt therefore needs the write lock only to keep read-modify-write
+// cycles on overlapping parity closures mutually atomic. A caller that
+// guarantees that exclusion externally (striped locks over stripe ids) may
+// use ConcurrentWriteAt instead, which runs under the read lock so writes
+// to disjoint closures proceed in parallel.
 type Array struct {
 	mu  sync.RWMutex
 	an  *core.Analyzer
@@ -89,13 +100,13 @@ type Array struct {
 // device.
 func NewArray(an *core.Analyzer, devs []Device) (*Array, error) {
 	if len(devs) != an.Disks() {
-		return nil, fmt.Errorf("store: %d devices for %d disks", len(devs), an.Disks())
+		return nil, fmt.Errorf("%w: %d devices for %d disks", ErrBadGeometry, len(devs), an.Disks())
 	}
 	stripBytes := devs[0].StripBytes()
 	minStrips := devs[0].Strips()
 	for _, d := range devs[1:] {
 		if d.StripBytes() != stripBytes {
-			return nil, errors.New("store: devices disagree on strip size")
+			return nil, fmt.Errorf("%w: devices disagree on strip size", ErrBadGeometry)
 		}
 		if d.Strips() < minStrips {
 			minStrips = d.Strips()
@@ -103,7 +114,7 @@ func NewArray(an *core.Analyzer, devs []Device) (*Array, error) {
 	}
 	cycles := minStrips / int64(an.SlotsPerDisk())
 	if cycles < 1 {
-		return nil, fmt.Errorf("store: devices too small: %d strips < one cycle of %d", minStrips, an.SlotsPerDisk())
+		return nil, fmt.Errorf("%w: devices too small: %d strips < one cycle of %d", ErrBadGeometry, minStrips, an.SlotsPerDisk())
 	}
 	a := &Array{
 		an:         an,
@@ -139,6 +150,11 @@ func (a *Array) Cycles() int64 { return a.cycles }
 // Stats returns a snapshot of the I/O counters.
 func (a *Array) Stats() IOStats { return a.stats.snapshot() }
 
+// Analyzer returns the stripe-graph analyzer the array was built over, so
+// a caller can derive parity closures and stripe membership for external
+// locking (see ConcurrentWriteAt).
+func (a *Array) Analyzer() *core.Analyzer { return a.an }
+
 // ResetStats zeroes the I/O counters.
 func (a *Array) ResetStats() { a.stats.reset() }
 
@@ -164,7 +180,7 @@ func (a *Array) FailDisk(d int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if d < 0 || d >= len(a.devs) {
-		return fmt.Errorf("store: no disk %d", d)
+		return fmt.Errorf("%w: %d", ErrNoSuchDisk, d)
 	}
 	a.failed[d] = true
 	a.replaced[d] = nil
@@ -341,7 +357,7 @@ func (a *Array) ReadAt(p []byte, off int64) (int, error) {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if off < 0 {
-		return 0, fmt.Errorf("store: negative offset %d", off)
+		return 0, fmt.Errorf("%w: %d", ErrNegativeOffset, off)
 	}
 	total := 0
 	buf := make([]byte, a.stripBytes)
@@ -374,8 +390,26 @@ func (a *Array) ReadAt(p []byte, off int64) (int, error) {
 func (a *Array) WriteAt(p []byte, off int64) (int, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	return a.writeAtLocked(p, off)
+}
+
+// ConcurrentWriteAt is WriteAt under the read lock: disjoint writes run in
+// parallel with each other and with reads. The caller must guarantee that
+// no two concurrent ConcurrentWriteAt calls touch intersecting parity
+// closures, and that no concurrent read decodes through a stripe an
+// in-flight write is updating — the striped-lock engine in internal/engine
+// provides exactly this exclusion, keyed by stripe id. Structural
+// operations (FailDisk, ReplaceDisk, RebuildStep, Scrub, Repair) take the
+// write lock and therefore remain safe to interleave.
+func (a *Array) ConcurrentWriteAt(p []byte, off int64) (int, error) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.writeAtLocked(p, off)
+}
+
+func (a *Array) writeAtLocked(p []byte, off int64) (int, error) {
 	if off < 0 {
-		return 0, fmt.Errorf("store: negative offset %d", off)
+		return 0, fmt.Errorf("%w: %d", ErrNegativeOffset, off)
 	}
 	total := 0
 	for total < len(p) {

@@ -10,16 +10,9 @@
 package store
 
 import (
-	"errors"
 	"fmt"
 	"os"
 	"sync"
-)
-
-// Common device errors.
-var (
-	ErrOutOfRange = errors.New("store: strip index out of range")
-	ErrClosed     = errors.New("store: device closed")
 )
 
 // Device is a strip-granularity block device.
@@ -49,7 +42,7 @@ var _ Device = (*MemDevice)(nil)
 // NewMemDevice allocates a memory-backed device of strips × stripBytes.
 func NewMemDevice(strips int64, stripBytes int) (*MemDevice, error) {
 	if strips <= 0 || stripBytes <= 0 {
-		return nil, fmt.Errorf("store: invalid device geometry %d×%d", strips, stripBytes)
+		return nil, fmt.Errorf("%w: %d×%d", ErrBadGeometry, strips, stripBytes)
 	}
 	return &MemDevice{
 		data:       make([]byte, strips*int64(stripBytes)),
@@ -96,7 +89,7 @@ func (m *MemDevice) check(idx int64, p []byte) error {
 		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, idx, m.Strips())
 	}
 	if len(p) != m.stripBytes {
-		return fmt.Errorf("store: buffer %d bytes, strip is %d", len(p), m.stripBytes)
+		return fmt.Errorf("%w: buffer %d bytes, strip is %d", ErrShortBuffer, len(p), m.stripBytes)
 	}
 	return nil
 }
@@ -123,7 +116,7 @@ var _ Device = (*FileDevice)(nil)
 // NewFileDevice creates (truncating) a file-backed device at path.
 func NewFileDevice(path string, strips int64, stripBytes int) (*FileDevice, error) {
 	if strips <= 0 || stripBytes <= 0 {
-		return nil, fmt.Errorf("store: invalid device geometry %d×%d", strips, stripBytes)
+		return nil, fmt.Errorf("%w: %d×%d", ErrBadGeometry, strips, stripBytes)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -140,7 +133,7 @@ func NewFileDevice(path string, strips int64, stripBytes int) (*FileDevice, erro
 // matches the geometry.
 func OpenFileDevice(path string, strips int64, stripBytes int) (*FileDevice, error) {
 	if strips <= 0 || stripBytes <= 0 {
-		return nil, fmt.Errorf("store: invalid device geometry %d×%d", strips, stripBytes)
+		return nil, fmt.Errorf("%w: %d×%d", ErrBadGeometry, strips, stripBytes)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
@@ -197,7 +190,7 @@ func (d *FileDevice) check(idx int64, p []byte) error {
 		return fmt.Errorf("%w: %d of %d", ErrOutOfRange, idx, d.strips)
 	}
 	if len(p) != d.stripBytes {
-		return fmt.Errorf("store: buffer %d bytes, strip is %d", len(p), d.stripBytes)
+		return fmt.Errorf("%w: buffer %d bytes, strip is %d", ErrShortBuffer, len(p), d.stripBytes)
 	}
 	return nil
 }

@@ -1,0 +1,47 @@
+package store
+
+import "errors"
+
+// Sentinel errors of the data plane. Callers branch with errors.Is; the
+// network server maps them onto HTTP statuses. Every error returned by
+// Array and Device methods that a caller could act on wraps one of these.
+var (
+	// ErrTooManyFailures reports a failure pattern beyond the scheme's
+	// fault tolerance: some strip has no reconstruction path.
+	ErrTooManyFailures = errors.New("store: failure pattern exceeds fault tolerance")
+	// ErrDiskFaulty reports an operation that needs a healthy array (or a
+	// healthy disk) while a disk is failed.
+	ErrDiskFaulty = errors.New("store: disk is failed")
+	// ErrNoSuchDisk reports a disk id outside [0, Disks).
+	ErrNoSuchDisk = errors.New("store: no such disk")
+	// ErrNotFailed reports a replacement attached to a disk that is not
+	// failed.
+	ErrNotFailed = errors.New("store: disk is not failed")
+	// ErrNoReplacement reports a rebuild of a failed disk that has no
+	// replacement device attached.
+	ErrNoReplacement = errors.New("store: failed disk has no replacement device")
+	// ErrStripOutOfRange reports a strip index outside the device or the
+	// logical data space.
+	ErrStripOutOfRange = errors.New("store: strip index out of range")
+	// ErrBadGeometry reports devices whose strip size or capacity does not
+	// fit the array layout.
+	ErrBadGeometry = errors.New("store: invalid device geometry")
+	// ErrShortBuffer reports a read/write buffer whose length is not the
+	// strip size.
+	ErrShortBuffer = errors.New("store: buffer length does not match strip size")
+	// ErrNegativeOffset reports a negative byte offset.
+	ErrNegativeOffset = errors.New("store: negative offset")
+	// ErrClosed reports I/O on a closed device.
+	ErrClosed = errors.New("store: device closed")
+)
+
+// Historical names, kept so existing errors.Is call sites keep working.
+// They are the same values as the canonical sentinels above.
+var (
+	// ErrDataLoss is the original name of ErrTooManyFailures.
+	ErrDataLoss = ErrTooManyFailures
+	// ErrDiskFailed is the original name of ErrDiskFaulty.
+	ErrDiskFailed = ErrDiskFaulty
+	// ErrOutOfRange is the original name of ErrStripOutOfRange.
+	ErrOutOfRange = ErrStripOutOfRange
+)

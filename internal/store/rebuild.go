@@ -14,16 +14,31 @@ func (a *Array) ReplaceDisk(d int, dev Device) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if d < 0 || d >= len(a.devs) {
-		return fmt.Errorf("store: no disk %d", d)
+		return fmt.Errorf("%w: %d", ErrNoSuchDisk, d)
 	}
 	if !a.failed[d] {
-		return fmt.Errorf("store: disk %d is not failed", d)
+		return fmt.Errorf("%w: disk %d", ErrNotFailed, d)
 	}
 	if dev.StripBytes() != a.stripBytes || dev.Strips() < a.cycles*int64(a.an.SlotsPerDisk()) {
-		return fmt.Errorf("store: replacement for disk %d has wrong geometry", d)
+		return fmt.Errorf("%w: replacement for disk %d", ErrBadGeometry, d)
 	}
 	a.replaced[d] = dev
 	return nil
+}
+
+// NeedsReplacement lists the failed disks that have no replacement device
+// attached yet — the set a rebuild driver must provision before
+// RebuildStep can make progress.
+func (a *Array) NeedsReplacement() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []int
+	for d, f := range a.failed {
+		if f && a.replaced[d] == nil {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // Rebuild reconstructs every failed disk onto its replacement device,

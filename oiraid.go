@@ -39,8 +39,10 @@ import (
 	"github.com/oiraid/oiraid/internal/bibd"
 	"github.com/oiraid/oiraid/internal/core"
 	"github.com/oiraid/oiraid/internal/disk"
+	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/layout"
 	"github.com/oiraid/oiraid/internal/reliability"
+	"github.com/oiraid/oiraid/internal/server"
 	"github.com/oiraid/oiraid/internal/sim"
 	"github.com/oiraid/oiraid/internal/store"
 )
@@ -79,6 +81,22 @@ type (
 	ReliabilityParams = reliability.Params
 	// Exposure is the risk report of a degraded array.
 	Exposure = core.Exposure
+	// Engine is the concurrency layer over an Array: striped locking,
+	// pooled fan-out I/O, counters, and background rebuild.
+	Engine = engine.Engine
+	// EngineOptions tunes an Engine.
+	EngineOptions = engine.Options
+	// EngineStats is the engine's counter snapshot.
+	EngineStats = engine.Stats
+	// EngineStatus is the engine's operational snapshot (also the JSON
+	// body of oiraidd's /v1/status).
+	EngineStatus = engine.Status
+	// Server exposes an Engine over HTTP (the oiraidd service).
+	Server = server.Server
+	// ServerOptions tunes a Server.
+	ServerOptions = server.Options
+	// ServerClient is the Go client for an oiraidd server.
+	ServerClient = server.Client
 )
 
 // SupportedDiskCounts lists array sizes v ≤ limit for which an OI-RAID
@@ -236,6 +254,23 @@ func NewMemDevice(strips int64, stripBytes int) (Device, error) {
 // NewFileDevice exposes file-backed devices for custom array assembly.
 func NewFileDevice(path string, strips int64, stripBytes int) (Device, error) {
 	return store.NewFileDevice(path, strips, stripBytes)
+}
+
+// NewEngine builds the concurrency engine over an array. The engine
+// owns the array from here on: all I/O should go through it.
+func NewEngine(arr *Array, opts EngineOptions) (*Engine, error) {
+	return engine.New(arr, opts)
+}
+
+// NewServer builds the HTTP service over an engine; serve it with
+// Server.Serve or mount Server.Handler.
+func NewServer(eng *Engine, opts ServerOptions) *Server {
+	return server.New(eng, opts)
+}
+
+// NewServerClient targets an oiraidd base URL.
+func NewServerClient(base string) *ServerClient {
+	return server.NewClient(base)
 }
 
 // NewChecksummedDevice wraps any device with per-strip CRC-32C

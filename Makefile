@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench clean
+.PHONY: build test race vet check chaos bench clean
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection suite under the race detector: transient absorption,
+# auto-eviction, hot-spare adoption, crash/restart intent replay.
+chaos:
+	$(GO) test -race -count=2 -run 'Chaos|Fault|Retry|Heal|ReadRepair|Torn|SelfHeal' \
+		./internal/store/... ./internal/engine/... ./internal/server/...
 
 check: build vet test
 

@@ -16,15 +16,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"github.com/oiraid/oiraid"
 	"github.com/oiraid/oiraid/internal/server"
@@ -55,12 +58,17 @@ func main() {
 		diskID = fs.Int("disk", -1, "disk id")
 		failIn = fs.String("fail", "", "comma-separated disk ids")
 		remote = fs.String("remote", "", "oiraidd base URL; run the command against a server instead of -dir")
+		count  = fs.Int("count", 1, "spares to register (spare command)")
 	)
 	fs.Parse(os.Args[2:])
 
 	var err error
 	if *remote != "" {
-		err = remoteCmd(server.NewClient(*remote), cmd, *off, *length, *diskID, os.Stdin, os.Stdout)
+		// Remote commands are interruptible: ^C cancels the in-flight
+		// request (and its retry loop) instead of orphaning it.
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, os.Stdin, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
 			os.Exit(1)
@@ -101,13 +109,15 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze|metrics> [flags]
+	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze|metrics|health|spare> [flags]
 
   export  -disks N               write the layout as JSON to stdout
   analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
 
-With -remote URL the status, write, read, fail, rebuild, and metrics
-commands run against an oiraidd server instead of a local -dir array.`)
+With -remote URL the status, write, read, fail, rebuild, metrics, health,
+and spare commands run against an oiraidd server instead of a local -dir
+array. health prints per-disk error/latency counters; spare registers
+-count hot spares with the server's auto-rebuild pool.`)
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "oiraid.json") }
@@ -351,17 +361,18 @@ func scrubCmd(dir string) error {
 }
 
 // remoteCmd routes a command to an oiraidd server through the HTTP
-// client; only the operational subcommands exist remotely.
-func remoteCmd(c *server.Client, cmd string, off, length int64, diskID int, in io.Reader, out io.Writer) error {
+// client; only the operational subcommands exist remotely. The context
+// bounds every request (and its client-side retry loop).
+func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length int64, diskID, count int, in io.Reader, out io.Writer) error {
 	switch cmd {
 	case "status":
-		return remoteStatus(c, out)
+		return remoteStatus(ctx, c, out)
 	case "write":
 		data, err := io.ReadAll(in)
 		if err != nil {
 			return err
 		}
-		n, err := c.WriteAt(data, off)
+		n, err := c.WriteAtCtx(ctx, data, off)
 		if err != nil {
 			return err
 		}
@@ -372,38 +383,66 @@ func remoteCmd(c *server.Client, cmd string, off, length int64, diskID int, in i
 			return fmt.Errorf("need -len > 0")
 		}
 		buf := make([]byte, length)
-		n, err := c.ReadAt(buf, off)
+		n, err := c.ReadAtCtx(ctx, buf, off)
 		if err != nil && !errors.Is(err, io.EOF) {
 			return err
 		}
 		_, werr := out.Write(buf[:n])
 		return werr
 	case "fail":
-		if err := c.FailDisk(diskID); err != nil {
+		if err := c.FailDiskCtx(ctx, diskID); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "disk %d marked failed\n", diskID)
 		return nil
 	case "rebuild":
-		if err := c.Rebuild(true); err != nil {
+		if err := c.RebuildCtx(ctx, true); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "rebuild complete")
 		return nil
 	case "metrics":
-		m, err := c.Metrics()
+		m, err := c.MetricsCtx(ctx)
 		if err != nil {
 			return err
 		}
 		fmt.Fprint(out, m)
+		return nil
+	case "health":
+		return remoteHealth(ctx, c, out)
+	case "spare":
+		n, err := c.AddSparesCtx(ctx, count)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "spare pool: %d device(s)\n", n)
 		return nil
 	default:
 		return fmt.Errorf("command %q is not available with -remote", cmd)
 	}
 }
 
-func remoteStatus(c *server.Client, w io.Writer) error {
-	st, err := c.Status()
+func remoteHealth(ctx context.Context, c *server.Client, w io.Writer) error {
+	h, err := c.HealthCtx(ctx)
+	if err != nil {
+		return err
+	}
+	mode := "monitor-only"
+	if h.AutoHeal {
+		mode = fmt.Sprintf("auto-heal after %d error(s)", h.Policy.EvictAfter)
+	}
+	fmt.Fprintf(w, "policy: %s; spares: %d available, %d used; evictions: %d; auto-rebuilds: %d\n",
+		mode, h.Spares, h.SparesUsed, h.Evictions, h.AutoRebuilds)
+	for _, d := range h.Disks {
+		fmt.Fprintf(w, "disk %2d  %-8s ops %-8d errors %-4d transient %-4d absorbed %-4d corrupt %-4d slow %-4d mean %.1fµs\n",
+			d.Disk, d.State, d.Ops, d.Errors, d.TransientErrors, d.RetriesAbsorbed,
+			d.CorruptReads, d.SlowOps, d.MeanLatencyUs)
+	}
+	return nil
+}
+
+func remoteStatus(ctx context.Context, c *server.Client, w io.Writer) error {
+	st, err := c.StatusCtx(ctx)
 	if err != nil {
 		return err
 	}

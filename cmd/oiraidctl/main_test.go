@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"math/rand"
 	"net/http/httptest"
@@ -104,14 +105,17 @@ func TestRemoteLifecycle(t *testing.T) {
 		eng.Close()
 	})
 	c := server.NewClient(ts.URL)
+	rc := func(cmd string, off, length int64, diskID int, in io.Reader, out io.Writer) error {
+		return remoteCmd(context.Background(), c, cmd, off, length, diskID, 1, in, out)
+	}
 
 	payload := make([]byte, 3000)
 	rand.New(rand.NewSource(9)).Read(payload)
-	if err := remoteCmd(c, "write", 64, 0, -1, bytes.NewReader(payload), io.Discard); err != nil {
+	if err := rc("write", 64, 0, -1, bytes.NewReader(payload), io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := remoteCmd(c, "read", 64, int64(len(payload)), -1, nil, &out); err != nil {
+	if err := rc("read", 64, int64(len(payload)), -1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), payload) {
@@ -119,18 +123,18 @@ func TestRemoteLifecycle(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := remoteCmd(c, "fail", 0, 0, 4, nil, &out); err != nil {
+	if err := rc("fail", 0, 0, 4, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := remoteCmd(c, "status", 0, 0, -1, nil, &out); err != nil {
+	if err := rc("status", 0, 0, -1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "degraded") {
 		t.Fatalf("status after failure: %s", out.String())
 	}
 	out.Reset()
-	if err := remoteCmd(c, "read", 64, int64(len(payload)), -1, nil, &out); err != nil {
+	if err := rc("read", 64, int64(len(payload)), -1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), payload) {
@@ -138,27 +142,41 @@ func TestRemoteLifecycle(t *testing.T) {
 	}
 
 	out.Reset()
-	if err := remoteCmd(c, "rebuild", 0, 0, -1, nil, &out); err != nil {
+	if err := rc("rebuild", 0, 0, -1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := remoteCmd(c, "status", 0, 0, -1, nil, &out); err != nil {
+	if err := rc("status", 0, 0, -1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "healthy") {
 		t.Fatalf("status after rebuild: %s", out.String())
 	}
 	out.Reset()
-	if err := remoteCmd(c, "metrics", 0, 0, -1, nil, &out); err != nil {
+	if err := rc("metrics", 0, 0, -1, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "oiraid_engine_writes_total") {
 		t.Fatalf("metrics output: %s", out.String())
 	}
-	if err := remoteCmd(c, "scrub", 0, 0, -1, nil, io.Discard); err == nil {
+	out.Reset()
+	if err := rc("spare", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "spare pool: 1") {
+		t.Fatalf("spare output: %s", out.String())
+	}
+	out.Reset()
+	if err := rc("health", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "disk  0") || !strings.Contains(out.String(), "spares: 1 available") {
+		t.Fatalf("health output: %s", out.String())
+	}
+	if err := rc("scrub", 0, 0, -1, nil, io.Discard); err == nil {
 		t.Fatal("scrub must be rejected with -remote")
 	}
-	if err := remoteCmd(c, "read", 0, 0, -1, nil, io.Discard); err == nil {
+	if err := rc("read", 0, 0, -1, nil, io.Discard); err == nil {
 		t.Fatal("read without -len must fail")
 	}
 }

@@ -40,6 +40,12 @@ type config struct {
 	workers int
 	batch   int64
 	timeout time.Duration
+
+	// Self-healing knobs.
+	retries    int           // per-device retry attempts for transient errors (0: no retry layer)
+	evictAfter int64         // hard errors before auto-eviction (0: no auto-heal)
+	spares     int           // hot spares registered at boot
+	slowOp     time.Duration // latency above which an op counts as slow (0: off)
 }
 
 // buildServer assembles geometry → array → engine → server from flags.
@@ -52,6 +58,16 @@ func buildServer(cfg config) (*server.Server, error) {
 	}
 	var arr *oiraid.Array
 	opts := engine.Options{Workers: cfg.workers}
+	if cfg.retries > 0 {
+		opts.Retry = &store.RetryPolicy{MaxAttempts: cfg.retries}
+	}
+	if cfg.evictAfter > 0 {
+		opts.Health = &engine.HealthPolicy{
+			EvictAfter:   cfg.evictAfter,
+			SlowOp:       cfg.slowOp,
+			RebuildBatch: cfg.batch,
+		}
+	}
 	if cfg.dir != "" {
 		arr, err = openFileArray(g, cfg)
 		if err != nil {
@@ -72,6 +88,11 @@ func buildServer(cfg config) (*server.Server, error) {
 	eng, err := engine.New(arr, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.spares > 0 {
+		// Spares materialise through opts.Replace, so with -dir they land
+		// as image files a restart can reopen.
+		eng.AddSpares(cfg.spares)
 	}
 	return server.New(eng, server.Options{
 		RequestTimeout: cfg.timeout,
@@ -112,6 +133,10 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "I/O pool size (0: engine default)")
 	flag.Int64Var(&cfg.batch, "rebuild-batch", 1, "layout cycles per rebuild batch")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.IntVar(&cfg.retries, "retry", 4, "device retry attempts for transient errors (0: disable)")
+	flag.Int64Var(&cfg.evictAfter, "evict-after", 3, "hard device errors before auto-eviction (0: disable auto-heal)")
+	flag.IntVar(&cfg.spares, "spares", 0, "hot spares to register at boot")
+	flag.DurationVar(&cfg.slowOp, "slow-op", 0, "latency above which a device op counts as slow (0: off)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {

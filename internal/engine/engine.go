@@ -52,8 +52,17 @@ type Options struct {
 	// parallelism for footprint, never correctness.
 	LockStripes int
 	// Replace provisions a replacement device for a failed disk when a
-	// rebuild starts. Default: a fresh in-memory device of array geometry.
+	// rebuild starts, after the hot-spare pool (AddSpare) is exhausted.
+	// Default: a fresh in-memory device of array geometry.
 	Replace func(disk int) (store.Device, error)
+	// Retry, when set, wraps every device with a bounded retry/backoff
+	// policy so transient faults are absorbed below the array.
+	Retry *store.RetryPolicy
+	// Health, when set, activates auto-eviction: a disk accumulating hard
+	// errors past the policy threshold is failed, a spare (or Replace
+	// device) is adopted, and a background rebuild runs — no operator
+	// action. Per-disk health counters are collected either way.
+	Health *HealthPolicy
 }
 
 // Engine wraps a store.Array for concurrent use.
@@ -88,6 +97,17 @@ type Engine struct {
 	closed   atomic.Bool
 
 	replace func(disk int) (store.Device, error)
+
+	// Self-healing state: the monitor observes every device op through
+	// probe wrappers; the healer goroutine consumes its evictions.
+	mon       *monitor
+	retryPol  *store.RetryPolicy
+	retryMu   sync.Mutex
+	retryDevs []*store.RetryDevice
+	spareMu   sync.Mutex
+	spares    []SpareProvider
+	healStop  chan struct{}
+	healWg    sync.WaitGroup
 
 	rebuildMu   sync.Mutex
 	rebuilding  bool
@@ -128,6 +148,21 @@ func New(arr *store.Array, opts Options) (*Engine, error) {
 	}
 	e.buildLockSets()
 	e.failedDisks.Store(int64(len(arr.FailedDisks())))
+	var pol HealthPolicy
+	if opts.Health != nil {
+		pol = *opts.Health
+	}
+	e.retryPol = opts.Retry
+	e.retryDevs = make([]*store.RetryDevice, an.Disks())
+	e.mon = newMonitor(an.Disks(), pol, opts.Health != nil)
+	// Thread every device access through the retry/probe stack so the
+	// monitor sees the array's view of each disk from the first op.
+	arr.InstrumentDevices(e.wrapDevice)
+	if opts.Health != nil {
+		e.healStop = make(chan struct{})
+		e.healWg.Add(1)
+		go e.healLoop()
+	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
 		go func() {
@@ -448,13 +483,28 @@ func (e *Engine) StartRebuild(batch int64) error {
 	return nil
 }
 
+// attachReplacements provisions a device for every failed disk lacking
+// one: the hot-spare pool first (FIFO), then Options.Replace. Adopted
+// devices get the same retry/probe wrapping as the originals, so health
+// monitoring follows the disk across the swap.
 func (e *Engine) attachReplacements() error {
 	for _, d := range e.arr.NeedsReplacement() {
-		dev, err := e.replace(d)
-		if err != nil {
-			return fmt.Errorf("engine: provision replacement for disk %d: %w", d, err)
+		var dev store.Device
+		var err error
+		if p, ok := e.takeSpare(); ok {
+			dev, err = p(d)
+			if err != nil {
+				return fmt.Errorf("engine: materialise spare for disk %d: %w", d, err)
+			}
+			e.mon.sparesUsed.Add(1)
+		} else {
+			dev, err = e.replace(d)
+			if err != nil {
+				return fmt.Errorf("engine: provision replacement for disk %d: %w", d, err)
+			}
 		}
-		if err := e.arr.ReplaceDisk(d, dev); err != nil {
+		e.mon.adopt(d)
+		if err := e.arr.ReplaceDisk(d, e.wrapDevice(d, dev)); err != nil {
 			return err
 		}
 	}
@@ -529,6 +579,12 @@ type Status struct {
 	Rebuilt    int64         `json:"rebuilt_cycles"`
 	Cycles     int64         `json:"total_cycles"`
 	Exposure   core.Exposure `json:"exposure"`
+	// Spares is the number of hot spares available in the pool.
+	Spares int `json:"spares"`
+	// Evictions counts disks auto-evicted by the health policy.
+	Evictions int64 `json:"evictions"`
+	// AutoRebuilds counts rebuilds launched by the self-healing loop.
+	AutoRebuilds int64 `json:"auto_rebuilds"`
 }
 
 // Status reports the current operational state, including the exposure
@@ -538,15 +594,18 @@ func (e *Engine) Status() Status {
 	failed := e.arr.FailedDisks()
 	rebuilt, cycles := e.arr.RebuildProgress()
 	return Status{
-		Disks:      e.an.Disks(),
-		StripBytes: e.stripBytes,
-		Strips:     e.strips,
-		Capacity:   e.arr.Capacity(),
-		Failed:     failed,
-		Rebuilding: e.Rebuilding(),
-		Rebuilt:    rebuilt,
-		Cycles:     cycles,
-		Exposure:   e.an.MeasureExposure(failed, 2),
+		Disks:        e.an.Disks(),
+		StripBytes:   e.stripBytes,
+		Strips:       e.strips,
+		Capacity:     e.arr.Capacity(),
+		Failed:       failed,
+		Rebuilding:   e.Rebuilding(),
+		Rebuilt:      rebuilt,
+		Cycles:       cycles,
+		Exposure:     e.an.MeasureExposure(failed, 2),
+		Spares:       e.SpareCount(),
+		Evictions:    e.mon.evictions.Load(),
+		AutoRebuilds: e.mon.autoRebuilds.Load(),
 	}
 }
 
@@ -555,6 +614,10 @@ func (e *Engine) Status() Status {
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
+	}
+	if e.healStop != nil {
+		close(e.healStop)
+		e.healWg.Wait()
 	}
 	e.RebuildWait()
 	e.submitMu.Lock()

@@ -1,0 +1,356 @@
+// Health monitoring and self-healing: every device access flows through a
+// per-disk probe that records latency and classifies errors; a threshold
+// policy auto-evicts a persistently failing disk (FailDisk), adopts a
+// device from the hot-spare pool, and drives a background rebuild — no
+// operator in the loop. The monitor is always on (its cost is two clock
+// reads and a few atomics per device op); eviction and auto-rebuild
+// activate only when Options.Health is set.
+package engine
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// HealthPolicy tunes auto-eviction and auto-rebuild.
+type HealthPolicy struct {
+	// EvictAfter is the count of hard device errors (permanent errors, or
+	// transient errors that survived the retry policy) at which the disk
+	// is auto-evicted (default 3).
+	EvictAfter int64 `json:"evict_after"`
+	// SlowOp, when positive, counts operations at least this slow toward
+	// the per-disk slow-op counter (observability only; slow disks are
+	// reported, not evicted).
+	SlowOp time.Duration `json:"slow_op_ns"`
+	// RebuildBatch is the layout-cycle batch size for auto-rebuilds
+	// (default 1).
+	RebuildBatch int64 `json:"rebuild_batch"`
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.EvictAfter <= 0 {
+		p.EvictAfter = 3
+	}
+	if p.RebuildBatch <= 0 {
+		p.RebuildBatch = 1
+	}
+	return p
+}
+
+// DiskHealth is one disk's health snapshot.
+type DiskHealth struct {
+	Disk int `json:"disk"`
+	// State is "healthy", "failed" (awaiting or undergoing rebuild), or
+	// "evicted" (auto-evicted by the health policy, awaiting heal).
+	State string `json:"state"`
+	// Ops counts device operations (reads + writes) admitted to the disk.
+	Ops int64 `json:"ops"`
+	// Errors counts hard errors: permanent errors plus transient errors
+	// that exhausted the retry policy.
+	Errors int64 `json:"errors"`
+	// TransientErrors counts the subset of Errors that were transient.
+	TransientErrors int64 `json:"transient_errors"`
+	// RetriesAbsorbed counts transient faults the retry policy hid from
+	// the array (zero when no retry policy is configured).
+	RetriesAbsorbed int64 `json:"retries_absorbed"`
+	// CorruptReads counts checksum failures (healed by read repair).
+	CorruptReads int64 `json:"corrupt_reads"`
+	// SlowOps counts operations slower than the policy's SlowOp bound.
+	SlowOps int64 `json:"slow_ops"`
+	// MeanLatencyUs is the mean device-op latency in microseconds.
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+}
+
+// HealthReport is the full health snapshot served by GET /v1/health.
+type HealthReport struct {
+	Disks []DiskHealth `json:"disks"`
+	// Spares is the number of hot spares available in the pool.
+	Spares int `json:"spares"`
+	// SparesUsed counts spares adopted by rebuilds.
+	SparesUsed int64 `json:"spares_used"`
+	// Evictions counts disks auto-evicted by the health policy.
+	Evictions int64 `json:"evictions"`
+	// AutoRebuilds counts rebuilds launched by the healer.
+	AutoRebuilds int64 `json:"auto_rebuilds"`
+	// AutoHeal reports whether the eviction/auto-rebuild policy is active.
+	AutoHeal bool `json:"auto_heal"`
+	// Policy echoes the active policy when AutoHeal is true.
+	Policy *HealthPolicy `json:"policy,omitempty"`
+}
+
+// diskCounters is one disk's lock-free accumulator. gen is the device
+// generation: it advances when a replacement device is attached, and
+// observations from probes of older generations are discarded — an op
+// that was in flight against the evicted device must not count against
+// the fresh disk that replaced it.
+type diskCounters struct {
+	ops, errors, transient, corrupt, slow atomic.Int64
+	latencyNs                             atomic.Int64
+	evicted                               atomic.Bool
+	gen                                   atomic.Int64
+}
+
+// monitor aggregates per-disk health and feeds the healer.
+type monitor struct {
+	pol     HealthPolicy
+	autoMon bool // eviction enabled (Options.Health set)
+	disks   []diskCounters
+
+	evictions    atomic.Int64
+	sparesUsed   atomic.Int64
+	autoRebuilds atomic.Int64
+
+	// evictCh carries at most one pending eviction per disk (the evicted
+	// flag gates re-sends), so a buffer of len(disks) never blocks.
+	evictCh chan int
+}
+
+func newMonitor(disks int, pol HealthPolicy, auto bool) *monitor {
+	return &monitor{
+		pol:     pol.withDefaults(),
+		autoMon: auto,
+		disks:   make([]diskCounters, disks),
+		evictCh: make(chan int, disks),
+	}
+}
+
+// observe classifies one device-op outcome. Caller bugs (range, buffer
+// size) and shutdown artifacts do not count against the disk, nor do
+// observations from a probe of a superseded device generation.
+func (m *monitor) observe(disk int, gen int64, dur time.Duration, err error) {
+	c := &m.disks[disk]
+	if gen != c.gen.Load() {
+		return
+	}
+	c.ops.Add(1)
+	c.latencyNs.Add(int64(dur))
+	if m.pol.SlowOp > 0 && dur >= m.pol.SlowOp {
+		c.slow.Add(1)
+	}
+	if err == nil {
+		return
+	}
+	switch {
+	case errors.Is(err, store.ErrClosed),
+		errors.Is(err, store.ErrStripOutOfRange),
+		errors.Is(err, store.ErrShortBuffer):
+		return
+	case errors.Is(err, store.ErrCorrupt):
+		// Latent sector error: the array's read repair heals it; scrub
+		// and the corrupt counter give it visibility.
+		c.corrupt.Add(1)
+		return
+	case store.IsTransient(err):
+		c.transient.Add(1)
+	}
+	if c.errors.Add(1) >= m.pol.EvictAfter && m.autoMon && !c.evicted.Swap(true) {
+		m.evictions.Add(1)
+		m.evictCh <- disk
+	}
+}
+
+// adopt advances a disk's device generation when a replacement device is
+// attached: error state clears (the fresh device starts with a clean
+// slate, and may be evicted again later), and observations still in
+// flight against the superseded device no longer count.
+func (m *monitor) adopt(disk int) {
+	c := &m.disks[disk]
+	c.gen.Add(1)
+	c.errors.Store(0)
+	c.transient.Store(0)
+	c.evicted.Store(false)
+}
+
+// probeDevice wraps a store.Device with the monitor's per-disk probe,
+// pinned to the device generation it was created under.
+type probeDevice struct {
+	inner store.Device
+	disk  int
+	gen   int64
+	mon   *monitor
+}
+
+var _ store.Device = probeDevice{}
+
+func (p probeDevice) Strips() int64   { return p.inner.Strips() }
+func (p probeDevice) StripBytes() int { return p.inner.StripBytes() }
+func (p probeDevice) Close() error    { return p.inner.Close() }
+
+func (p probeDevice) ReadStrip(idx int64, buf []byte) error {
+	t := time.Now()
+	err := p.inner.ReadStrip(idx, buf)
+	p.mon.observe(p.disk, p.gen, time.Since(t), err)
+	return err
+}
+
+func (p probeDevice) WriteStrip(idx int64, buf []byte) error {
+	t := time.Now()
+	err := p.inner.WriteStrip(idx, buf)
+	p.mon.observe(p.disk, p.gen, time.Since(t), err)
+	return err
+}
+
+// SpareProvider materialises a hot-spare device for the given failed
+// disk. Providers registered with AddSpare are consumed in FIFO order.
+type SpareProvider func(disk int) (store.Device, error)
+
+// AddSpare registers a hot spare with the pool. The provider is invoked
+// at adoption time with the disk id being replaced, so file-backed
+// deployments can place the spare image where a restart expects it.
+func (e *Engine) AddSpare(p SpareProvider) {
+	e.spareMu.Lock()
+	defer e.spareMu.Unlock()
+	e.spares = append(e.spares, p)
+}
+
+// AddSpareDevice registers a concrete device as a hot spare. The device
+// must match the array geometry when adopted.
+func (e *Engine) AddSpareDevice(dev store.Device) {
+	e.AddSpare(func(int) (store.Device, error) { return dev, nil })
+}
+
+// AddSpares registers n hot spares backed by the engine's replacement
+// provisioner (Options.Replace, or the in-memory default) — the form used
+// by POST /v1/spares, where the caller cannot hand over a device.
+func (e *Engine) AddSpares(n int) {
+	for i := 0; i < n; i++ {
+		e.AddSpare(SpareProvider(e.replace))
+	}
+}
+
+// SpareCount returns the number of unconsumed spares in the pool.
+func (e *Engine) SpareCount() int {
+	e.spareMu.Lock()
+	defer e.spareMu.Unlock()
+	return len(e.spares)
+}
+
+// takeSpare pops the oldest spare provider, if any.
+func (e *Engine) takeSpare() (SpareProvider, bool) {
+	e.spareMu.Lock()
+	defer e.spareMu.Unlock()
+	if len(e.spares) == 0 {
+		return nil, false
+	}
+	p := e.spares[0]
+	e.spares = e.spares[1:]
+	return p, true
+}
+
+// wrapDevice layers the configured retry policy and the health probe
+// around a backing device for disk d. Every device the engine attaches —
+// the originals, pool spares, auto-provisioned replacements — goes
+// through it, so monitoring follows the disk across device swaps.
+func (e *Engine) wrapDevice(d int, dev store.Device) store.Device {
+	if e.retryPol != nil {
+		rd := store.NewRetryDevice(dev, *e.retryPol)
+		e.retryMu.Lock()
+		e.retryDevs[d] = rd
+		e.retryMu.Unlock()
+		dev = rd
+	}
+	return probeDevice{inner: dev, disk: d, gen: e.mon.disks[d].gen.Load(), mon: e.mon}
+}
+
+// Health returns the engine's health snapshot.
+func (e *Engine) Health() HealthReport {
+	failedSet := make(map[int]bool)
+	for _, d := range e.arr.FailedDisks() {
+		failedSet[d] = true
+	}
+	rep := HealthReport{
+		Disks:        make([]DiskHealth, len(e.mon.disks)),
+		Spares:       e.SpareCount(),
+		SparesUsed:   e.mon.sparesUsed.Load(),
+		Evictions:    e.mon.evictions.Load(),
+		AutoRebuilds: e.mon.autoRebuilds.Load(),
+		AutoHeal:     e.mon.autoMon,
+	}
+	if e.mon.autoMon {
+		pol := e.mon.pol
+		rep.Policy = &pol
+	}
+	e.retryMu.Lock()
+	retries := make([]int64, len(e.retryDevs))
+	for d, rd := range e.retryDevs {
+		if rd != nil {
+			retries[d] = rd.Stats().Absorbed
+		}
+	}
+	e.retryMu.Unlock()
+	for d := range rep.Disks {
+		c := &e.mon.disks[d]
+		h := DiskHealth{
+			Disk:            d,
+			State:           "healthy",
+			Ops:             c.ops.Load(),
+			Errors:          c.errors.Load(),
+			TransientErrors: c.transient.Load(),
+			RetriesAbsorbed: retries[d],
+			CorruptReads:    c.corrupt.Load(),
+			SlowOps:         c.slow.Load(),
+		}
+		if h.Ops > 0 {
+			h.MeanLatencyUs = float64(c.latencyNs.Load()) / float64(h.Ops) / 1e3
+		}
+		switch {
+		case failedSet[d] && c.evicted.Load():
+			h.State = "evicted"
+		case failedSet[d]:
+			h.State = "failed"
+		}
+		rep.Disks[d] = h
+	}
+	return rep
+}
+
+// healLoop is the self-healing goroutine: it consumes eviction requests
+// from the monitor, fails the disk, adopts a spare (or auto-provisions a
+// replacement), and drives a background rebuild to completion — then
+// closes the write hole left by any aborted in-flight writes.
+func (e *Engine) healLoop() {
+	defer e.healWg.Done()
+	for {
+		select {
+		case <-e.healStop:
+			return
+		case d := <-e.mon.evictCh:
+			e.heal(d)
+		}
+	}
+}
+
+// heal runs one evict→adopt→rebuild→resync pass. It retries a few times
+// with backoff so a transiently wedged rebuild start does not strand the
+// array degraded, then gives up and leaves the state visible in Health.
+func (e *Engine) heal(d int) {
+	if err := e.FailDisk(d); err != nil {
+		return // engine closing
+	}
+	for attempt := 0; attempt < 5 && !e.closed.Load(); attempt++ {
+		err := e.StartRebuild(e.mon.pol.RebuildBatch)
+		if err == nil {
+			e.mon.autoRebuilds.Add(1)
+		} else if !errors.Is(err, ErrRebuildRunning) {
+			// Provisioning failed (no spare and Replace errored); back off
+			// and retry rather than spinning.
+			time.Sleep(time.Duration(attempt+1) * 10 * time.Millisecond)
+			continue
+		}
+		e.RebuildWait()
+		if len(e.arr.FailedDisks()) == 0 {
+			// Healed: the evicted disks run on fresh devices (adopt cleared
+			// their error state at attach time). Re-synchronise any cycles
+			// that in-flight writes aborted by device errors left dirty.
+			if _, err := e.arr.RecoverIntent(); err != nil && !errors.Is(err, store.ErrDiskFaulty) {
+				// Leave the intent pending; the next heal or restart
+				// retries it.
+				_ = err
+			}
+			return
+		}
+	}
+}

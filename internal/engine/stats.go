@@ -34,19 +34,42 @@ type Stats struct {
 	// LockWaitNs is the cumulative time operations spent blocked acquiring
 	// engine locks (striped locks plus deep-degraded escalation).
 	LockWaitNs int64
+	// RetriesAbsorbed counts transient device faults hidden by the retry
+	// policy across all disks.
+	RetriesAbsorbed int64
+	// Evictions counts disks auto-evicted by the health policy.
+	Evictions int64
+	// AutoRebuilds counts rebuilds launched by the self-healing loop.
+	AutoRebuilds int64
+	// SparesAvailable/SparesUsed describe the hot-spare pool.
+	SparesAvailable int64
+	SparesUsed      int64
 }
 
 // Stats returns a snapshot of the engine and array counters.
 func (e *Engine) Stats() Stats {
 	io := e.arr.Stats()
+	var absorbed int64
+	e.retryMu.Lock()
+	for _, rd := range e.retryDevs {
+		if rd != nil {
+			absorbed += rd.Stats().Absorbed
+		}
+	}
+	e.retryMu.Unlock()
 	return Stats{
-		Reads:          e.stats.reads.Load(),
-		Writes:         e.stats.writes.Load(),
-		DegradedReads:  io.DegradedReads,
-		ReadRepairs:    io.ReadRepairs,
-		DeviceReads:    io.ReadOps,
-		DeviceWrites:   io.WriteOps,
-		RebuildBatches: e.stats.rebuildBatches.Load(),
-		LockWaitNs:     e.stats.lockWaitNs.Load(),
+		Reads:           e.stats.reads.Load(),
+		Writes:          e.stats.writes.Load(),
+		DegradedReads:   io.DegradedReads,
+		ReadRepairs:     io.ReadRepairs,
+		DeviceReads:     io.ReadOps,
+		DeviceWrites:    io.WriteOps,
+		RebuildBatches:  e.stats.rebuildBatches.Load(),
+		LockWaitNs:      e.stats.lockWaitNs.Load(),
+		RetriesAbsorbed: absorbed,
+		Evictions:       e.mon.evictions.Load(),
+		AutoRebuilds:    e.mon.autoRebuilds.Load(),
+		SparesAvailable: int64(e.SpareCount()),
+		SparesUsed:      e.mon.sparesUsed.Load(),
 	}
 }

@@ -2,34 +2,92 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/store"
 )
 
+// ClientOptions tunes the client's transport behaviour.
+type ClientOptions struct {
+	// Timeout caps each HTTP attempt (default 60s).
+	Timeout time.Duration
+	// MaxRetries bounds re-attempts after a retryable failure — a
+	// transport error or a 502/503/504 response (default 3; 0 disables
+	// retries).
+	MaxRetries int
+	// BaseDelay seeds the exponential backoff between attempts (default
+	// 100ms); a Retry-After response header overrides the computed delay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 2s).
+	MaxDelay time.Duration
+	// Seed fixes the backoff jitter stream for reproducible tests.
+	Seed int64
+	// HTTPClient overrides the underlying transport (tests).
+	HTTPClient *http.Client
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 100 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 2 * time.Second
+	}
+	return o
+}
+
 // Client is the Go client for an oiraidd server. It speaks the strip API
 // and layers byte-granularity ReadAt/WriteAt on top with client-side
-// read-modify-write at unaligned range edges.
+// read-modify-write at unaligned range edges. Transient server conditions
+// (503 with Retry-After, bad gateways, transport errors) are retried with
+// exponential backoff; every method has a context-aware variant.
 type Client struct {
 	base string
 	hc   *http.Client
+	opts ClientOptions
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
 
 	stripBytes int
 	strips     int64
 }
 
-// NewClient targets an oiraidd base URL, e.g. "http://127.0.0.1:7979".
-// The first data call fetches the array geometry from /v1/status.
+// NewClient targets an oiraidd base URL, e.g. "http://127.0.0.1:7979",
+// with default options. The first data call fetches the array geometry
+// from /v1/status.
 func NewClient(base string) *Client {
+	return NewClientWithOptions(base, ClientOptions{MaxRetries: 3})
+}
+
+// NewClientWithOptions targets an oiraidd base URL with explicit options.
+func NewClientWithOptions(base string, opts ClientOptions) *Client {
+	opts = opts.withDefaults()
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: opts.Timeout}
+	}
 	return &Client{
 		base: strings.TrimRight(base, "/"),
-		hc:   &http.Client{Timeout: 60 * time.Second},
+		hc:   hc,
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
 	}
 }
 
@@ -52,6 +110,7 @@ func remoteError(status int, body string) error {
 		store.ErrStripOutOfRange, store.ErrNoSuchDisk, store.ErrShortBuffer,
 		store.ErrNegativeOffset, store.ErrBadGeometry, store.ErrNotFailed,
 		store.ErrNoReplacement, store.ErrTooManyFailures, store.ErrDiskFaulty,
+		store.ErrTransient, store.ErrPermanent,
 		engine.ErrRebuildRunning, engine.ErrClosed,
 	} {
 		if strings.Contains(body, s.Error()) {
@@ -65,37 +124,106 @@ func remoteError(status int, body string) error {
 	return fmt.Errorf("server: http %d: %s", status, body)
 }
 
-func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+// retryableStatus reports whether a response status is worth re-attempting:
+// the gateway statuses plus 503, which the server uses for transient
+// conditions (and sets Retry-After on).
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// backoff computes the jittered exponential delay before retry number n
+// (0-based), bounded by MaxDelay; retryAfter, when positive, wins.
+func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		if retryAfter > c.opts.MaxDelay {
+			return c.opts.MaxDelay
+		}
+		return retryAfter
+	}
+	d := c.opts.BaseDelay << uint(n)
+	if d > c.opts.MaxDelay || d <= 0 {
+		d = c.opts.MaxDelay
+	}
+	c.rngMu.Lock()
+	jitter := 0.5 + c.rng.Float64()
+	c.rngMu.Unlock()
+	return time.Duration(float64(d) * jitter)
+}
+
+// doCtx performs one API call with retries. Only transport failures and
+// retryable statuses re-attempt; application errors (4xx, 500) surface
+// immediately. The body is replayed from the byte slice on each attempt.
+func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, retryAfter, err, retryable := c.attempt(ctx, method, path, body)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+		if !retryable || attempt >= c.opts.MaxRetries {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.backoff(attempt, retryAfter)):
+		}
+	}
+}
+
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (out []byte, retryAfter time.Duration, err error, retryable bool) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, err
+		return nil, 0, err, false
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return nil, err
+		// Transport-level failure (refused, reset, timeout): retryable
+		// unless the context itself is done.
+		if ctx.Err() != nil {
+			return nil, 0, ctx.Err(), false
+		}
+		return nil, 0, err, true
 	}
 	defer resp.Body.Close()
-	out, err := io.ReadAll(resp.Body)
+	out, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, 0, err, true
 	}
 	if resp.StatusCode >= 400 {
-		return nil, remoteError(resp.StatusCode, string(out))
+		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+		return nil, retryAfter, remoteError(resp.StatusCode, string(out)), retryableStatus(resp.StatusCode)
 	}
-	return out, nil
+	return out, 0, nil, false
+}
+
+func (c *Client) do(method, path string, body []byte) ([]byte, error) {
+	return c.doCtx(context.Background(), method, path, body)
 }
 
 // Status fetches the operational snapshot.
 func (c *Client) Status() (engine.Status, error) {
+	return c.StatusCtx(context.Background())
+}
+
+// StatusCtx is Status bounded by ctx.
+func (c *Client) StatusCtx(ctx context.Context) (engine.Status, error) {
 	var st engine.Status
-	out, err := c.do(http.MethodGet, "/v1/status", nil)
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/status", nil)
 	if err != nil {
 		return st, err
 	}
@@ -105,44 +233,107 @@ func (c *Client) Status() (engine.Status, error) {
 	return st, nil
 }
 
+// Health fetches the per-disk health report.
+func (c *Client) Health() (engine.HealthReport, error) {
+	return c.HealthCtx(context.Background())
+}
+
+// HealthCtx is Health bounded by ctx.
+func (c *Client) HealthCtx(ctx context.Context) (engine.HealthReport, error) {
+	var h engine.HealthReport
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/health", nil)
+	if err != nil {
+		return h, err
+	}
+	if err := json.Unmarshal(out, &h); err != nil {
+		return h, fmt.Errorf("server: decode health: %w", err)
+	}
+	return h, nil
+}
+
+// AddSpares registers count hot spares with the server's pool, returning
+// the pool size afterwards.
+func (c *Client) AddSpares(count int) (int, error) {
+	return c.AddSparesCtx(context.Background(), count)
+}
+
+// AddSparesCtx is AddSpares bounded by ctx.
+func (c *Client) AddSparesCtx(ctx context.Context, count int) (int, error) {
+	out, err := c.doCtx(ctx, http.MethodPost, fmt.Sprintf("/v1/spares?count=%d", count), nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp map[string]int
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return 0, fmt.Errorf("server: decode spares: %w", err)
+	}
+	return resp["spares"], nil
+}
+
 // Metrics fetches the text-format counter dump.
 func (c *Client) Metrics() (string, error) {
-	out, err := c.do(http.MethodGet, "/v1/metrics", nil)
+	return c.MetricsCtx(context.Background())
+}
+
+// MetricsCtx is Metrics bounded by ctx.
+func (c *Client) MetricsCtx(ctx context.Context) (string, error) {
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/metrics", nil)
 	return string(out), err
 }
 
 // PutStrip stores one data strip; len(p) must be the array's strip size.
 func (c *Client) PutStrip(addr int64, p []byte) error {
-	_, err := c.do(http.MethodPut, fmt.Sprintf("/v1/strips/%d", addr), p)
+	return c.PutStripCtx(context.Background(), addr, p)
+}
+
+// PutStripCtx is PutStrip bounded by ctx.
+func (c *Client) PutStripCtx(ctx context.Context, addr int64, p []byte) error {
+	_, err := c.doCtx(ctx, http.MethodPut, fmt.Sprintf("/v1/strips/%d", addr), p)
 	return err
 }
 
 // GetStrip fetches one data strip.
 func (c *Client) GetStrip(addr int64) ([]byte, error) {
-	return c.do(http.MethodGet, fmt.Sprintf("/v1/strips/%d", addr), nil)
+	return c.GetStripCtx(context.Background(), addr)
 }
 
-// FailDisk injects a disk failure.
+// GetStripCtx is GetStrip bounded by ctx.
+func (c *Client) GetStripCtx(ctx context.Context, addr int64) ([]byte, error) {
+	return c.doCtx(ctx, http.MethodGet, fmt.Sprintf("/v1/strips/%d", addr), nil)
+}
+
+// FailDisk injects a disk failure. Failing an already-failed disk is an
+// idempotent no-op on the server.
 func (c *Client) FailDisk(id int) error {
-	_, err := c.do(http.MethodPost, fmt.Sprintf("/v1/disks/%d/fail", id), nil)
+	return c.FailDiskCtx(context.Background(), id)
+}
+
+// FailDiskCtx is FailDisk bounded by ctx.
+func (c *Client) FailDiskCtx(ctx context.Context, id int) error {
+	_, err := c.doCtx(ctx, http.MethodPost, fmt.Sprintf("/v1/disks/%d/fail", id), nil)
 	return err
 }
 
 // Rebuild starts a rebuild. With wait true the call blocks until the
 // rebuild completes (or fails); otherwise it returns once started.
 func (c *Client) Rebuild(wait bool) error {
+	return c.RebuildCtx(context.Background(), wait)
+}
+
+// RebuildCtx is Rebuild bounded by ctx.
+func (c *Client) RebuildCtx(ctx context.Context, wait bool) error {
 	path := "/v1/rebuild"
 	if wait {
 		path += "?wait=1"
 	}
-	_, err := c.do(http.MethodPost, path, nil)
+	_, err := c.doCtx(ctx, http.MethodPost, path, nil)
 	return err
 }
 
 // geometry caches strip size and count from /v1/status.
-func (c *Client) geometry() (int, int64, error) {
+func (c *Client) geometry(ctx context.Context) (int, int64, error) {
 	if c.stripBytes == 0 {
-		st, err := c.Status()
+		st, err := c.StatusCtx(ctx)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -154,7 +345,13 @@ func (c *Client) geometry() (int, int64, error) {
 // WriteAt writes p at byte offset off in the data space, doing client-side
 // read-modify-write for unaligned leading/trailing partial strips.
 func (c *Client) WriteAt(p []byte, off int64) (int, error) {
-	sb, strips, err := c.geometry()
+	return c.WriteAtCtx(context.Background(), p, off)
+}
+
+// WriteAtCtx is WriteAt bounded by ctx; a cancelled context stops between
+// strips with the bytes written so far.
+func (c *Client) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	sb, strips, err := c.geometry(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -163,6 +360,9 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 	}
 	total := 0
 	for total < len(p) {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		pos := off + int64(total)
 		addr := pos / int64(sb)
 		if addr >= strips {
@@ -175,14 +375,14 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 		}
 		strip := p[total : total+n]
 		if n != sb {
-			old, err := c.GetStrip(addr)
+			old, err := c.GetStripCtx(ctx, addr)
 			if err != nil {
 				return total, err
 			}
 			copy(old[within:], strip)
 			strip = old
 		}
-		if err := c.PutStrip(addr, strip); err != nil {
+		if err := c.PutStripCtx(ctx, addr, strip); err != nil {
 			return total, err
 		}
 		total += n
@@ -192,7 +392,13 @@ func (c *Client) WriteAt(p []byte, off int64) (int, error) {
 
 // ReadAt reads len(p) bytes at byte offset off in the data space.
 func (c *Client) ReadAt(p []byte, off int64) (int, error) {
-	sb, strips, err := c.geometry()
+	return c.ReadAtCtx(context.Background(), p, off)
+}
+
+// ReadAtCtx is ReadAt bounded by ctx; a cancelled context stops between
+// strips with the bytes read so far.
+func (c *Client) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	sb, strips, err := c.geometry(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -201,6 +407,9 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 	}
 	total := 0
 	for total < len(p) {
+		if err := ctx.Err(); err != nil {
+			return total, err
+		}
 		pos := off + int64(total)
 		addr := pos / int64(sb)
 		if addr >= strips {
@@ -211,7 +420,7 @@ func (c *Client) ReadAt(p []byte, off int64) (int, error) {
 		if n > len(p)-total {
 			n = len(p) - total
 		}
-		strip, err := c.GetStrip(addr)
+		strip, err := c.GetStripCtx(ctx, addr)
 		if err != nil {
 			return total, err
 		}

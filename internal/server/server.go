@@ -3,13 +3,17 @@
 //
 //	PUT  /v1/strips/{addr}     store one data strip (binary body)
 //	GET  /v1/strips/{addr}     fetch one data strip (binary)
-//	POST /v1/disks/{id}/fail   inject a disk failure
+//	POST /v1/disks/{id}/fail   inject a disk failure (idempotent)
 //	POST /v1/rebuild           start a background rebuild (?wait=1 blocks)
+//	POST /v1/spares            register hot spares (?count=N, default 1)
+//	GET  /v1/health            per-disk health counters + healing totals
 //	GET  /v1/status            operational snapshot incl. exposure report
 //	GET  /v1/metrics           engine counters, text format
 //
 // Sentinel errors from internal/store map onto HTTP statuses, so remote
-// callers can branch the same way local ones do with errors.Is.
+// callers can branch the same way local ones do with errors.Is. Transient
+// conditions answer 503 with a Retry-After header; the bundled client
+// retries those (and transport errors) with exponential backoff.
 package server
 
 import (
@@ -57,6 +61,8 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/strips/{addr}", s.getStrip)
 	s.mux.HandleFunc("POST /v1/disks/{id}/fail", s.failDisk)
 	s.mux.HandleFunc("POST /v1/rebuild", s.rebuild)
+	s.mux.HandleFunc("POST /v1/spares", s.addSpares)
+	s.mux.HandleFunc("GET /v1/health", s.health)
 	s.mux.HandleFunc("GET /v1/status", s.status)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
 	return s
@@ -106,7 +112,10 @@ func httpStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, store.ErrTooManyFailures):
 		return http.StatusInternalServerError // data loss: nothing a retry can do
-	case errors.Is(err, store.ErrDiskFaulty), errors.Is(err, engine.ErrClosed):
+	case errors.Is(err, store.ErrDiskFaulty), errors.Is(err, engine.ErrClosed),
+		store.IsTransient(err), errors.Is(err, store.ErrPermanent):
+		// Permanent device errors are still 503: the self-healing loop is
+		// evicting the disk, and the op will succeed once it has.
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -114,7 +123,11 @@ func httpStatus(err error) int {
 }
 
 func fail(w http.ResponseWriter, err error) {
-	http.Error(w, err.Error(), httpStatus(err))
+	status := httpStatus(err)
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	http.Error(w, err.Error(), status)
 }
 
 func (s *Server) stripAddr(r *http.Request) (int64, error) {
@@ -187,6 +200,26 @@ func (s *Server) rebuild(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusAccepted)
 }
 
+func (s *Server) addSpares(w http.ResponseWriter, r *http.Request) {
+	count := 1
+	if q := r.URL.Query().Get("count"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 || n > 1024 {
+			http.Error(w, fmt.Sprintf("bad spare count %q", q), http.StatusBadRequest)
+			return
+		}
+		count = n
+	}
+	s.eng.AddSpares(count)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"spares": s.eng.SpareCount()})
+}
+
+func (s *Server) health(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.eng.Health())
+}
+
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.eng.Status())
@@ -207,7 +240,18 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"oiraid_engine_device_writes_total", st.DeviceWrites},
 		{"oiraid_engine_rebuild_batches_total", st.RebuildBatches},
 		{"oiraid_engine_lock_wait_ns_total", st.LockWaitNs},
+		{"oiraid_engine_retries_absorbed_total", st.RetriesAbsorbed},
+		{"oiraid_engine_evictions_total", st.Evictions},
+		{"oiraid_engine_auto_rebuilds_total", st.AutoRebuilds},
+		{"oiraid_engine_spares_available", st.SparesAvailable},
+		{"oiraid_engine_spares_used_total", st.SparesUsed},
 	} {
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
+	}
+	for _, d := range s.eng.Health().Disks {
+		fmt.Fprintf(w, "oiraid_disk_ops_total{disk=\"%d\"} %d\n", d.Disk, d.Ops)
+		fmt.Fprintf(w, "oiraid_disk_errors_total{disk=\"%d\"} %d\n", d.Disk, d.Errors)
+		fmt.Fprintf(w, "oiraid_disk_corrupt_reads_total{disk=\"%d\"} %d\n", d.Disk, d.CorruptReads)
+		fmt.Fprintf(w, "oiraid_disk_slow_ops_total{disk=\"%d\"} %d\n", d.Disk, d.SlowOps)
 	}
 }

@@ -175,18 +175,41 @@ func (a *Array) FailedDisks() []int {
 // content is served by reconstruction until Rebuild. Failing a disk while
 // an incremental rebuild is underway aborts that rebuild (the plan is
 // stale); partial progress is discarded and the next Rebuild starts over
-// against the full failure set.
+// against the full failure set. Failing an already-failed disk is an
+// idempotent no-op — in particular it does not abort a rebuild already
+// covering it.
 func (a *Array) FailDisk(d int) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if d < 0 || d >= len(a.devs) {
 		return fmt.Errorf("%w: %d", ErrNoSuchDisk, d)
 	}
+	if a.failed[d] {
+		return nil
+	}
 	a.failed[d] = true
 	a.replaced[d] = nil
 	a.rebuildPlan = nil
 	a.rebuiltCycles = 0
 	return nil
+}
+
+// InstrumentDevices replaces every attached device (including any
+// replacement already attached) with wrap(disk, device) — the hook the
+// engine's health monitor uses to interpose per-disk probes and retry
+// shims around the backing devices. Call it before serving I/O; wrap must
+// return a device that delegates to its argument.
+func (a *Array) InstrumentDevices(wrap func(disk int, dev Device) Device) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, dev := range a.devs {
+		a.devs[i] = wrap(i, dev)
+	}
+	for i, dev := range a.replaced {
+		if dev != nil {
+			a.replaced[i] = wrap(i, dev)
+		}
+	}
 }
 
 // locate maps a logical data-strip index to (disk, absolute device strip).
@@ -255,6 +278,14 @@ func (a *Array) readStrip(d int, devStrip int64, p []byte) error {
 // decoding when one live stripe suffices, full multi-phase peeling for
 // deep multi-failure patterns.
 func (a *Array) reconstructStrip(d int, devStrip int64, p []byte) error {
+	return a.reconstructStripDepth(d, devStrip, p, 0)
+}
+
+// maxHealDepth bounds recursive healing of corrupt source strips, which
+// could otherwise chase a (pathological) cycle of mutually corrupt strips.
+const maxHealDepth = 3
+
+func (a *Array) reconstructStripDepth(d int, devStrip int64, p []byte, depth int) error {
 	a.stats.degradedReads.Add(1)
 	slots := int64(a.an.SlotsPerDisk())
 	cycle, slot := devStrip/slots, int(devStrip%slots)
@@ -271,10 +302,25 @@ func (a *Array) reconstructStrip(d int, devStrip int64, p []byte) error {
 		if st.Disk == d || !a.stripAlive(st.Disk, cycle) {
 			continue
 		}
-		dev := a.liveDevice(st.Disk, cycle*slots+int64(st.Slot))
+		idx := cycle*slots + int64(st.Slot)
+		dev := a.liveDevice(st.Disk, idx)
 		a.stats.readOps.Add(1)
-		if err := dev.ReadStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
-			return err
+		if err := dev.ReadStrip(idx, shards[mi]); err != nil {
+			// A corrupt source is itself a latent sector error. Every strip
+			// belongs to more than one stripe in the two-layer layout, so
+			// heal it through its own decode path, write it back (read
+			// repair), and carry on with the healed content.
+			if !errors.Is(err, ErrCorrupt) || depth >= maxHealDepth {
+				return err
+			}
+			if herr := a.reconstructStripDepth(st.Disk, idx, shards[mi], depth+1); herr != nil {
+				return fmt.Errorf("store: corrupt source %v unhealable (%v): %w", st, herr, err)
+			}
+			a.stats.writeOps.Add(1)
+			a.stats.readRepairs.Add(1)
+			if werr := dev.WriteStrip(idx, shards[mi]); werr != nil {
+				return fmt.Errorf("store: read repair of strip %v: %w", st, werr)
+			}
 		}
 		present[mi] = true
 	}

@@ -33,7 +33,21 @@ var (
 	ErrNegativeOffset = errors.New("store: negative offset")
 	// ErrClosed reports I/O on a closed device.
 	ErrClosed = errors.New("store: device closed")
+	// ErrTransient reports a device error that may succeed if retried:
+	// a recoverable media hiccup, a timeout, a torn write that can be
+	// reissued. RetryDevice absorbs these; the HTTP layer maps survivors
+	// onto 503 + Retry-After.
+	ErrTransient = errors.New("store: transient device error")
+	// ErrPermanent reports a device that has failed for good: every
+	// subsequent operation will error until the disk is evicted and its
+	// content rebuilt onto a replacement.
+	ErrPermanent = errors.New("store: permanent device error")
 )
+
+// IsTransient reports whether err is worth retrying at the same device —
+// the branch the retry policy and the health monitor take between backoff
+// (transient) and eviction (permanent).
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
 
 // Historical names, kept so existing errors.Is call sites keep working.
 // They are the same values as the canonical sentinels above.

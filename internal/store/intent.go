@@ -28,21 +28,24 @@ type IntentLog interface {
 }
 
 // MemIntentLog is an in-memory IntentLog for tests and volatile arrays.
+// Like FileIntentLog it reference-counts records, so a cycle left dirty by
+// an aborted write stays pending even when later writes to the same cycle
+// complete cleanly.
 type MemIntentLog struct {
 	mu    sync.Mutex
-	dirty map[int64]bool
+	dirty map[int64]int
 }
 
 var _ IntentLog = (*MemIntentLog)(nil)
 
 // NewMemIntentLog returns an empty in-memory log.
-func NewMemIntentLog() *MemIntentLog { return &MemIntentLog{dirty: make(map[int64]bool)} }
+func NewMemIntentLog() *MemIntentLog { return &MemIntentLog{dirty: make(map[int64]int)} }
 
 // Record implements IntentLog.
 func (m *MemIntentLog) Record(cycle int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.dirty[cycle] = true
+	m.dirty[cycle]++
 	return nil
 }
 
@@ -50,7 +53,12 @@ func (m *MemIntentLog) Record(cycle int64) error {
 func (m *MemIntentLog) Clear(cycle int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	delete(m.dirty, cycle)
+	if m.dirty[cycle] > 0 {
+		m.dirty[cycle]--
+	}
+	if m.dirty[cycle] <= 0 {
+		delete(m.dirty, cycle)
+	}
 	return nil
 }
 
@@ -222,8 +230,26 @@ func (a *Array) RecoverIntent() (cycles int, err error) {
 				return cycles, err
 			}
 		}
-		if err := a.intent.Clear(cycle); err != nil {
-			return cycles, err
+		// Aborted writes can leave more than one outstanding record on a
+		// cycle; the repair covered them all, so drain the refcount.
+		for {
+			if err := a.intent.Clear(cycle); err != nil {
+				return cycles, err
+			}
+			still, err := a.intent.Pending()
+			if err != nil {
+				return cycles, err
+			}
+			outstanding := false
+			for _, c := range still {
+				if c == cycle {
+					outstanding = true
+					break
+				}
+			}
+			if !outstanding {
+				break
+			}
 		}
 		cycles++
 	}

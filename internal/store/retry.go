@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds how a RetryDevice (or any caller using Backoff)
+// retries transient errors: a capped number of attempts, exponential
+// backoff with jitter between them, and an overall per-operation deadline.
+// Permanent errors are never retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per operation, including
+	// the first (default 4).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 500µs);
+	// each further retry doubles it.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff (default 50ms).
+	MaxDelay time.Duration
+	// OpDeadline caps the total time spent on one operation, sleeps
+	// included (default 0: unbounded).
+	OpDeadline time.Duration
+	// Seed initialises the jitter stream, making retry schedules
+	// reproducible.
+	Seed int64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 500 * time.Microsecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 50 * time.Millisecond
+	}
+	return p
+}
+
+// Backoff returns the delay before retry number retry (0-based): an
+// exponential of BaseDelay capped at MaxDelay, scaled by a jitter factor
+// in [0.5, 1.5) drawn from rng (nil rng: no jitter).
+func (p RetryPolicy) Backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << uint(retry)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	if rng != nil {
+		d = time.Duration(float64(d) * (0.5 + rng.Float64()))
+	}
+	return d
+}
+
+// RetryStats counts a RetryDevice's outcomes.
+type RetryStats struct {
+	// Ops is the number of operations admitted.
+	Ops int64
+	// Retries is the number of re-issued attempts.
+	Retries int64
+	// Absorbed is the number of operations that failed transiently at
+	// least once and then succeeded — faults the caller never saw.
+	Absorbed int64
+	// Exhausted is the number of operations that stayed transient through
+	// every allowed attempt and surfaced the error.
+	Exhausted int64
+}
+
+// RetryDevice wraps a Device with the retry policy: transient errors
+// (store.IsTransient) are retried with exponential backoff and jitter up
+// to the policy's attempt and deadline bounds; permanent and semantic
+// errors surface immediately.
+type RetryDevice struct {
+	inner Device
+	pol   RetryPolicy
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	ops, retries, absorbed, exhausted int64 // guarded by mu
+}
+
+var _ Device = (*RetryDevice)(nil)
+
+// NewRetryDevice wraps dev with pol (zero fields take defaults).
+func NewRetryDevice(dev Device, pol RetryPolicy) *RetryDevice {
+	pol = pol.withDefaults()
+	return &RetryDevice{inner: dev, pol: pol, rng: rand.New(rand.NewSource(pol.Seed))}
+}
+
+// Strips implements Device.
+func (r *RetryDevice) Strips() int64 { return r.inner.Strips() }
+
+// StripBytes implements Device.
+func (r *RetryDevice) StripBytes() int { return r.inner.StripBytes() }
+
+// Inner exposes the wrapped device.
+func (r *RetryDevice) Inner() Device { return r.inner }
+
+// Stats returns a snapshot of the retry counters.
+func (r *RetryDevice) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RetryStats{Ops: r.ops, Retries: r.retries, Absorbed: r.absorbed, Exhausted: r.exhausted}
+}
+
+// do runs op under the retry policy.
+func (r *RetryDevice) do(op func() error) error {
+	r.mu.Lock()
+	r.ops++
+	r.mu.Unlock()
+	start := time.Now()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = op()
+		if err == nil {
+			if attempt > 0 {
+				r.mu.Lock()
+				r.absorbed++
+				r.mu.Unlock()
+			}
+			return nil
+		}
+		if !IsTransient(err) {
+			return err
+		}
+		if attempt >= r.pol.MaxAttempts-1 {
+			break
+		}
+		r.mu.Lock()
+		delay := r.pol.Backoff(attempt, r.rng)
+		r.retries++
+		r.mu.Unlock()
+		if r.pol.OpDeadline > 0 && time.Since(start)+delay > r.pol.OpDeadline {
+			break
+		}
+		time.Sleep(delay)
+	}
+	r.mu.Lock()
+	r.exhausted++
+	r.mu.Unlock()
+	return fmt.Errorf("store: %d attempt(s) exhausted: %w", r.pol.MaxAttempts, err)
+}
+
+// ReadStrip implements Device.
+func (r *RetryDevice) ReadStrip(idx int64, p []byte) error {
+	return r.do(func() error { return r.inner.ReadStrip(idx, p) })
+}
+
+// WriteStrip implements Device.
+func (r *RetryDevice) WriteStrip(idx int64, p []byte) error {
+	return r.do(func() error { return r.inner.WriteStrip(idx, p) })
+}
+
+// Close implements Device.
+func (r *RetryDevice) Close() error { return r.inner.Close() }

@@ -97,6 +97,24 @@ type (
 	ServerOptions = server.Options
 	// ServerClient is the Go client for an oiraidd server.
 	ServerClient = server.Client
+	// ServerClientOptions tunes the client's timeout and retry/backoff.
+	ServerClientOptions = server.ClientOptions
+	// FaultConfig parameterises deterministic fault injection.
+	FaultConfig = store.FaultConfig
+	// FaultInjector is a device wrapper injecting transient errors, torn
+	// writes, silent bit-flips, latency, and permanent failure.
+	FaultInjector = store.FaultDevice
+	// RetryPolicy bounds per-device retries of transient errors.
+	RetryPolicy = store.RetryPolicy
+	// HealthPolicy tunes the engine's auto-eviction and auto-rebuild.
+	HealthPolicy = engine.HealthPolicy
+	// HealthReport is the engine's per-disk health snapshot (also the
+	// JSON body of oiraidd's /v1/health).
+	HealthReport = engine.HealthReport
+	// DiskHealth is one disk's entry in a HealthReport.
+	DiskHealth = engine.DiskHealth
+	// SpareProvider materialises a hot-spare device for a failed disk.
+	SpareProvider = engine.SpareProvider
 )
 
 // SupportedDiskCounts lists array sizes v ≤ limit for which an OI-RAID
@@ -268,9 +286,27 @@ func NewServer(eng *Engine, opts ServerOptions) *Server {
 	return server.New(eng, opts)
 }
 
-// NewServerClient targets an oiraidd base URL.
+// NewServerClient targets an oiraidd base URL with default retry/backoff.
 func NewServerClient(base string) *ServerClient {
 	return server.NewClient(base)
+}
+
+// NewServerClientWithOptions targets an oiraidd base URL with explicit
+// timeout and retry/backoff options.
+func NewServerClientWithOptions(base string, opts ServerClientOptions) *ServerClient {
+	return server.NewClientWithOptions(base, opts)
+}
+
+// NewFaultDevice wraps a device with deterministic, seedable fault
+// injection — the chaos-testing backbone of the self-healing stack.
+func NewFaultDevice(dev Device, cfg FaultConfig) *FaultInjector {
+	return store.NewFaultDevice(dev, cfg)
+}
+
+// NewRetryDevice wraps a device with bounded retry/backoff of transient
+// errors.
+func NewRetryDevice(dev Device, pol RetryPolicy) Device {
+	return store.NewRetryDevice(dev, pol)
 }
 
 // NewChecksummedDevice wraps any device with per-strip CRC-32C

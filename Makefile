@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos bench clean
+.PHONY: build test race vet check chaos qos bench clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,13 @@ vet:
 chaos:
 	$(GO) test -race -count=2 -run 'Chaos|Fault|Retry|Heal|ReadRepair|Torn|SelfHeal' \
 		./internal/store/... ./internal/engine/... ./internal/server/...
+
+# Recovery-QoS suite under the race detector: admission shedding,
+# deadline propagation, adaptive rebuild/scrub pacing, overload HTTP
+# semantics (429/504).
+qos:
+	$(GO) test -race -count=2 -run 'QoS|Overload|Pacer|Deadline|Scrub' \
+		./internal/store/... ./internal/engine/... ./internal/server/... ./cmd/oiraidd/...
 
 check: build vet test
 

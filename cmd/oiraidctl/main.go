@@ -11,6 +11,8 @@
 //	oiraidctl fail    -dir a -disk 3
 //	oiraidctl rebuild -dir a
 //	oiraidctl scrub   -dir a
+//	oiraidctl scrub   -remote http://127.0.0.1:7979
+//	oiraidctl qos     -remote http://127.0.0.1:7979 -rebuild-rate 8
 //	oiraidctl plan    -disks 25 -fail 0,7,13
 //	oiraidctl info    -disks 25
 package main
@@ -59,8 +61,36 @@ func main() {
 		failIn = fs.String("fail", "", "comma-separated disk ids")
 		remote = fs.String("remote", "", "oiraidd base URL; run the command against a server instead of -dir")
 		count  = fs.Int("count", 1, "spares to register (spare command)")
+
+		// qos command knobs; -1 leaves a knob unchanged on the server.
+		qosRate   = fs.Float64("rebuild-rate", -1, "qos: rebuild batches/sec when idle (0: unpaced, -1: unchanged)")
+		qosMin    = fs.Float64("min-rebuild-rate", -1, "qos: rebuild pacing floor under load (-1: unchanged)")
+		qosScrub  = fs.Duration("scrub-interval", -1, "qos: pause between background scrub slices (0: off, -1: unchanged)")
+		qosBatch  = fs.Int64("scrub-batch", -1, "qos: layout cycles per scrub slice (-1: unchanged)")
+		qosTarget = fs.Duration("latency-target", -1, "qos: foreground-latency target (0: no adaptation, -1: unchanged)")
+		qosWait   = fs.Duration("admit-wait", -1, "qos: admission wait budget before shedding (-1: unchanged)")
 	)
 	fs.Parse(os.Args[2:])
+
+	var qu oiraid.QoSUpdate
+	if *qosRate >= 0 {
+		qu.RebuildRate = qosRate
+	}
+	if *qosMin >= 0 {
+		qu.MinRebuildRate = qosMin
+	}
+	if *qosScrub >= 0 {
+		qu.ScrubInterval = qosScrub
+	}
+	if *qosBatch >= 0 {
+		qu.ScrubBatch = qosBatch
+	}
+	if *qosTarget >= 0 {
+		qu.LatencyTarget = qosTarget
+	}
+	if *qosWait >= 0 {
+		qu.AdmitWait = qosWait
+	}
 
 	var err error
 	if *remote != "" {
@@ -68,7 +98,7 @@ func main() {
 		// request (and its retry loop) instead of orphaning it.
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
-		err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, os.Stdin, os.Stdout)
+		err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, qu, os.Stdin, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
 			os.Exit(1)
@@ -109,15 +139,18 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze|metrics|health|spare> [flags]
+	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze|metrics|health|spare|qos> [flags]
 
   export  -disks N               write the layout as JSON to stdout
   analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
 
-With -remote URL the status, write, read, fail, rebuild, metrics, health,
-and spare commands run against an oiraidd server instead of a local -dir
-array. health prints per-disk error/latency counters; spare registers
--count hot spares with the server's auto-rebuild pool.`)
+With -remote URL the status, write, read, fail, rebuild, scrub, metrics,
+health, spare, and qos commands run against an oiraidd server instead of
+a local -dir array. health prints per-disk error/latency counters; spare
+registers -count hot spares with the server's auto-rebuild pool; qos
+reads the live pacing knobs, or sets the ones passed via -rebuild-rate,
+-min-rebuild-rate, -scrub-interval, -scrub-batch, -latency-target, and
+-admit-wait (-1 leaves a knob unchanged).`)
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "oiraid.json") }
@@ -363,7 +396,7 @@ func scrubCmd(dir string) error {
 // remoteCmd routes a command to an oiraidd server through the HTTP
 // client; only the operational subcommands exist remotely. The context
 // bounds every request (and its client-side retry loop).
-func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length int64, diskID, count int, in io.Reader, out io.Writer) error {
+func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length int64, diskID, count int, qu oiraid.QoSUpdate, in io.Reader, out io.Writer) error {
 	switch cmd {
 	case "status":
 		return remoteStatus(ctx, c, out)
@@ -417,9 +450,45 @@ func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length in
 		}
 		fmt.Fprintf(out, "spare pool: %d device(s)\n", n)
 		return nil
+	case "scrub":
+		bad, err := c.ScrubCtx(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "scrub: %d inconsistent stripes\n", bad)
+		if bad > 0 {
+			return fmt.Errorf("%d inconsistent stripe(s)", bad)
+		}
+		return nil
+	case "qos":
+		return remoteQoS(ctx, c, qu, out)
 	default:
 		return fmt.Errorf("command %q is not available with -remote", cmd)
 	}
+}
+
+// remoteQoS reads the server's QoS state, or applies the knobs the user
+// passed and prints the resulting state.
+func remoteQoS(ctx context.Context, c *server.Client, qu oiraid.QoSUpdate, out io.Writer) error {
+	var (
+		st  oiraid.QoSState
+		err error
+	)
+	if qu == (oiraid.QoSUpdate{}) {
+		st, err = c.QoSCtx(ctx)
+	} else {
+		st, err = c.SetQoSCtx(ctx, qu)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "admission: depth %d, wait %v (queued %d, shed %d, inflight %d)\n",
+		st.AdmitDepth, st.AdmitWait, st.Queued, st.Shed, st.Inflight)
+	fmt.Fprintf(out, "rebuild: %g batches/s configured, floor %g, effective %g\n",
+		st.RebuildRate, st.MinRebuildRate, st.EffectiveRebuildRate)
+	fmt.Fprintf(out, "scrub: every %v, %d cycle(s)/slice\n", st.ScrubInterval, st.ScrubBatch)
+	fmt.Fprintf(out, "latency: target %v, foreground EWMA %.1fµs\n", st.LatencyTarget, st.ForegroundEWMAUs)
+	return nil
 }
 
 func remoteHealth(ctx context.Context, c *server.Client, w io.Writer) error {

@@ -106,7 +106,7 @@ func TestRemoteLifecycle(t *testing.T) {
 	})
 	c := server.NewClient(ts.URL)
 	rc := func(cmd string, off, length int64, diskID int, in io.Reader, out io.Writer) error {
-		return remoteCmd(context.Background(), c, cmd, off, length, diskID, 1, in, out)
+		return remoteCmd(context.Background(), c, cmd, off, length, diskID, 1, oiraid.QoSUpdate{}, in, out)
 	}
 
 	payload := make([]byte, 3000)
@@ -173,8 +173,31 @@ func TestRemoteLifecycle(t *testing.T) {
 	if !strings.Contains(out.String(), "disk  0") || !strings.Contains(out.String(), "spares: 1 available") {
 		t.Fatalf("health output: %s", out.String())
 	}
-	if err := rc("scrub", 0, 0, -1, nil, io.Discard); err == nil {
-		t.Fatal("scrub must be rejected with -remote")
+	out.Reset()
+	if err := rc("scrub", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "0 inconsistent stripes") {
+		t.Fatalf("scrub output: %s", out.String())
+	}
+	out.Reset()
+	if err := rc("qos", 0, 0, -1, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "admission: depth 0") {
+		t.Fatalf("qos output: %s", out.String())
+	}
+	out.Reset()
+	rate := 8.0
+	if err := remoteCmd(context.Background(), c, "qos", 0, 0, -1, 1,
+		oiraid.QoSUpdate{RebuildRate: &rate}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rebuild: 8 batches/s") {
+		t.Fatalf("qos set output: %s", out.String())
+	}
+	if err := rc("create", 0, 0, -1, nil, io.Discard); err == nil {
+		t.Fatal("create must be rejected with -remote")
 	}
 	if err := rc("read", 0, 0, -1, nil, io.Discard); err == nil {
 		t.Fatal("read without -len must fail")

@@ -46,6 +46,16 @@ type config struct {
 	evictAfter int64         // hard errors before auto-eviction (0: no auto-heal)
 	spares     int           // hot spares registered at boot
 	slowOp     time.Duration // latency above which an op counts as slow (0: off)
+
+	// QoS knobs (see engine.QoSConfig).
+	opTimeout     time.Duration // per-op engine deadline (0: bounded only by -timeout)
+	admitDepth    int           // admission queue depth (0: no admission control)
+	admitWait     time.Duration // admission wait budget before shedding with 429
+	rebuildRate   float64       // rebuild batches/sec when idle (0: unpaced)
+	minRate       float64       // pacing floor under load (0: rebuildRate/10)
+	scrubInterval time.Duration // pause between background scrub slices (0: scrubber off)
+	scrubBatch    int64         // layout cycles per scrub slice
+	latencyTarget time.Duration // foreground-latency EWMA target (0: no adaptation)
 }
 
 // buildServer assembles geometry → array → engine → server from flags.
@@ -66,6 +76,17 @@ func buildServer(cfg config) (*server.Server, error) {
 			EvictAfter:   cfg.evictAfter,
 			SlowOp:       cfg.slowOp,
 			RebuildBatch: cfg.batch,
+		}
+	}
+	if cfg.admitDepth > 0 || cfg.rebuildRate > 0 || cfg.scrubInterval > 0 || cfg.latencyTarget > 0 {
+		opts.QoS = &engine.QoSConfig{
+			AdmitDepth:     cfg.admitDepth,
+			AdmitWait:      cfg.admitWait,
+			RebuildRate:    cfg.rebuildRate,
+			MinRebuildRate: cfg.minRate,
+			ScrubInterval:  cfg.scrubInterval,
+			ScrubBatch:     cfg.scrubBatch,
+			LatencyTarget:  cfg.latencyTarget,
 		}
 	}
 	if cfg.dir != "" {
@@ -97,6 +118,7 @@ func buildServer(cfg config) (*server.Server, error) {
 	return server.New(eng, server.Options{
 		RequestTimeout: cfg.timeout,
 		RebuildBatch:   cfg.batch,
+		OpTimeout:      cfg.opTimeout,
 	}), nil
 }
 
@@ -137,6 +159,14 @@ func main() {
 	flag.Int64Var(&cfg.evictAfter, "evict-after", 3, "hard device errors before auto-eviction (0: disable auto-heal)")
 	flag.IntVar(&cfg.spares, "spares", 0, "hot spares to register at boot")
 	flag.DurationVar(&cfg.slowOp, "slow-op", 0, "latency above which a device op counts as slow (0: off)")
+	flag.DurationVar(&cfg.opTimeout, "op-timeout", 0, "per-operation engine deadline, 504 when exceeded (0: off)")
+	flag.IntVar(&cfg.admitDepth, "admit-depth", 0, "admission queue depth, full queue sheds with 429 (0: off)")
+	flag.DurationVar(&cfg.admitWait, "admit-wait", 0, "admission wait budget before shedding (0: 50ms default)")
+	flag.Float64Var(&cfg.rebuildRate, "rebuild-rate", 0, "rebuild batches/sec when idle (0: unpaced)")
+	flag.Float64Var(&cfg.minRate, "min-rebuild-rate", 0, "rebuild pacing floor under load (0: rebuild-rate/10)")
+	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0, "pause between background scrub slices (0: scrubber off)")
+	flag.Int64Var(&cfg.scrubBatch, "scrub-batch", 1, "layout cycles per scrub slice")
+	flag.DurationVar(&cfg.latencyTarget, "latency-target", 0, "foreground-latency target driving adaptive pacing (0: off)")
 	flag.Parse()
 
 	if err := run(cfg); err != nil {

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/oiraid/oiraid"
 	"github.com/oiraid/oiraid/internal/server"
 )
 
@@ -189,5 +190,55 @@ func TestFileBackedRestart(t *testing.T) {
 	}
 	if !bytes.Equal(got, p) {
 		t.Fatal("strip lost across restart")
+	}
+}
+
+// TestQoSFlagsWired boots the daemon with the QoS flags set, confirms the
+// knobs land in /v1/qos, tunes them live over HTTP, and drives a scrub
+// pass through the API.
+func TestQoSFlagsWired(t *testing.T) {
+	const strip = 512
+	c, shutdown := boot(t, config{
+		disks: 9, cycles: 2, strip: strip,
+		batch: 1, timeout: 10 * time.Second,
+		admitDepth:    16,
+		admitWait:     20 * time.Millisecond,
+		rebuildRate:   50,
+		scrubInterval: time.Hour, // enabled but effectively manual
+		scrubBatch:    1,
+		latencyTarget: 5 * time.Millisecond,
+		opTimeout:     5 * time.Second,
+	})
+	defer shutdown()
+
+	st, err := c.QoS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AdmitDepth != 16 || st.RebuildRate != 50 || st.LatencyTarget != 5*time.Millisecond {
+		t.Fatalf("qos state from flags: %+v", st)
+	}
+
+	rate := 7.5
+	st, err = c.SetQoS(oiraid.QoSUpdate{RebuildRate: &rate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RebuildRate != 7.5 || st.AdmitDepth != 16 {
+		t.Fatalf("qos state after live update: %+v", st)
+	}
+
+	if err := c.PutStrip(0, make([]byte, strip)); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Scrub(); err != nil || n != 0 {
+		t.Fatalf("scrub = %d, %v", n, err)
+	}
+	metrics, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := counter(t, metrics, "oiraid_engine_scrub_passes_total"); v == 0 {
+		t.Fatalf("scrub pass not counted:\n%s", metrics)
 	}
 }

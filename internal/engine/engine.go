@@ -24,10 +24,12 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/oiraid/oiraid/internal/core"
 	"github.com/oiraid/oiraid/internal/layout"
@@ -63,6 +65,10 @@ type Options struct {
 	// device) is adopted, and a background rebuild runs — no operator
 	// action. Per-disk health counters are collected either way.
 	Health *HealthPolicy
+	// QoS, when set, activates admission control, adaptive rebuild/scrub
+	// pacing, and the background scrubber (see QoSConfig). Nil keeps
+	// every mechanism off; foreground latency is tracked either way.
+	QoS *QoSConfig
 }
 
 // Engine wraps a store.Array for concurrent use.
@@ -109,10 +115,18 @@ type Engine struct {
 	healStop  chan struct{}
 	healWg    sync.WaitGroup
 
-	rebuildMu   sync.Mutex
-	rebuilding  bool
-	rebuildErr  error
-	rebuildDone chan struct{}
+	rebuildMu      sync.Mutex
+	rebuilding     bool
+	rebuildErr     error
+	lastRebuildErr error // outcome of the most recent finished rebuild
+	rebuildDone    chan struct{}
+
+	// QoS: admission control, foreground-latency tracking, and the pacer
+	// the rebuild/scrub loops block on. stopCh closes on Close so paced
+	// background work aborts at its next batch boundary.
+	qos     *qos
+	stopCh  chan struct{}
+	scrubWg sync.WaitGroup
 
 	stats counters
 }
@@ -148,6 +162,14 @@ func New(arr *store.Array, opts Options) (*Engine, error) {
 	}
 	e.buildLockSets()
 	e.failedDisks.Store(int64(len(arr.FailedDisks())))
+	var qcfg QoSConfig
+	if opts.QoS != nil {
+		qcfg = *opts.QoS
+	}
+	e.qos = newQoS(qcfg)
+	e.stopCh = make(chan struct{})
+	e.scrubWg.Add(1)
+	go e.scrubLoop()
 	var pol HealthPolicy
 	if opts.Health != nil {
 		pol = *opts.Health
@@ -234,12 +256,27 @@ func (e *Engine) checkStrip(addr int64) error {
 // ReadStrip returns the content of logical data strip addr, reconstructing
 // transparently when its disk is failed.
 func (e *Engine) ReadStrip(addr int64) ([]byte, error) {
+	return e.ReadStripCtx(context.Background(), addr)
+}
+
+// ReadStripCtx is ReadStrip bounded by ctx: cancellation and deadlines
+// are honored at admission, and admission control (when configured) may
+// shed the operation with store.ErrOverloaded.
+func (e *Engine) ReadStripCtx(ctx context.Context, addr int64) ([]byte, error) {
 	if e.closed.Load() {
 		return nil, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if err := e.checkStrip(addr); err != nil {
 		return nil, err
 	}
+	release, err := e.qos.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	p := make([]byte, e.stripBytes)
 	if err := e.stripOp(addr, false, func() error {
 		_, err := e.arr.ReadAt(p, addr*int64(e.stripBytes))
@@ -253,8 +290,17 @@ func (e *Engine) ReadStrip(addr int64) ([]byte, error) {
 
 // WriteStrip replaces logical data strip addr. len(p) must be StripBytes.
 func (e *Engine) WriteStrip(addr int64, p []byte) error {
+	return e.WriteStripCtx(context.Background(), addr, p)
+}
+
+// WriteStripCtx is WriteStrip bounded by ctx; see ReadStripCtx for the
+// deadline and admission semantics.
+func (e *Engine) WriteStripCtx(ctx context.Context, addr int64, p []byte) error {
 	if e.closed.Load() {
 		return ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if err := e.checkStrip(addr); err != nil {
 		return err
@@ -262,6 +308,11 @@ func (e *Engine) WriteStrip(addr int64, p []byte) error {
 	if len(p) != e.stripBytes {
 		return fmt.Errorf("%w: got %d, strip is %d", store.ErrShortBuffer, len(p), e.stripBytes)
 	}
+	release, err := e.qos.admit(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
 	if err := e.stripOp(addr, true, func() error {
 		_, err := e.arr.ConcurrentWriteAt(p, addr*int64(e.stripBytes))
 		return err
@@ -278,6 +329,8 @@ func (e *Engine) WriteStrip(addr int64, p []byte) error {
 // escalate to the exclusive mode lock instead (deep reconstruction may
 // cross arbitrary stripes; see the package comment).
 func (e *Engine) stripOp(addr int64, write bool, fn func() error) error {
+	t := nowNano()
+	defer func() { e.qos.observe(time.Duration(nowNano() - t)) }()
 	e.mode.RLock()
 	if write && e.failedDisks.Load() >= 2 {
 		e.mode.RUnlock()
@@ -346,19 +399,37 @@ func (e *Engine) lockStripes(cycle int64, stripes []int, write bool) (unlock fun
 // space, fanning per-strip reads out over the worker pool. Each strip is
 // read atomically; the range as a whole is not a snapshot.
 func (e *Engine) ReadAt(p []byte, off int64) (int, error) {
-	return e.rangeOp(p, off, false)
+	return e.rangeOp(context.Background(), p, off, false)
+}
+
+// ReadAtCtx is ReadAt bounded by ctx: the range is admitted as one
+// operation, and cancellation or an expired deadline stops the per-strip
+// fan-out at the next strip boundary.
+func (e *Engine) ReadAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return e.rangeOp(ctx, p, off, false)
 }
 
 // WriteAt writes the byte range [off, off+len(p)), fanning per-strip
 // read-modify-writes out over the worker pool. Each strip updates
 // atomically with its parity closure; the range as a whole is not atomic.
 func (e *Engine) WriteAt(p []byte, off int64) (int, error) {
-	return e.rangeOp(p, off, true)
+	return e.rangeOp(context.Background(), p, off, true)
 }
 
-func (e *Engine) rangeOp(p []byte, off int64, write bool) (int, error) {
+// WriteAtCtx is WriteAt bounded by ctx; see ReadAtCtx for the deadline
+// semantics. Strips already submitted when the deadline expires complete
+// atomically with their parity closure — cancellation never tears a
+// strip.
+func (e *Engine) WriteAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	return e.rangeOp(ctx, p, off, true)
+}
+
+func (e *Engine) rangeOp(ctx context.Context, p []byte, off int64, write bool) (int, error) {
 	if e.closed.Load() {
 		return 0, ErrClosed
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	if off < 0 {
 		return 0, fmt.Errorf("%w: %d", store.ErrNegativeOffset, off)
@@ -368,6 +439,13 @@ func (e *Engine) rangeOp(p []byte, off int64, write bool) (int, error) {
 		return 0, fmt.Errorf("%w: range [%d, %d) beyond capacity %d",
 			store.ErrStripOutOfRange, off, off+int64(len(p)), capacity)
 	}
+	// The whole range is one admitted unit: a range op that passed
+	// admission must not be shed halfway through its strips.
+	release, err := e.qos.admit(ctx)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
 	var (
 		wg    sync.WaitGroup
 		errMu sync.Mutex
@@ -382,6 +460,12 @@ func (e *Engine) rangeOp(p []byte, off int64, write bool) (int, error) {
 	}
 	total := 0
 	for total < len(p) {
+		// Deadline checkpoint at every strip boundary: stop fanning out
+		// once the caller's budget is spent.
+		if err := ctx.Err(); err != nil {
+			fail(err)
+			break
+		}
 		pos := off + int64(total)
 		within := int(pos % int64(e.stripBytes))
 		n := e.stripBytes - within
@@ -393,6 +477,10 @@ func (e *Engine) rangeOp(p []byte, off int64, write bool) (int, error) {
 		wg.Add(1)
 		task := func() {
 			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				fail(err)
+				return
+			}
 			var err error
 			if write {
 				err = e.stripOp(addr, true, func() error {
@@ -514,6 +602,13 @@ func (e *Engine) attachReplacements() error {
 func (e *Engine) rebuildLoop(batch int64, done chan struct{}) {
 	var err error
 	for {
+		// Pacing gate: blocks while the token bucket refills at the
+		// adaptive rate, yields to foreground work even unpaced, and
+		// aborts the rebuild at a batch boundary when the engine closes.
+		if !e.qos.pace(e.stopCh) {
+			err = ErrClosed
+			break
+		}
 		var finished bool
 		finished, err = e.arr.RebuildStep(batch)
 		e.stats.rebuildBatches.Add(1)
@@ -541,6 +636,7 @@ func (e *Engine) rebuildLoop(batch int64, done chan struct{}) {
 	e.mode.Unlock()
 	e.rebuildMu.Lock()
 	e.rebuildErr = err
+	e.lastRebuildErr = err
 	e.rebuilding = false
 	e.rebuildMu.Unlock()
 	close(done)
@@ -585,6 +681,14 @@ type Status struct {
 	Evictions int64 `json:"evictions"`
 	// AutoRebuilds counts rebuilds launched by the self-healing loop.
 	AutoRebuilds int64 `json:"auto_rebuilds"`
+	// LastRebuildError is the outcome of the most recent finished
+	// rebuild, empty when it succeeded or none has run.
+	LastRebuildError string `json:"last_rebuild_error,omitempty"`
+	// ScrubScanned/ScrubCycles report background-scrub progress through
+	// the current pass; ScrubPasses counts completed passes.
+	ScrubScanned int64 `json:"scrub_scanned"`
+	ScrubCycles  int64 `json:"scrub_cycles"`
+	ScrubPasses  int64 `json:"scrub_passes"`
 }
 
 // Status reports the current operational state, including the exposure
@@ -593,19 +697,30 @@ type Status struct {
 func (e *Engine) Status() Status {
 	failed := e.arr.FailedDisks()
 	rebuilt, cycles := e.arr.RebuildProgress()
+	scanned, scrubTotal := e.arr.ScrubProgress()
+	var lastErr string
+	e.rebuildMu.Lock()
+	if e.lastRebuildErr != nil {
+		lastErr = e.lastRebuildErr.Error()
+	}
+	e.rebuildMu.Unlock()
 	return Status{
-		Disks:        e.an.Disks(),
-		StripBytes:   e.stripBytes,
-		Strips:       e.strips,
-		Capacity:     e.arr.Capacity(),
-		Failed:       failed,
-		Rebuilding:   e.Rebuilding(),
-		Rebuilt:      rebuilt,
-		Cycles:       cycles,
-		Exposure:     e.an.MeasureExposure(failed, 2),
-		Spares:       e.SpareCount(),
-		Evictions:    e.mon.evictions.Load(),
-		AutoRebuilds: e.mon.autoRebuilds.Load(),
+		Disks:            e.an.Disks(),
+		StripBytes:       e.stripBytes,
+		Strips:           e.strips,
+		Capacity:         e.arr.Capacity(),
+		Failed:           failed,
+		Rebuilding:       e.Rebuilding(),
+		Rebuilt:          rebuilt,
+		Cycles:           cycles,
+		Exposure:         e.an.MeasureExposure(failed, 2),
+		Spares:           e.SpareCount(),
+		Evictions:        e.mon.evictions.Load(),
+		AutoRebuilds:     e.mon.autoRebuilds.Load(),
+		LastRebuildError: lastErr,
+		ScrubScanned:     scanned,
+		ScrubCycles:      scrubTotal,
+		ScrubPasses:      e.stats.scrubPasses.Load(),
 	}
 }
 
@@ -619,7 +734,11 @@ func (e *Engine) Close() error {
 		close(e.healStop)
 		e.healWg.Wait()
 	}
+	// Closing stopCh aborts a paced rebuild at its next batch boundary
+	// (RebuildWait then reports ErrClosed) and stops the scrub loop.
+	close(e.stopCh)
 	e.RebuildWait()
+	e.scrubWg.Wait()
 	e.submitMu.Lock()
 	close(e.tasks)
 	e.submitMu.Unlock()

@@ -15,6 +15,9 @@ type counters struct {
 	reads, writes  atomic.Int64
 	rebuildBatches atomic.Int64
 	lockWaitNs     atomic.Int64
+	scrubBatches   atomic.Int64
+	scrubPasses    atomic.Int64
+	scrubBad       atomic.Int64
 }
 
 // Stats is a snapshot of the engine's counters, merged with the wrapped
@@ -44,6 +47,27 @@ type Stats struct {
 	// SparesAvailable/SparesUsed describe the hot-spare pool.
 	SparesAvailable int64
 	SparesUsed      int64
+	// AdmitShed counts requests rejected by admission control;
+	// AdmitQueued counts requests that waited for a slot before
+	// admission; AdmitInflight is the current number of admitted
+	// operations.
+	AdmitShed     int64
+	AdmitQueued   int64
+	AdmitInflight int64
+	// ForegroundEWMAUs is the exponentially weighted moving average of
+	// foreground strip-op latency, in microseconds.
+	ForegroundEWMAUs float64
+	// EffectiveRebuildRate is the pacer's current batches/sec budget
+	// (0 when pacing is off); RebuildThrottleNs is the cumulative time
+	// the rebuild loop spent blocked in the pacer.
+	EffectiveRebuildRate float64
+	RebuildThrottleNs    int64
+	// ScrubBatches/ScrubPasses/ScrubBadStripes describe background-scrub
+	// activity: slices executed, full passes completed, and
+	// inconsistent stripes repaired.
+	ScrubBatches    int64
+	ScrubPasses     int64
+	ScrubBadStripes int64
 }
 
 // Stats returns a snapshot of the engine and array counters.
@@ -57,6 +81,7 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	e.retryMu.Unlock()
+	q := e.qos.snapshot()
 	return Stats{
 		Reads:           e.stats.reads.Load(),
 		Writes:          e.stats.writes.Load(),
@@ -71,5 +96,15 @@ func (e *Engine) Stats() Stats {
 		AutoRebuilds:    e.mon.autoRebuilds.Load(),
 		SparesAvailable: int64(e.SpareCount()),
 		SparesUsed:      e.mon.sparesUsed.Load(),
+
+		AdmitShed:            q.Shed,
+		AdmitQueued:          q.Queued,
+		AdmitInflight:        q.Inflight,
+		ForegroundEWMAUs:     q.ForegroundEWMAUs,
+		EffectiveRebuildRate: q.EffectiveRebuildRate,
+		RebuildThrottleNs:    e.qos.throttleNs.Load(),
+		ScrubBatches:         e.stats.scrubBatches.Load(),
+		ScrubPasses:          e.stats.scrubPasses.Load(),
+		ScrubBadStripes:      e.stats.scrubBad.Load(),
 	}
 }

@@ -22,8 +22,8 @@ type ClientOptions struct {
 	// Timeout caps each HTTP attempt (default 60s).
 	Timeout time.Duration
 	// MaxRetries bounds re-attempts after a retryable failure — a
-	// transport error or a 502/503/504 response (default 3; 0 disables
-	// retries).
+	// transport error or a 429/502/503/504 response (default 3; 0
+	// disables retries).
 	MaxRetries int
 	// BaseDelay seeds the exponential backoff between attempts (default
 	// 100ms); a Retry-After response header overrides the computed delay.
@@ -55,8 +55,9 @@ func (o ClientOptions) withDefaults() ClientOptions {
 // Client is the Go client for an oiraidd server. It speaks the strip API
 // and layers byte-granularity ReadAt/WriteAt on top with client-side
 // read-modify-write at unaligned range edges. Transient server conditions
-// (503 with Retry-After, bad gateways, transport errors) are retried with
-// exponential backoff; every method has a context-aware variant.
+// (503 with Retry-After, 429 overload sheds, bad gateways, transport
+// errors) are retried with exponential backoff; every method has a
+// context-aware variant.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -103,6 +104,10 @@ func remoteError(status int, body string) error {
 		sentinel = engine.ErrRebuildRunning
 	case http.StatusServiceUnavailable:
 		sentinel = store.ErrDiskFaulty
+	case http.StatusTooManyRequests:
+		sentinel = store.ErrOverloaded
+	case http.StatusGatewayTimeout:
+		sentinel = context.DeadlineExceeded
 	}
 	// Prefer matching the server's rendered message, which embeds the
 	// exact sentinel text.
@@ -110,8 +115,9 @@ func remoteError(status int, body string) error {
 		store.ErrStripOutOfRange, store.ErrNoSuchDisk, store.ErrShortBuffer,
 		store.ErrNegativeOffset, store.ErrBadGeometry, store.ErrNotFailed,
 		store.ErrNoReplacement, store.ErrTooManyFailures, store.ErrDiskFaulty,
-		store.ErrTransient, store.ErrPermanent,
+		store.ErrTransient, store.ErrPermanent, store.ErrOverloaded,
 		engine.ErrRebuildRunning, engine.ErrClosed,
+		context.DeadlineExceeded,
 	} {
 		if strings.Contains(body, s.Error()) {
 			sentinel = s
@@ -125,11 +131,12 @@ func remoteError(status int, body string) error {
 }
 
 // retryableStatus reports whether a response status is worth re-attempting:
-// the gateway statuses plus 503, which the server uses for transient
-// conditions (and sets Retry-After on).
+// the gateway statuses plus 503 (transient conditions) and 429 (shed by
+// admission control) — both carry Retry-After, which the backoff honours.
 func retryableStatus(code int) bool {
 	switch code {
-	case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+	case http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout, http.StatusTooManyRequests:
 		return true
 	}
 	return false
@@ -328,6 +335,66 @@ func (c *Client) RebuildCtx(ctx context.Context, wait bool) error {
 	}
 	_, err := c.doCtx(ctx, http.MethodPost, path, nil)
 	return err
+}
+
+// Scrub drives an incremental scrub pass to completion on the server and
+// returns the number of inconsistent stripes found and repaired.
+func (c *Client) Scrub() (int, error) {
+	return c.ScrubCtx(context.Background())
+}
+
+// ScrubCtx is Scrub bounded by ctx.
+func (c *Client) ScrubCtx(ctx context.Context) (int, error) {
+	out, err := c.doCtx(ctx, http.MethodPost, "/v1/scrub", nil)
+	if err != nil {
+		return 0, err
+	}
+	var resp map[string]int
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return 0, fmt.Errorf("server: decode scrub: %w", err)
+	}
+	return resp["bad_stripes"], nil
+}
+
+// QoS fetches the server's live QoS snapshot.
+func (c *Client) QoS() (engine.QoSState, error) {
+	return c.QoSCtx(context.Background())
+}
+
+// QoSCtx is QoS bounded by ctx.
+func (c *Client) QoSCtx(ctx context.Context) (engine.QoSState, error) {
+	var st engine.QoSState
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/qos", nil)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(out, &st); err != nil {
+		return st, fmt.Errorf("server: decode qos: %w", err)
+	}
+	return st, nil
+}
+
+// SetQoS applies a partial update of the server's QoS knobs and returns
+// the resulting state.
+func (c *Client) SetQoS(u engine.QoSUpdate) (engine.QoSState, error) {
+	return c.SetQoSCtx(context.Background(), u)
+}
+
+// SetQoSCtx is SetQoS bounded by ctx.
+func (c *Client) SetQoSCtx(ctx context.Context, u engine.QoSUpdate) (engine.QoSState, error) {
+	var st engine.QoSState
+	body, err := json.Marshal(u)
+	if err != nil {
+		return st, err
+	}
+	out, err := c.doCtx(ctx, http.MethodPost, "/v1/qos", body)
+	if err != nil {
+		return st, err
+	}
+	if err := json.Unmarshal(out, &st); err != nil {
+		return st, fmt.Errorf("server: decode qos: %w", err)
+	}
+	return st, nil
 }
 
 // geometry caches strip size and count from /v1/status.

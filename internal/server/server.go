@@ -5,15 +5,20 @@
 //	GET  /v1/strips/{addr}     fetch one data strip (binary)
 //	POST /v1/disks/{id}/fail   inject a disk failure (idempotent)
 //	POST /v1/rebuild           start a background rebuild (?wait=1 blocks)
+//	POST /v1/scrub             drive an incremental scrub pass to completion
 //	POST /v1/spares            register hot spares (?count=N, default 1)
 //	GET  /v1/health            per-disk health counters + healing totals
 //	GET  /v1/status            operational snapshot incl. exposure report
 //	GET  /v1/metrics           engine counters, text format
+//	GET  /v1/qos               live QoS knob + pacing snapshot
+//	POST /v1/qos               partial live update of the QoS knobs
 //
 // Sentinel errors from internal/store map onto HTTP statuses, so remote
 // callers can branch the same way local ones do with errors.Is. Transient
-// conditions answer 503 with a Retry-After header; the bundled client
-// retries those (and transport errors) with exponential backoff.
+// conditions answer 503 with a Retry-After header; requests shed by
+// admission control answer 429 with Retry-After; an expired op deadline
+// answers 504. The bundled client retries 429/503/504 (and transport
+// errors) with exponential backoff.
 package server
 
 import (
@@ -38,6 +43,11 @@ type Options struct {
 	// RebuildBatch is the layout-cycle batch size for POST /v1/rebuild
 	// (default 1, keeping foreground interleave fine-grained).
 	RebuildBatch int64
+	// OpTimeout bounds each strip operation's engine time, layered under
+	// the request context so client disconnects cancel too. An op that
+	// exceeds it answers 504. 0 leaves ops bounded only by
+	// RequestTimeout.
+	OpTimeout time.Duration
 }
 
 // Server serves one engine over HTTP.
@@ -61,10 +71,13 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/strips/{addr}", s.getStrip)
 	s.mux.HandleFunc("POST /v1/disks/{id}/fail", s.failDisk)
 	s.mux.HandleFunc("POST /v1/rebuild", s.rebuild)
+	s.mux.HandleFunc("POST /v1/scrub", s.scrub)
 	s.mux.HandleFunc("POST /v1/spares", s.addSpares)
 	s.mux.HandleFunc("GET /v1/health", s.health)
 	s.mux.HandleFunc("GET /v1/status", s.status)
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
+	s.mux.HandleFunc("GET /v1/qos", s.qosGet)
+	s.mux.HandleFunc("POST /v1/qos", s.qosSet)
 	return s
 }
 
@@ -102,6 +115,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // httpStatus maps the store/engine sentinel taxonomy onto HTTP statuses.
 func httpStatus(err error) int {
 	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, store.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled):
+		// The caller went away mid-op; nothing was torn, a retry is safe.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, store.ErrStripOutOfRange), errors.Is(err, store.ErrNoSuchDisk):
 		return http.StatusNotFound
 	case errors.Is(err, store.ErrShortBuffer), errors.Is(err, store.ErrNegativeOffset),
@@ -124,10 +144,20 @@ func httpStatus(err error) int {
 
 func fail(w http.ResponseWriter, err error) {
 	status := httpStatus(err)
-	if status == http.StatusServiceUnavailable {
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
 	http.Error(w, err.Error(), status)
+}
+
+// opCtx derives the context strip operations run under: the request
+// context (client disconnects and the handler timeout cancel it) bounded
+// by OpTimeout when configured.
+func (s *Server) opCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.OpTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.OpTimeout)
+	}
+	return r.Context(), func() {}
 }
 
 func (s *Server) stripAddr(r *http.Request) (int64, error) {
@@ -149,7 +179,9 @@ func (s *Server) putStrip(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	if err := s.eng.WriteStrip(addr, body); err != nil {
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	if err := s.eng.WriteStripCtx(ctx, addr, body); err != nil {
 		fail(w, err)
 		return
 	}
@@ -162,7 +194,9 @@ func (s *Server) getStrip(w http.ResponseWriter, r *http.Request) {
 		fail(w, err)
 		return
 	}
-	p, err := s.eng.ReadStrip(addr)
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	p, err := s.eng.ReadStripCtx(ctx, addr)
 	if err != nil {
 		fail(w, err)
 		return
@@ -198,6 +232,36 @@ func (s *Server) rebuild(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusAccepted)
+}
+
+func (s *Server) scrub(w http.ResponseWriter, r *http.Request) {
+	bad, err := s.eng.ScrubPass(r.Context())
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]int{"bad_stripes": bad})
+}
+
+func (s *Server) qosGet(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.eng.QoS())
+}
+
+func (s *Server) qosSet(w http.ResponseWriter, r *http.Request) {
+	var u engine.QoSUpdate
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&u); err != nil {
+		http.Error(w, "bad QoS update: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.eng.SetQoS(u)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
 }
 
 func (s *Server) addSpares(w http.ResponseWriter, r *http.Request) {
@@ -245,9 +309,18 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"oiraid_engine_auto_rebuilds_total", st.AutoRebuilds},
 		{"oiraid_engine_spares_available", st.SparesAvailable},
 		{"oiraid_engine_spares_used_total", st.SparesUsed},
+		{"oiraid_engine_admit_shed_total", st.AdmitShed},
+		{"oiraid_engine_admit_queued_total", st.AdmitQueued},
+		{"oiraid_engine_admit_inflight", st.AdmitInflight},
+		{"oiraid_engine_rebuild_throttle_ns_total", st.RebuildThrottleNs},
+		{"oiraid_engine_scrub_batches_total", st.ScrubBatches},
+		{"oiraid_engine_scrub_passes_total", st.ScrubPasses},
+		{"oiraid_engine_scrub_bad_stripes_total", st.ScrubBadStripes},
 	} {
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
+	fmt.Fprintf(w, "oiraid_engine_foreground_ewma_us %g\n", st.ForegroundEWMAUs)
+	fmt.Fprintf(w, "oiraid_engine_effective_rebuild_rate %g\n", st.EffectiveRebuildRate)
 	for _, d := range s.eng.Health().Disks {
 		fmt.Fprintf(w, "oiraid_disk_ops_total{disk=\"%d\"} %d\n", d.Disk, d.Ops)
 		fmt.Fprintf(w, "oiraid_disk_errors_total{disk=\"%d\"} %d\n", d.Disk, d.Errors)

@@ -91,6 +91,12 @@ type Array struct {
 	// RecoverIntent can close the write hole after a crash.
 	intent IntentLog
 
+	// Incremental-scrub state: cycles below scrubCursor have been verified
+	// in the current pass; ScrubStep advances it and wraps to 0 when the
+	// pass completes, so background scrubbing releases the array between
+	// slices instead of holding the lock for a whole-array scan.
+	scrubCursor int64
+
 	stats ioCounters
 }
 

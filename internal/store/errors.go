@@ -42,6 +42,11 @@ var (
 	// subsequent operation will error until the disk is evicted and its
 	// content rebuilt onto a replacement.
 	ErrPermanent = errors.New("store: permanent device error")
+	// ErrOverloaded reports a request shed by admission control: the
+	// engine's admission queue was full and the wait budget elapsed. The
+	// HTTP layer maps it onto 429 + Retry-After; clients should back off
+	// and retry, exactly as for 503.
+	ErrOverloaded = errors.New("store: overloaded, request shed by admission control")
 )
 
 // IsTransient reports whether err is worth retrying at the same device —

@@ -127,6 +127,15 @@ func (f *FaultDevice) SetTransientRate(rate float64) {
 	f.cfg.TransientRate = rate
 }
 
+// SetSlow adjusts the slow-operation injection at runtime: operations are
+// delayed by delay with probability rate.
+func (f *FaultDevice) SetSlow(rate float64, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.SlowRate = rate
+	f.cfg.SlowBy = delay
+}
+
 // decision is what admit resolves an operation to, drawn under the lock so
 // the stream is deterministic; the fault itself executes outside the lock.
 type decision struct {

@@ -188,7 +188,9 @@ func (a *Array) rebuildCycle(cycle, slots int64) error {
 
 // Scrub verifies every stripe of every cycle against its parity and
 // returns the number of inconsistent stripes. The array must be healthy
-// (no failed disks).
+// (no failed disks). The whole pass runs under one lock acquisition; use
+// ScrubStep for incremental scrubbing that interleaves with foreground
+// I/O.
 func (a *Array) Scrub() (bad int, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -197,24 +199,83 @@ func (a *Array) Scrub() (bad int, err error) {
 			return 0, ErrDiskFailed
 		}
 	}
+	a.scrubCursor = 0
 	slots := int64(a.an.SlotsPerDisk())
 	for cycle := int64(0); cycle < a.cycles; cycle++ {
-		for si, stripe := range a.sch.Stripes() {
-			code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
-			shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
-			for mi, st := range stripe.Strips {
-				a.stats.readOps.Add(1)
-				if err := a.device(st.Disk).ReadStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
-					return bad, err
-				}
+		n, err := a.scrubCycle(cycle, slots)
+		bad += n
+		if err != nil {
+			return bad, err
+		}
+	}
+	return bad, nil
+}
+
+// ScrubStep advances an incremental scrub by up to batch layout cycles
+// from the scrub cursor, then releases the array for foreground I/O. bad
+// counts the inconsistent stripes found in this slice. When the cursor
+// reaches the last cycle the pass is complete: done is true and the
+// cursor wraps to 0 for the next pass. Like Scrub, it requires a healthy
+// array; a slice attempted while a disk is failed returns ErrDiskFaulty
+// and leaves the cursor where it was, so scrubbing resumes after the
+// rebuild.
+func (a *Array) ScrubStep(batch int64) (done bool, bad int, err error) {
+	if batch < 1 {
+		return false, 0, fmt.Errorf("store: scrub batch %d < 1", batch)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, f := range a.failed {
+		if f {
+			return false, 0, ErrDiskFaulty
+		}
+	}
+	slots := int64(a.an.SlotsPerDisk())
+	end := a.scrubCursor + batch
+	if end > a.cycles {
+		end = a.cycles
+	}
+	for cycle := a.scrubCursor; cycle < end; cycle++ {
+		n, err := a.scrubCycle(cycle, slots)
+		bad += n
+		if err != nil {
+			return false, bad, err
+		}
+		a.scrubCursor = cycle + 1
+	}
+	if a.scrubCursor < a.cycles {
+		return false, bad, nil
+	}
+	a.scrubCursor = 0
+	return true, bad, nil
+}
+
+// ScrubProgress reports the incremental-scrub cursor in layout cycles:
+// cycles verified in the current pass and the pass length.
+func (a *Array) ScrubProgress() (scanned, total int64) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.scrubCursor, a.cycles
+}
+
+// scrubCycle verifies one cycle's stripes, returning the inconsistent
+// count. Caller holds mu.
+func (a *Array) scrubCycle(cycle, slots int64) (bad int, err error) {
+	for si, stripe := range a.sch.Stripes() {
+		code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+		shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+		for mi, st := range stripe.Strips {
+			a.stats.readOps.Add(1)
+			if err := a.device(st.Disk).ReadStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
+				return bad, err
 			}
-			ok, err := code.Verify(shards)
-			if err != nil {
-				return bad, fmt.Errorf("store: scrub stripe %d: %w", si, err)
-			}
-			if !ok {
-				bad++
-			}
+		}
+		ok, err := code.Verify(shards)
+		if err != nil {
+			return bad, fmt.Errorf("store: scrub stripe %d: %w", si, err)
+		}
+		if !ok {
+			bad++
 		}
 	}
 	return bad, nil

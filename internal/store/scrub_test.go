@@ -1,0 +1,107 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestScrubStepIncremental: slicing a scrub pass cycle-by-cycle finds the
+// same inconsistencies as the one-shot Scrub, the cursor advances and
+// wraps, and the pass total matches.
+func TestScrubStepIncremental(t *testing.T) {
+	an := oiAnalyzer(t, 9)
+	arr, err := NewMemArray(an, 4, testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillArray(t, arr, 77)
+
+	// Plant silent corruption: clobber one data strip of each of two
+	// cycles directly on the device, bypassing parity maintenance.
+	slots := int64(an.SlotsPerDisk())
+	garbage := make([]byte, testStrip)
+	for i := range garbage {
+		garbage[i] = 0xA5
+	}
+	for _, cycle := range []int64{0, 2} {
+		if err := arr.devs[0].WriteStrip(cycle*slots, garbage); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantBad, err := arr.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantBad == 0 {
+		t.Fatal("planted corruption not detected by Scrub")
+	}
+
+	var gotBad int
+	steps := 0
+	for {
+		done, bad, err := arr.ScrubStep(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBad += bad
+		steps++
+		scanned, total := arr.ScrubProgress()
+		if done {
+			if scanned != 0 {
+				t.Fatalf("cursor after completed pass = %d, want 0", scanned)
+			}
+			break
+		}
+		if scanned != int64(steps) || total != 4 {
+			t.Fatalf("progress after step %d = %d/%d", steps, scanned, total)
+		}
+	}
+	if steps != 4 {
+		t.Fatalf("pass took %d steps, want 4", steps)
+	}
+	if gotBad != wantBad {
+		t.Fatalf("incremental pass found %d bad stripes, Scrub found %d", gotBad, wantBad)
+	}
+
+	// A batch larger than the remaining cycles completes the pass in one
+	// step.
+	if done, bad, err := arr.ScrubStep(1 << 20); err != nil || !done || bad != wantBad {
+		t.Fatalf("whole-pass step = done %v, %d bad, %v", done, bad, err)
+	}
+}
+
+// TestScrubStepValidation: bad batch sizes and degraded arrays are
+// refused, and a failed disk leaves the cursor untouched so the pass
+// resumes after rebuild.
+func TestScrubStepValidation(t *testing.T) {
+	arr := newOIArray(t, 9)
+	fillArray(t, arr, 5)
+	if _, _, err := arr.ScrubStep(0); err == nil {
+		t.Fatal("batch 0 must fail")
+	}
+	if done, _, err := arr.ScrubStep(1); err != nil || done {
+		t.Fatalf("first slice = done %v, %v", done, err)
+	}
+	if err := arr.FailDisk(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := arr.ScrubStep(1); !errors.Is(err, ErrDiskFaulty) {
+		t.Fatalf("degraded scrub slice: want ErrDiskFaulty, got %v", err)
+	}
+	if scanned, _ := arr.ScrubProgress(); scanned != 1 {
+		t.Fatalf("cursor moved on refused slice: %d", scanned)
+	}
+	dev, err := NewMemDevice(arr.devs[3].Strips(), testStrip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.ReplaceDisk(3, dev); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if done, bad, err := arr.ScrubStep(1 << 20); err != nil || !done || bad != 0 {
+		t.Fatalf("resumed pass = done %v, %d bad, %v", done, bad, err)
+	}
+}

@@ -115,6 +115,14 @@ type (
 	DiskHealth = engine.DiskHealth
 	// SpareProvider materialises a hot-spare device for a failed disk.
 	SpareProvider = engine.SpareProvider
+	// QoSConfig tunes the engine's admission control, deadline handling,
+	// and adaptive rebuild/scrub pacing.
+	QoSConfig = engine.QoSConfig
+	// QoSState is the live QoS snapshot (also the JSON body of oiraidd's
+	// /v1/qos).
+	QoSState = engine.QoSState
+	// QoSUpdate is a partial, live update of the QoS knobs.
+	QoSUpdate = engine.QoSUpdate
 )
 
 // SupportedDiskCounts lists array sizes v ≤ limit for which an OI-RAID

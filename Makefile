@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos bench clean
+.PHONY: build test race vet check chaos qos crash fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,21 @@ chaos:
 qos:
 	$(GO) test -race -count=2 -run 'QoS|Overload|Pacer|Deadline|Scrub' \
 		./internal/store/... ./internal/engine/... ./internal/server/... ./cmd/oiraidd/...
+
+# Crash-consistency suite under the race detector: the power-fail sweep
+# (hundreds of seeded crash points, remount, oracle verify), durable
+# superblock/journal/mount semantics, and two-layer fsck — local, engine,
+# HTTP, and CLI levels.
+crash:
+	$(GO) test -race -count=1 -run 'Crash|Mount|Superblock|Journal|Fsck|Durable|IntentLog' \
+		./internal/store/... ./internal/engine/... ./internal/server/... ./cmd/...
+
+# Short coverage-guided smoke over the media-facing decoders: array I/O,
+# superblock slots, journal replay.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSuperblockDecode -fuzztime 10s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 10s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzArrayIO -fuzztime 10s ./internal/store/
 
 check: build vet test
 

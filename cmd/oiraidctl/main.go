@@ -11,6 +11,8 @@
 //	oiraidctl fail    -dir a -disk 3
 //	oiraidctl rebuild -dir a
 //	oiraidctl scrub   -dir a
+//	oiraidctl fsck    -dir a -repair
+//	oiraidctl fsck    -remote http://127.0.0.1:7979 -repair
 //	oiraidctl scrub   -remote http://127.0.0.1:7979
 //	oiraidctl qos     -remote http://127.0.0.1:7979 -rebuild-rate 8
 //	oiraidctl plan    -disks 25 -fail 0,7,13
@@ -41,6 +43,10 @@ type manifest struct {
 	Cycles     int64 `json:"cycles"`
 	StripBytes int   `json:"strip_bytes"`
 	Failed     []int `json:"failed,omitempty"`
+
+	// durable reports that the array was assembled from its on-media
+	// superblocks (the manifest file, if any, is a legacy artifact).
+	durable bool `json:"-"`
 }
 
 func main() {
@@ -61,6 +67,7 @@ func main() {
 		failIn = fs.String("fail", "", "comma-separated disk ids")
 		remote = fs.String("remote", "", "oiraidd base URL; run the command against a server instead of -dir")
 		count  = fs.Int("count", 1, "spares to register (spare command)")
+		repair = fs.Bool("repair", false, "fsck: reconstruct damaged strips from redundancy")
 
 		// qos command knobs; -1 leaves a knob unchanged on the server.
 		qosRate   = fs.Float64("rebuild-rate", -1, "qos: rebuild batches/sec when idle (0: unpaced, -1: unchanged)")
@@ -98,7 +105,7 @@ func main() {
 		// request (and its retry loop) instead of orphaning it.
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
-		err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, qu, os.Stdin, os.Stdout)
+		err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, *repair, qu, os.Stdin, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
 			os.Exit(1)
@@ -120,6 +127,8 @@ func main() {
 		err = rebuildCmd(*dir)
 	case "scrub":
 		err = scrubCmd(*dir)
+	case "fsck":
+		err = fsckCmd(*dir, *repair, os.Stdout)
 	case "plan":
 		err = planCmd(*disks, *failIn)
 	case "info":
@@ -139,14 +148,16 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|plan|info|export|analyze|metrics|health|spare|qos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|fsck|plan|info|export|analyze|metrics|health|spare|qos> [flags]
 
   export  -disks N               write the layout as JSON to stdout
   analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
+  fsck    [-repair]              verify durable checksums and both parity layers;
+                                 -repair reconstructs damaged strips from redundancy
 
-With -remote URL the status, write, read, fail, rebuild, scrub, metrics,
-health, spare, and qos commands run against an oiraidd server instead of
-a local -dir array. health prints per-disk error/latency counters; spare
+With -remote URL the status, write, read, fail, rebuild, scrub, fsck,
+metrics, health, spare, and qos commands run against an oiraidd server
+instead of a local -dir array. health prints per-disk error/latency counters; spare
 registers -count hot spares with the server's auto-rebuild pool; qos
 reads the live pacing knobs, or sets the ones passed via -rebuild-rate,
 -min-rebuild-rate, -scrub-interval, -scrub-batch, -latency-target, and
@@ -178,9 +189,17 @@ func saveManifest(dir string, m *manifest) error {
 	return os.WriteFile(manifestPath(dir), append(raw, '\n'), 0o644)
 }
 
-// openArray loads the manifest and assembles the array; failed disks keep
-// placeholder devices (never accessed) so geometry stays intact.
+// openArray assembles the array from dir. Directories carrying on-media
+// superblocks mount through the durable metadata plane (superblock
+// consensus + journal replay); legacy directories fall back to the JSON
+// manifest. Failed disks keep placeholder devices (never accessed) so
+// geometry stays intact.
 func openArray(dir string) (*oiraid.Array, *oiraid.Geometry, *manifest, error) {
+	if dir != "" {
+		if _, err := os.Stat(sbPath(dir, 0)); err == nil {
+			return openDurable(dir)
+		}
+	}
 	m, err := loadManifest(dir)
 	if err != nil {
 		return nil, nil, nil, err
@@ -225,6 +244,89 @@ func openArray(dir string) (*oiraid.Array, *oiraid.Geometry, *manifest, error) {
 }
 
 func imgPath(dir string, i int) string { return filepath.Join(dir, fmt.Sprintf("disk%02d.img", i)) }
+func sbPath(dir string, i int) string  { return filepath.Join(dir, fmt.Sprintf("disk%02d.sb", i)) }
+
+// mountDurable assembles the array from its on-media metadata: geometry
+// comes from the first loadable superblock, foreign/stale/missing disks
+// are failed at mount, and the metadata journal is replayed.
+func mountDurable(dir string) (*store.Mount, *oiraid.Geometry, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "disk*.sb"))
+	if err != nil {
+		return nil, nil, err
+	}
+	var seed *store.Superblock
+	for _, p := range matches {
+		b, err := store.OpenFileBlob(p)
+		if err != nil {
+			continue
+		}
+		sb, lerr := store.LoadSuperblock(b)
+		b.Close()
+		if lerr == nil {
+			seed = sb
+			break
+		}
+	}
+	if seed == nil {
+		return nil, nil, fmt.Errorf("no loadable superblock in %s", dir)
+	}
+	g, err := oiraid.NewGeometry(seed.Disks)
+	if err != nil {
+		return nil, nil, err
+	}
+	strips := seed.Cycles * int64(g.Analyzer().SlotsPerDisk())
+	devs := make([]oiraid.Device, seed.Disks)
+	for i := range devs {
+		dev, err := store.OpenFileDevice(imgPath(dir, i), strips, seed.StripBytes)
+		if err != nil {
+			// A missing or truncated image becomes a blank disk; the mount
+			// fails it and a rebuild can resilver it.
+			fmt.Fprintf(os.Stderr, "disk %d image unusable (%v); attaching blank device\n", i, err)
+			if dev, err = store.NewFileDevice(imgPath(dir, i), strips, seed.StripBytes); err != nil {
+				return nil, nil, fmt.Errorf("disk %d: %w", i, err)
+			}
+		}
+		devs[i] = dev
+	}
+	sbs := make([]oiraid.Blob, seed.Disks)
+	for i := range sbs {
+		if sbs[i], err = store.CreateFileBlob(sbPath(dir, i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	j0, err := store.CreateFileBlob(filepath.Join(dir, "meta0.journal"))
+	if err != nil {
+		return nil, nil, err
+	}
+	j1, err := store.CreateFileBlob(filepath.Join(dir, "meta1.journal"))
+	if err != nil {
+		return nil, nil, err
+	}
+	mnt, err := oiraid.MountArray(g, devs, sbs, j0, j1)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mount %s: %w", dir, err)
+	}
+	if !mnt.WasClean || len(mnt.Detected) > 0 || mnt.Replayed > 0 {
+		fmt.Fprintf(os.Stderr, "mounted array %s epoch %d (clean=%v, newly detected=%v, closures replayed=%d)\n",
+			mnt.Meta.UUIDString(), mnt.Meta.Epoch(), mnt.WasClean, mnt.Detected, mnt.Replayed)
+	}
+	return mnt, g, nil
+}
+
+func openDurable(dir string) (*oiraid.Array, *oiraid.Geometry, *manifest, error) {
+	mnt, g, err := mountDurable(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	m := &manifest{
+		Disks:      g.Disks(),
+		Cycles:     mnt.Array.Cycles(),
+		StripBytes: mnt.Array.StripBytes(),
+		Failed:     mnt.Failed,
+		durable:    true,
+	}
+	return mnt.Array, g, m, nil
+}
 
 func create(dir string, disks int, cycles int64, strip int) error {
 	if dir == "" {
@@ -237,11 +339,34 @@ func create(dir string, disks int, cycles int64, strip int) error {
 	if err != nil {
 		return err
 	}
-	arr, err := oiraid.NewFileArray(g, dir, cycles, strip)
+	strips := cycles * int64(g.Analyzer().SlotsPerDisk())
+	devs := make([]oiraid.Device, disks)
+	for i := range devs {
+		if devs[i], err = store.NewFileDevice(imgPath(dir, i), strips, strip); err != nil {
+			return fmt.Errorf("disk %d: %w", i, err)
+		}
+	}
+	sbs := make([]oiraid.Blob, disks)
+	for i := range sbs {
+		if sbs[i], err = store.CreateFileBlob(sbPath(dir, i)); err != nil {
+			return err
+		}
+	}
+	j0, err := store.CreateFileBlob(filepath.Join(dir, "meta0.journal"))
 	if err != nil {
 		return err
 	}
-	// Initialise parity by writing zeros over the data space.
+	j1, err := store.CreateFileBlob(filepath.Join(dir, "meta1.journal"))
+	if err != nil {
+		return err
+	}
+	mnt, err := oiraid.FormatArray(g, devs, sbs, j0, j1)
+	if err != nil {
+		return err
+	}
+	arr := mnt.Array
+	// Initialise parity (and per-strip checksums, recorded through the
+	// durable wrappers) by writing zeros over the data space.
 	zero := make([]byte, 1<<16)
 	var offset int64
 	for offset < arr.Capacity() {
@@ -254,11 +379,23 @@ func create(dir string, disks int, cycles int64, strip int) error {
 		}
 		offset += n
 	}
+	if err := arr.SealMeta(); err != nil {
+		return err
+	}
 	if err := saveManifest(dir, &manifest{Disks: disks, Cycles: cycles, StripBytes: strip}); err != nil {
 		return err
 	}
-	fmt.Printf("created %s\ncapacity: %d bytes usable\n", g, arr.Capacity())
+	fmt.Printf("created %s (array %s)\ncapacity: %d bytes usable\n", g, mnt.Meta.UUIDString(), arr.Capacity())
 	return nil
+}
+
+// sealArray marks a clean shutdown on durably-mounted arrays (no-op for
+// legacy manifest arrays).
+func sealArray(arr *oiraid.Array, m *manifest) error {
+	if !m.durable {
+		return nil
+	}
+	return arr.SealMeta()
 }
 
 func status(dir string) error {
@@ -266,7 +403,11 @@ func status(dir string) error {
 	if err != nil {
 		return err
 	}
+	defer sealArray(arr, m)
 	fmt.Println(g)
+	if meta := arr.Meta(); meta != nil {
+		fmt.Printf("array: %s, meta epoch %d\n", meta.UUIDString(), meta.Epoch())
+	}
 	fmt.Printf("cycles: %d, strip: %d B, usable capacity: %d B\n", m.Cycles, m.StripBytes, arr.Capacity())
 	if len(m.Failed) == 0 {
 		fmt.Println("state: healthy")
@@ -287,7 +428,7 @@ func status(dir string) error {
 }
 
 func writeCmd(dir string, off int64, in io.Reader) error {
-	arr, _, _, err := openArray(dir)
+	arr, _, m, err := openArray(dir)
 	if err != nil {
 		return err
 	}
@@ -300,17 +441,18 @@ func writeCmd(dir string, off int64, in io.Reader) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d bytes at offset %d\n", n, off)
-	return nil
+	return sealArray(arr, m)
 }
 
 func readCmd(dir string, off, length int64, out io.Writer) error {
-	arr, _, _, err := openArray(dir)
+	arr, _, m, err := openArray(dir)
 	if err != nil {
 		return err
 	}
 	if length <= 0 {
 		return fmt.Errorf("need -len > 0")
 	}
+	defer sealArray(arr, m)
 	buf := make([]byte, length)
 	n, err := arr.ReadAt(buf, off)
 	if err != nil && !errors.Is(err, io.EOF) {
@@ -321,6 +463,11 @@ func readCmd(dir string, off, length int64, out io.Writer) error {
 }
 
 func failCmd(dir string, d int) error {
+	if dir != "" {
+		if _, err := os.Stat(sbPath(dir, 0)); err == nil {
+			return failDurable(dir, d)
+		}
+	}
 	m, err := loadManifest(dir)
 	if err != nil {
 		return err
@@ -343,6 +490,31 @@ func failCmd(dir string, d int) error {
 	}
 	fmt.Printf("disk %d marked failed; pattern %v recoverable: %v\n",
 		d, m.Failed, g.Recoverable(m.Failed))
+	return nil
+}
+
+// failDurable evicts a disk on a durably-mounted array: the transition is
+// committed to the journal and superblocks before it is acknowledged, so
+// a restart cannot resurrect the disk.
+func failDurable(dir string, d int) error {
+	arr, g, m, err := openArray(dir)
+	if err != nil {
+		return err
+	}
+	for _, f := range arr.FailedDisks() {
+		if f == d {
+			return fmt.Errorf("disk %d already failed", d)
+		}
+	}
+	if err := arr.FailDisk(d); err != nil {
+		return err
+	}
+	failed := arr.FailedDisks()
+	if err := sealArray(arr, m); err != nil {
+		return err
+	}
+	fmt.Printf("disk %d marked failed; pattern %v recoverable: %v\n",
+		d, failed, g.Recoverable(failed))
 	return nil
 }
 
@@ -370,7 +542,13 @@ func rebuildCmd(dir string) error {
 	}
 	rebuilt := m.Failed
 	m.Failed = nil
-	if err := saveManifest(dir, m); err != nil {
+	if m.durable {
+		// The adoptions and rebuild completion are already committed; just
+		// seal the clean shutdown.
+		if err := sealArray(arr, m); err != nil {
+			return err
+		}
+	} else if err := saveManifest(dir, m); err != nil {
 		return err
 	}
 	fmt.Printf("rebuilt disks %v\n", rebuilt)
@@ -378,10 +556,11 @@ func rebuildCmd(dir string) error {
 }
 
 func scrubCmd(dir string) error {
-	arr, _, _, err := openArray(dir)
+	arr, _, m, err := openArray(dir)
 	if err != nil {
 		return err
 	}
+	defer sealArray(arr, m)
 	bad, err := arr.Scrub()
 	if err != nil {
 		return err
@@ -393,10 +572,50 @@ func scrubCmd(dir string) error {
 	return nil
 }
 
+// fsckCmd runs the two-layer verification pass — durable per-strip
+// checksums, then parity of every stripe in both layers — against a
+// locally mounted array. With repair, damaged strips are reconstructed
+// from redundancy. A dirty array (damage found and not repaired) exits
+// non-zero.
+func fsckCmd(dir string, repair bool, out io.Writer) error {
+	arr, _, m, err := openArray(dir)
+	if err != nil {
+		return err
+	}
+	if !m.durable {
+		return fmt.Errorf("%s has no durable metadata plane (create the array with this version, or run it under oiraidd once)", dir)
+	}
+	rep, err := arr.Fsck(repair)
+	if err != nil {
+		return err
+	}
+	if err := sealArray(arr, m); err != nil {
+		return err
+	}
+	return printFsckReport(rep, out)
+}
+
+func printFsckReport(rep *store.FsckReport, out io.Writer) error {
+	fmt.Fprintf(out, "fsck: %d strips, %d stripes over %d cycle(s): %d checksum error(s), %d parity error(s), %d repaired\n",
+		rep.StripsChecked, rep.StripesChecked, rep.Cycles, rep.ChecksumErrors, rep.ParityErrors, rep.Repaired)
+	for _, is := range rep.Issues {
+		fmt.Fprintln(out, " ", is)
+	}
+	if rep.Truncated {
+		fmt.Fprintln(out, "  … issue list truncated; counters cover everything")
+	}
+	if !rep.Clean {
+		return fmt.Errorf("array is dirty: %d unrepaired issue(s); run with -repair to reconstruct from redundancy",
+			rep.ChecksumErrors+rep.ParityErrors-rep.Repaired)
+	}
+	fmt.Fprintln(out, "clean")
+	return nil
+}
+
 // remoteCmd routes a command to an oiraidd server through the HTTP
 // client; only the operational subcommands exist remotely. The context
 // bounds every request (and its client-side retry loop).
-func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length int64, diskID, count int, qu oiraid.QoSUpdate, in io.Reader, out io.Writer) error {
+func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length int64, diskID, count int, repair bool, qu oiraid.QoSUpdate, in io.Reader, out io.Writer) error {
 	switch cmd {
 	case "status":
 		return remoteStatus(ctx, c, out)
@@ -460,6 +679,12 @@ func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length in
 			return fmt.Errorf("%d inconsistent stripe(s)", bad)
 		}
 		return nil
+	case "fsck":
+		rep, err := c.FsckCtx(ctx, repair)
+		if err != nil {
+			return err
+		}
+		return printFsckReport(rep, out)
 	case "qos":
 		return remoteQoS(ctx, c, qu, out)
 	default:

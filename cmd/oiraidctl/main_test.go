@@ -106,7 +106,7 @@ func TestRemoteLifecycle(t *testing.T) {
 	})
 	c := server.NewClient(ts.URL)
 	rc := func(cmd string, off, length int64, diskID int, in io.Reader, out io.Writer) error {
-		return remoteCmd(context.Background(), c, cmd, off, length, diskID, 1, oiraid.QoSUpdate{}, in, out)
+		return remoteCmd(context.Background(), c, cmd, off, length, diskID, 1, false, oiraid.QoSUpdate{}, in, out)
 	}
 
 	payload := make([]byte, 3000)
@@ -189,7 +189,7 @@ func TestRemoteLifecycle(t *testing.T) {
 	}
 	out.Reset()
 	rate := 8.0
-	if err := remoteCmd(context.Background(), c, "qos", 0, 0, -1, 1,
+	if err := remoteCmd(context.Background(), c, "qos", 0, 0, -1, 1, false,
 		oiraid.QoSUpdate{RebuildRate: &rate}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -201,6 +201,85 @@ func TestRemoteLifecycle(t *testing.T) {
 	}
 	if err := rc("read", 0, 0, -1, nil, io.Discard); err == nil {
 		t.Fatal("read without -len must fail")
+	}
+}
+
+// TestLocalFsck corrupts a device image while the array is cold and
+// drives the local fsck path: check-only reports the damage and exits
+// dirty, -repair reconstructs from redundancy, and the content survives.
+func TestLocalFsck(t *testing.T) {
+	const strip = 512
+	dir := filepath.Join(t.TempDir(), "arr")
+	if err := create(dir, 9, 2, strip); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 4*strip)
+	rand.New(rand.NewSource(3)).Read(payload)
+	if err := writeCmd(dir, 0, bytes.NewReader(payload)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage logical strip 0 (data strip 0 of cycle 0) on raw media.
+	g, err := oiraid.NewGeometry(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := g.Analyzer().Scheme().DataStrips()[0]
+	img, err := os.OpenFile(imgPath(dir, target.Disk), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := make([]byte, strip)
+	for i := range garbage {
+		garbage[i] = 0xcc
+	}
+	if _, err := img.WriteAt(garbage, int64(target.Slot)*strip); err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := fsckCmd(dir, false, &out); err == nil {
+		t.Fatalf("check-only fsck on damaged array must exit dirty; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "checksum: cycle 0") {
+		t.Fatalf("fsck output does not name the damaged strip:\n%s", out.String())
+	}
+	out.Reset()
+	if err := fsckCmd(dir, true, &out); err != nil {
+		t.Fatalf("fsck -repair: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("fsck -repair output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := fsckCmd(dir, false, &out); err != nil {
+		t.Fatalf("fsck after repair: %v", err)
+	}
+	out.Reset()
+	if err := readCmd(dir, 0, int64(len(payload)), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), payload) {
+		t.Fatal("content differs after repair")
+	}
+
+	// Legacy arrays (no superblocks) are refused with a pointer to the
+	// upgrade path.
+	legacy := filepath.Join(t.TempDir(), "legacy")
+	if err := os.MkdirAll(legacy, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := saveManifest(legacy, &manifest{Disks: 9, Cycles: 1, StripBytes: strip}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oiraid.NewFileArray(g, legacy, 1, strip); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsckCmd(legacy, false, io.Discard); err == nil {
+		t.Fatal("fsck on a legacy array must be refused")
 	}
 }
 

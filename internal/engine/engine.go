@@ -689,6 +689,10 @@ type Status struct {
 	ScrubScanned int64 `json:"scrub_scanned"`
 	ScrubCycles  int64 `json:"scrub_cycles"`
 	ScrubPasses  int64 `json:"scrub_passes"`
+	// ArrayUUID/MetaEpoch identify the durable metadata plane (empty/0
+	// for a volatile array with no superblocks).
+	ArrayUUID string `json:"array_uuid,omitempty"`
+	MetaEpoch uint64 `json:"meta_epoch,omitempty"`
 }
 
 // Status reports the current operational state, including the exposure
@@ -704,7 +708,15 @@ func (e *Engine) Status() Status {
 		lastErr = e.lastRebuildErr.Error()
 	}
 	e.rebuildMu.Unlock()
+	var uuid string
+	var epoch uint64
+	if meta := e.arr.Meta(); meta != nil {
+		uuid = meta.UUIDString()
+		epoch = meta.Epoch()
+	}
 	return Status{
+		ArrayUUID: uuid,
+		MetaEpoch: epoch,
 		Disks:            e.an.Disks(),
 		StripBytes:       e.stripBytes,
 		Strips:           e.strips,
@@ -724,8 +736,9 @@ func (e *Engine) Status() Status {
 	}
 }
 
-// Close drains the worker pool and waits for a running rebuild. Further
-// operations return ErrClosed.
+// Close drains the worker pool, waits for a running rebuild, and seals
+// the durable metadata plane (when the array has one) so the next mount
+// sees a clean shutdown. Further operations return ErrClosed.
 func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
@@ -743,5 +756,5 @@ func (e *Engine) Close() error {
 	close(e.tasks)
 	e.submitMu.Unlock()
 	e.wg.Wait()
-	return nil
+	return e.arr.SealMeta()
 }

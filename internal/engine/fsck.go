@@ -1,0 +1,36 @@
+package engine
+
+import (
+	"context"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// Fsck quiesces the engine and runs a full two-layer verification pass
+// over the array (see store.Array.Fsck): every strip against its durable
+// checksum, every stripe of both redundancy layers against its parity.
+// With repair set, damage is fixed in place. The engine's exclusive mode
+// lock is held for the duration, so foreground I/O drains first and
+// nothing interleaves with the walk; a running rebuild must finish
+// before a check can start.
+func (e *Engine) Fsck(ctx context.Context, repair bool) (*store.FsckReport, error) {
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	if e.Rebuilding() {
+		return nil, ErrRebuildRunning
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mode.Lock()
+	defer e.mode.Unlock()
+	if e.closed.Load() {
+		return nil, ErrClosed
+	}
+	rep, err := e.arr.Fsck(repair)
+	if err == nil {
+		e.stats.fsckRuns.Add(1)
+	}
+	return rep, err
+}

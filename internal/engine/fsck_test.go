@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// TestEngineFsck: the engine quiesces, runs the two-layer walk, and
+// counts the pass; a second run while a rebuild is active is refused.
+func TestEngineFsck(t *testing.T) {
+	e := newEngine(t, 9, 2, Options{Workers: 4})
+	buf := make([]byte, testStrip)
+	rand.New(rand.NewSource(5)).Read(buf)
+	for addr := int64(0); addr < 8; addr++ {
+		if err := e.WriteStrip(addr, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := e.Fsck(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("healthy engine fsck dirty: %+v", rep)
+	}
+	if got := e.Stats().FsckRuns; got != 1 {
+		t.Fatalf("fsck runs %d, want 1", got)
+	}
+
+	if err := e.FailDisk(2); err != nil {
+		t.Fatal(err)
+	}
+	// Degraded: the walk has no authoritative copy to verify.
+	if _, err := e.Fsck(context.Background(), false); !errors.Is(err, store.ErrDiskFaulty) {
+		t.Fatalf("degraded fsck err %v, want ErrDiskFaulty", err)
+	}
+	if err := e.StartRebuild(1); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent fsck is refused while the rebuild is still running;
+	// if the tiny rebuild already finished, a clean pass is also fine.
+	if _, err := e.Fsck(context.Background(), false); err != nil &&
+		!errors.Is(err, ErrRebuildRunning) {
+		t.Fatalf("fsck during rebuild: %v", err)
+	}
+	if err := e.RebuildWait(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = e.Fsck(context.Background(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean {
+		t.Fatalf("post-rebuild fsck dirty: %+v", rep)
+	}
+}

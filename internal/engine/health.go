@@ -179,6 +179,10 @@ func (p probeDevice) Strips() int64   { return p.inner.Strips() }
 func (p probeDevice) StripBytes() int { return p.inner.StripBytes() }
 func (p probeDevice) Close() error    { return p.inner.Close() }
 
+// Inner exposes the wrapped device so unwrap chains (store fsck's search
+// for the checksummed layer) can walk through the probe.
+func (p probeDevice) Inner() store.Device { return p.inner }
+
 func (p probeDevice) ReadStrip(idx int64, buf []byte) error {
 	t := time.Now()
 	err := p.inner.ReadStrip(idx, buf)

@@ -18,6 +18,7 @@ type counters struct {
 	scrubBatches   atomic.Int64
 	scrubPasses    atomic.Int64
 	scrubBad       atomic.Int64
+	fsckRuns       atomic.Int64
 }
 
 // Stats is a snapshot of the engine's counters, merged with the wrapped
@@ -29,6 +30,11 @@ type Stats struct {
 	DegradedReads int64
 	// ReadRepairs counts strips healed in place after checksum failures.
 	ReadRepairs int64
+	// CorruptStrips counts checksum mismatches observed on the read path
+	// (latent sector errors surfaced by the durable checksums).
+	CorruptStrips int64
+	// FsckRuns counts completed Fsck passes.
+	FsckRuns int64
 	// DeviceReads/DeviceWrites count strip-granularity device accesses.
 	DeviceReads, DeviceWrites int64
 	// RebuildBatches counts RebuildStep invocations by the background
@@ -87,6 +93,8 @@ func (e *Engine) Stats() Stats {
 		Writes:          e.stats.writes.Load(),
 		DegradedReads:   io.DegradedReads,
 		ReadRepairs:     io.ReadRepairs,
+		CorruptStrips:   io.CorruptStrips,
+		FsckRuns:        e.stats.fsckRuns.Load(),
 		DeviceReads:     io.ReadOps,
 		DeviceWrites:    io.WriteOps,
 		RebuildBatches:  e.stats.rebuildBatches.Load(),

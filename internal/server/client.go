@@ -356,6 +356,29 @@ func (c *Client) ScrubCtx(ctx context.Context) (int, error) {
 	return resp["bad_stripes"], nil
 }
 
+// Fsck runs a full two-layer verification pass on the server, repairing
+// damage in place when repair is set, and returns the report.
+func (c *Client) Fsck(repair bool) (*store.FsckReport, error) {
+	return c.FsckCtx(context.Background(), repair)
+}
+
+// FsckCtx is Fsck bounded by ctx.
+func (c *Client) FsckCtx(ctx context.Context, repair bool) (*store.FsckReport, error) {
+	path := "/v1/fsck"
+	if repair {
+		path += "?repair=1"
+	}
+	out, err := c.doCtx(ctx, http.MethodPost, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	rep := new(store.FsckReport)
+	if err := json.Unmarshal(out, rep); err != nil {
+		return nil, fmt.Errorf("server: decode fsck: %w", err)
+	}
+	return rep, nil
+}
+
 // QoS fetches the server's live QoS snapshot.
 func (c *Client) QoS() (engine.QoSState, error) {
 	return c.QoSCtx(context.Background())

@@ -72,6 +72,7 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/disks/{id}/fail", s.failDisk)
 	s.mux.HandleFunc("POST /v1/rebuild", s.rebuild)
 	s.mux.HandleFunc("POST /v1/scrub", s.scrub)
+	s.mux.HandleFunc("POST /v1/fsck", s.fsck)
 	s.mux.HandleFunc("POST /v1/spares", s.addSpares)
 	s.mux.HandleFunc("GET /v1/health", s.health)
 	s.mux.HandleFunc("GET /v1/status", s.status)
@@ -244,6 +245,17 @@ func (s *Server) scrub(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]int{"bad_stripes": bad})
 }
 
+func (s *Server) fsck(w http.ResponseWriter, r *http.Request) {
+	repair := r.URL.Query().Get("repair") != ""
+	rep, err := s.eng.Fsck(r.Context(), repair)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
 func (s *Server) qosGet(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.eng.QoS())
@@ -300,6 +312,8 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"oiraid_engine_writes_total", st.Writes},
 		{"oiraid_engine_degraded_reads_total", st.DegradedReads},
 		{"oiraid_engine_read_repairs_total", st.ReadRepairs},
+		{"oiraid_engine_corrupt_strips_total", st.CorruptStrips},
+		{"oiraid_engine_fsck_runs_total", st.FsckRuns},
 		{"oiraid_engine_device_reads_total", st.DeviceReads},
 		{"oiraid_engine_device_writes_total", st.DeviceWrites},
 		{"oiraid_engine_rebuild_batches_total", st.RebuildBatches},

@@ -22,12 +22,15 @@ type IOStats struct {
 	// ReadRepairs counts strips healed in place after a checksum failure
 	// (latent sector errors caught by a ChecksummedDevice).
 	ReadRepairs int64
+	// CorruptStrips counts checksum mismatches observed on the read path
+	// (each is an ErrCorrupt that triggered reconstruction).
+	CorruptStrips int64
 }
 
 // ioCounters is the lock-free accumulator behind IOStats, so concurrent
 // readers (which hold only the read lock) can update the counters.
 type ioCounters struct {
-	readOps, writeOps, degradedReads, readRepairs atomic.Int64
+	readOps, writeOps, degradedReads, readRepairs, corruptStrips atomic.Int64
 }
 
 func (c *ioCounters) snapshot() IOStats {
@@ -36,6 +39,7 @@ func (c *ioCounters) snapshot() IOStats {
 		WriteOps:      c.writeOps.Load(),
 		DegradedReads: c.degradedReads.Load(),
 		ReadRepairs:   c.readRepairs.Load(),
+		CorruptStrips: c.corruptStrips.Load(),
 	}
 }
 
@@ -44,6 +48,7 @@ func (c *ioCounters) reset() {
 	c.writeOps.Store(0)
 	c.degradedReads.Store(0)
 	c.readRepairs.Store(0)
+	c.corruptStrips.Store(0)
 }
 
 // Array is a byte-accurate RAID array over strip devices, laid out by any
@@ -88,8 +93,15 @@ type Array struct {
 	rebuiltCycles int64
 
 	// intent, when set, records in-flight read-modify-writes per cycle so
-	// RecoverIntent can close the write hole after a crash.
+	// RecoverIntent can close the write hole after a crash. A ClosureLogger
+	// upgrades this to redo logging: the full new closure content is made
+	// durable before any device write.
 	intent IntentLog
+
+	// meta, when set, is the durable metadata plane: state transitions
+	// (fail/adopt/rebuild-complete) commit a new superblock epoch across
+	// the live disks before they are acknowledged.
+	meta *ArrayMeta
 
 	// Incremental-scrub state: cycles below scrubCursor have been verified
 	// in the current pass; ScrubStep advances it and wraps to 0 when the
@@ -197,7 +209,24 @@ func (a *Array) FailDisk(d int) error {
 	a.replaced[d] = nil
 	a.rebuildPlan = nil
 	a.rebuiltCycles = 0
+	if a.meta != nil {
+		// The eviction is acknowledged only once the new failed set is on
+		// media; on error the in-memory state stays failed (conservative:
+		// a disk more failed in memory than on media cannot lose data).
+		return a.meta.commitFail(d, a.failedListLocked())
+	}
 	return nil
+}
+
+// failedListLocked lists the failed disk ids; caller holds mu.
+func (a *Array) failedListLocked() []int {
+	var out []int
+	for d, f := range a.failed {
+		if f {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // InstrumentDevices replaces every attached device (including any
@@ -272,6 +301,7 @@ func (a *Array) readStrip(d int, devStrip int64, p []byte) error {
 	if !errors.Is(err, ErrCorrupt) {
 		return err
 	}
+	a.stats.corruptStrips.Add(1)
 	if err := a.reconstructStrip(d, devStrip, p); err != nil {
 		return fmt.Errorf("store: read repair of strip (%d,%d): %w", d, devStrip, err)
 	}
@@ -319,6 +349,7 @@ func (a *Array) reconstructStripDepth(d int, devStrip int64, p []byte, depth int
 			if !errors.Is(err, ErrCorrupt) || depth >= maxHealDepth {
 				return err
 			}
+			a.stats.corruptStrips.Add(1)
 			if herr := a.reconstructStripDepth(st.Disk, idx, shards[mi], depth+1); herr != nil {
 				return fmt.Errorf("store: corrupt source %v unhealable (%v): %w", st, herr, err)
 			}
@@ -574,8 +605,20 @@ func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
 	// failed disk's strip is written to its replacement once its cycle has
 	// been rebuilt, keeping incremental rebuild and online writes
 	// coherent. The intent log brackets the commit so a crash between
-	// strip writes is repairable.
-	if a.intent != nil {
+	// strip writes is repairable; a ClosureLogger upgrades the bracket to
+	// a redo record carrying the full new closure content, which recovery
+	// replays verbatim — sound even when a disk has also failed, where
+	// recomputing parity from a half-written stripe would not be.
+	closure, redo := a.intent.(ClosureLogger)
+	if redo {
+		ups := make([]StripUpdate, 0, len(updates))
+		for st, up := range updates {
+			ups = append(ups, StripUpdate{Disk: st.Disk, Slot: st.Slot, Data: up.new})
+		}
+		if err := closure.RecordClosure(cycle, ups); err != nil {
+			return err
+		}
+	} else if a.intent != nil {
 		if err := a.intent.Record(cycle); err != nil {
 			return err
 		}
@@ -590,7 +633,11 @@ func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
 			return err
 		}
 	}
-	if a.intent != nil {
+	if redo {
+		if err := closure.ClearClosure(cycle); err != nil {
+			return err
+		}
+	} else if a.intent != nil {
 		if err := a.intent.Clear(cycle); err != nil {
 			return err
 		}

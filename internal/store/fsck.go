@@ -1,0 +1,203 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/oiraid/oiraid/internal/erasure"
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// FsckIssue is one inconsistency found by Fsck.
+type FsckIssue struct {
+	// Kind is "checksum" (a strip failing its durable checksum) or
+	// "parity" (a stripe whose members do not verify).
+	Kind string `json:"kind"`
+	// Cycle locates the damage in the layout.
+	Cycle int64 `json:"cycle"`
+	// Stripe is the stripe index within the cycle (parity issues).
+	Stripe int `json:"stripe,omitempty"`
+	// Layer is "outer" or "inner" (parity issues).
+	Layer string `json:"layer,omitempty"`
+	// Disk/Slot locate the strip (checksum issues).
+	Disk int `json:"disk,omitempty"`
+	Slot int `json:"slot,omitempty"`
+	// Repaired reports whether the repair pass fixed it.
+	Repaired bool `json:"repaired"`
+}
+
+func (is FsckIssue) String() string {
+	state := "damaged"
+	if is.Repaired {
+		state = "repaired"
+	}
+	if is.Kind == "checksum" {
+		return fmt.Sprintf("checksum: cycle %d disk %d slot %d (%s)", is.Cycle, is.Disk, is.Slot, state)
+	}
+	return fmt.Sprintf("parity: cycle %d stripe %d [%s] (%s)", is.Cycle, is.Stripe, is.Layer, state)
+}
+
+// FsckReport summarises a full two-layer verification pass.
+type FsckReport struct {
+	Cycles         int64 `json:"cycles"`
+	StripsChecked  int64 `json:"strips_checked"`
+	StripesChecked int64 `json:"stripes_checked"`
+	ChecksumErrors int   `json:"checksum_errors"`
+	ParityErrors   int   `json:"parity_errors"`
+	Repaired       int   `json:"repaired"`
+	// Clean is true when no damage remains: nothing found, or everything
+	// found was repaired.
+	Clean bool `json:"clean"`
+	// Truncated reports that Issues was capped (the counters still cover
+	// everything).
+	Truncated bool        `json:"truncated,omitempty"`
+	Issues    []FsckIssue `json:"issues,omitempty"`
+}
+
+// maxFsckIssues caps the itemised issue list in a report.
+const maxFsckIssues = 1024
+
+// innerDevice is the unwrap hook every instrumenting wrapper (retry,
+// probe, fault, checksum) implements.
+type innerDevice interface{ Inner() Device }
+
+// checksummedOf walks a wrapper chain down to its ChecksummedDevice, or
+// nil when the chain has none.
+func checksummedOf(dev Device) *ChecksummedDevice {
+	for dev != nil {
+		if cd, ok := dev.(*ChecksummedDevice); ok {
+			return cd
+		}
+		iw, ok := dev.(innerDevice)
+		if !ok {
+			return nil
+		}
+		dev = iw.Inner()
+	}
+	return nil
+}
+
+// Fsck walks both redundancy layers of the whole array, verifying every
+// strip against its durable checksum and every stripe (outer BIBD layer
+// and inner RAID5 layer) against its parity. With repair set, checksum
+// failures are reconstructed from parity and rewritten, and inconsistent
+// stripes get their parity recomputed from data (outer layer first, since
+// outer parity strips are data members of inner stripes).
+//
+// The checksum pass trusts parity (it reconstructs from it) and the
+// parity pass trusts data — the same assumptions as read repair and
+// Repair respectively. The array must be healthy; it is locked for the
+// duration, so route calls through Engine.Fsck on a serving array.
+func (a *Array) Fsck(repair bool) (*FsckReport, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, f := range a.failed {
+		if f {
+			return nil, ErrDiskFaulty
+		}
+	}
+	rep := &FsckReport{Cycles: a.cycles}
+	slots := int64(a.an.SlotsPerDisk())
+	addIssue := func(is FsckIssue) {
+		if len(rep.Issues) >= maxFsckIssues {
+			rep.Truncated = true
+			return
+		}
+		rep.Issues = append(rep.Issues, is)
+	}
+
+	buf := make([]byte, a.stripBytes)
+	for cycle := int64(0); cycle < a.cycles; cycle++ {
+		// Pass A: durable checksums, healed from parity when repairing.
+		for d := range a.devs {
+			dev := a.device(d)
+			for slot := int64(0); slot < slots; slot++ {
+				devStrip := cycle*slots + slot
+				rep.StripsChecked++
+				a.stats.readOps.Add(1)
+				err := dev.ReadStrip(devStrip, buf)
+				if err == nil {
+					continue
+				}
+				if !errors.Is(err, ErrCorrupt) {
+					return rep, err
+				}
+				a.stats.corruptStrips.Add(1)
+				rep.ChecksumErrors++
+				is := FsckIssue{Kind: "checksum", Cycle: cycle, Disk: d, Slot: int(slot)}
+				if repair {
+					if err := a.reconstructStrip(d, devStrip, buf); err != nil {
+						addIssue(is)
+						continue
+					}
+					a.stats.writeOps.Add(1)
+					a.stats.readRepairs.Add(1)
+					if err := dev.WriteStrip(devStrip, buf); err != nil {
+						return rep, err
+					}
+					is.Repaired = true
+					rep.Repaired++
+				}
+				addIssue(is)
+			}
+		}
+
+		// Pass B: parity consistency, outer layer first. Reads bypass
+		// checksum verification so a (reported) checksum issue does not
+		// mask the parity result.
+		for _, pass := range []layout.Layer{layout.LayerOuter, layout.LayerInner} {
+			for si, stripe := range a.sch.Stripes() {
+				if (pass == layout.LayerOuter) != (stripe.Layer == layout.LayerOuter) {
+					continue
+				}
+				code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
+				shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
+				for mi, st := range stripe.Strips {
+					devStrip := cycle*slots + int64(st.Slot)
+					dev := a.device(st.Disk)
+					a.stats.readOps.Add(1)
+					var err error
+					if cd := checksummedOf(dev); cd != nil {
+						err = cd.ReadStripRaw(devStrip, shards[mi])
+					} else {
+						err = dev.ReadStrip(devStrip, shards[mi])
+					}
+					if err != nil {
+						return rep, err
+					}
+				}
+				rep.StripesChecked++
+				ok, err := code.Verify(shards)
+				if err != nil {
+					return rep, fmt.Errorf("store: fsck stripe %d: %w", si, err)
+				}
+				if ok {
+					continue
+				}
+				rep.ParityErrors++
+				layerName := "inner"
+				if stripe.Layer == layout.LayerOuter {
+					layerName = "outer"
+				}
+				is := FsckIssue{Kind: "parity", Cycle: cycle, Stripe: si, Layer: layerName}
+				if repair {
+					if err := code.Encode(shards); err != nil {
+						return rep, err
+					}
+					for mi := stripe.Data; mi < len(stripe.Strips); mi++ {
+						st := stripe.Strips[mi]
+						a.stats.writeOps.Add(1)
+						if err := a.device(st.Disk).WriteStrip(cycle*slots+int64(st.Slot), shards[mi]); err != nil {
+							return rep, err
+						}
+					}
+					is.Repaired = true
+					rep.Repaired++
+				}
+				addIssue(is)
+			}
+		}
+	}
+	rep.Clean = rep.ChecksumErrors+rep.ParityErrors == rep.Repaired
+	return rep, nil
+}

@@ -49,3 +49,92 @@ func FuzzArrayIO(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSuperblockDecode: arbitrary superblock media must never panic and
+// never decode into out-of-bounds geometry — a corrupt slot is rejected
+// with ErrNoSuperblock, not mounted.
+func FuzzSuperblockDecode(f *testing.F) {
+	valid, err := testSuper(3).encodeSlot()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(append(append([]byte(nil), valid...), valid...))
+	f.Add([]byte("OIRDSBv1 but far too short"))
+	f.Add(make([]byte, 2*SuperblockBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sb, err := DecodeSuperblock(data)
+		if err == nil {
+			if sb.Disks <= 0 || sb.Disks > superMaxDisks || sb.SlotsPerDisk <= 0 {
+				t.Fatalf("decoded out-of-bounds geometry: %+v", sb)
+			}
+			for _, d := range sb.Failed {
+				if d < 0 || d >= sb.Disks {
+					t.Fatalf("decoded failed disk %d of %d", d, sb.Disks)
+				}
+			}
+			if sb.RebuiltCycles < 0 || sb.RebuiltCycles > sb.Cycles ||
+				sb.ScrubCursor < 0 || sb.ScrubCursor > sb.Cycles {
+				t.Fatalf("decoded out-of-bounds cursors: %+v", sb)
+			}
+		}
+		if sb2, err := LoadSuperblock(NewMemBlobBytes(data)); err == nil {
+			if sb2.Disks <= 0 || sb2.Disks > superMaxDisks {
+				t.Fatalf("loaded out-of-bounds geometry: %+v", sb2)
+			}
+		}
+	})
+}
+
+// FuzzJournalReplay: arbitrary journal media must never panic and never
+// silently replay out-of-bounds state — a valid header with undecodable
+// frames is ErrJournalCorrupt, a torn tail stops replay cleanly.
+func FuzzJournalReplay(f *testing.F) {
+	b0, b1 := NewMemBlob(), NewMemBlob()
+	j, err := OpenMetaJournal(b0, b1, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := j.RecordSum(1, 2, 3); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.RecordClosure(0, []StripUpdate{{Disk: 0, Slot: 1, Data: []byte("seed")}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := j.RecordTransition(TransEvict, 2, 5); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b0.Bytes(), b1.Bytes(), uint8(4))
+	f.Add([]byte{}, []byte{}, uint8(1))
+	f.Add([]byte("OIRDJNL1 short"), []byte{}, uint8(9))
+	f.Fuzz(func(t *testing.T, d0, d1 []byte, disks uint8) {
+		n := int(disks%16) + 1
+		j, err := OpenMetaJournal(NewMemBlobBytes(d0), NewMemBlobBytes(d1), n)
+		if err != nil {
+			return // refusing corrupt media is correct; panicking is not
+		}
+		for d := 0; d < n; d++ {
+			for strip := range j.Sums(d) {
+				if strip < 0 {
+					t.Fatalf("replayed negative strip %d", strip)
+				}
+			}
+		}
+		pcs, err := j.PendingClosures()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pc := range pcs {
+			for _, su := range pc.Strips {
+				if su.Disk < 0 || su.Disk >= n || su.Slot < 0 {
+					t.Fatalf("replayed out-of-bounds closure strip (%d,%d)", su.Disk, su.Slot)
+				}
+			}
+		}
+		for _, tr := range j.Transitions() {
+			if tr.Disk < 0 || tr.Disk >= n {
+				t.Fatalf("replayed out-of-bounds transition disk %d", tr.Disk)
+			}
+		}
+	})
+}

@@ -1,9 +1,8 @@
 package store
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
-	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -78,33 +77,50 @@ func (m *MemIntentLog) Pending() ([]int64, error) {
 func (m *MemIntentLog) Close() error { return nil }
 
 // FileIntentLog persists dirty cycles as an append-only text log
-// ("+<cycle>" on Record, "-<cycle>" on Clear); Pending replays it. The
-// log is compacted whenever no cycles are outstanding.
+// ("+<cycle>" on Record, "-<cycle>" on Clear); Pending replays it. Every
+// Record and Clear is fsynced before returning, honouring the IntentLog
+// durability contract; opening via OpenFileIntentLog also fsyncs the
+// containing directory when the log file is newly created, so the entry
+// itself survives a crash. The log is compacted whenever no cycles are
+// outstanding.
 type FileIntentLog struct {
 	mu       sync.Mutex
-	path     string
-	f        *os.File
+	b        Blob
+	size     int64 // append offset
 	dirty    map[int64]int // reference counts (nested writes to one cycle)
 	appended int
 }
 
 var _ IntentLog = (*FileIntentLog)(nil)
 
-// OpenFileIntentLog opens (or creates) the log at path, preserving any
-// pending entries from a previous run.
+// OpenFileIntentLog opens (or creates, syncing the directory entry) the
+// log at path, preserving any pending entries from a previous run.
 func OpenFileIntentLog(path string) (*FileIntentLog, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	b, err := CreateFileBlob(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: intent log: %w", err)
 	}
-	l := &FileIntentLog{path: path, f: f, dirty: make(map[int64]int)}
-	sc := bufio.NewScanner(f)
-	for sc.Scan() {
-		line := sc.Text()
+	l, err := NewBlobIntentLog(b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// NewBlobIntentLog opens an intent log over an arbitrary Blob (the crash
+// harness passes a CrashBlob to test the durability contract).
+func NewBlobIntentLog(b Blob) (*FileIntentLog, error) {
+	data, err := readBlobAll(b)
+	if err != nil {
+		return nil, fmt.Errorf("store: intent log: %w", err)
+	}
+	l := &FileIntentLog{b: b, size: int64(len(data)), dirty: make(map[int64]int)}
+	for _, line := range bytes.Split(data, []byte("\n")) {
 		if len(line) < 2 {
 			continue
 		}
-		cycle, err := strconv.ParseInt(line[1:], 10, 64)
+		cycle, err := strconv.ParseInt(string(line[1:]), 10, 64)
 		if err != nil {
 			continue // torn final line after a crash
 		}
@@ -121,18 +137,23 @@ func OpenFileIntentLog(path string) (*FileIntentLog, error) {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: intent log: %w", err)
-	}
 	return l, nil
 }
 
-// Record implements IntentLog.
+// append writes one entry at the tail and fsyncs it.
+func (l *FileIntentLog) append(entry string) error {
+	if _, err := l.b.WriteAt([]byte(entry), l.size); err != nil {
+		return err
+	}
+	l.size += int64(len(entry))
+	return l.b.Sync()
+}
+
+// Record implements IntentLog; the entry is durable when it returns.
 func (l *FileIntentLog) Record(cycle int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := fmt.Fprintf(l.f, "+%d\n", cycle); err != nil {
+	if err := l.append(fmt.Sprintf("+%d\n", cycle)); err != nil {
 		return err
 	}
 	l.dirty[cycle]++
@@ -140,11 +161,11 @@ func (l *FileIntentLog) Record(cycle int64) error {
 	return nil
 }
 
-// Clear implements IntentLog.
+// Clear implements IntentLog; the entry is durable when it returns.
 func (l *FileIntentLog) Clear(cycle int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if _, err := fmt.Fprintf(l.f, "-%d\n", cycle); err != nil {
+	if err := l.append(fmt.Sprintf("-%d\n", cycle)); err != nil {
 		return err
 	}
 	if l.dirty[cycle] > 0 {
@@ -156,10 +177,11 @@ func (l *FileIntentLog) Clear(cycle int64) error {
 	// Compact opportunistically once the log has grown and nothing is
 	// outstanding.
 	if len(l.dirty) == 0 && l.appended > 1024 {
-		if err := l.f.Truncate(0); err == nil {
-			if _, err := l.f.Seek(0, 0); err != nil {
+		if err := l.b.Truncate(0); err == nil {
+			if err := l.b.Sync(); err != nil {
 				return err
 			}
+			l.size = 0
 			l.appended = 0
 		}
 	}
@@ -182,34 +204,47 @@ func (l *FileIntentLog) Pending() ([]int64, error) {
 func (l *FileIntentLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.f == nil {
+	if l.b == nil {
 		return nil
 	}
-	err := l.f.Close()
-	l.f = nil
+	err := l.b.Close()
+	l.b = nil
 	return err
 }
 
 // SetIntentLog attaches a write-intent log to the array. Every
 // read-modify-write records its cycle before touching devices and clears
 // it after the commit; RecoverIntent re-synchronises the cycles a crash
-// left dirty.
+// left dirty. Attaching a ClosureLogger (the metadata journal) upgrades
+// the bracket to redo logging.
 func (a *Array) SetIntentLog(log IntentLog) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.intent = log
 }
 
-// RecoverIntent repairs every stripe of the cycles the intent log reports
-// pending — the post-crash write-hole fix: parity is recomputed from data
-// (outer layer first), restoring stripe consistency whichever half of the
-// interrupted update reached the media. It returns the number of cycles
-// re-synchronised. The array must be healthy.
+// RecoverIntent closes the write hole after a crash and returns the
+// number of cycles re-synchronised.
+//
+// With a ClosureLogger attached, recovery replays the pending redo
+// records: each carries the full consistent content of its parity
+// closure, computed before the interrupted commit started, so rewriting
+// the live strips restores consistency regardless of which subset of the
+// original writes reached the media — and it is sound even while disks
+// are failed (strips on dead disks are simply skipped; the rebuild
+// reconstructs them from the now-consistent stripes).
+//
+// With a plain IntentLog, recovery recomputes parity from data for every
+// pending cycle (outer layer first). That requires a healthy array: with
+// a disk failed there is no authoritative copy to recompute from.
 func (a *Array) RecoverIntent() (cycles int, err error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.intent == nil {
 		return 0, nil
+	}
+	if closure, ok := a.intent.(ClosureLogger); ok {
+		return a.replayClosures(closure)
 	}
 	for _, f := range a.failed {
 		if f {
@@ -254,4 +289,39 @@ func (a *Array) RecoverIntent() (cycles int, err error) {
 		cycles++
 	}
 	return cycles, nil
+}
+
+// replayClosures redoes every pending closure onto the live devices.
+// Caller holds mu.
+func (a *Array) replayClosures(closure ClosureLogger) (int, error) {
+	pending, err := closure.PendingClosures()
+	if err != nil {
+		return 0, err
+	}
+	slots := int64(a.an.SlotsPerDisk())
+	replayed := make(map[int64]bool)
+	for _, pc := range pending {
+		for _, su := range pc.Strips {
+			if su.Disk < 0 || su.Disk >= len(a.devs) ||
+				su.Slot < 0 || int64(su.Slot) >= slots ||
+				pc.Cycle < 0 || pc.Cycle >= a.cycles ||
+				len(su.Data) != a.stripBytes {
+				continue // stale record from a different geometry
+			}
+			devStrip := pc.Cycle*slots + int64(su.Slot)
+			dev := a.liveDevice(su.Disk, devStrip)
+			if dev == nil {
+				continue // failed disk: the rebuild reconstructs it
+			}
+			a.stats.writeOps.Add(1)
+			if err := dev.WriteStrip(devStrip, su.Data); err != nil {
+				return len(replayed), err
+			}
+		}
+		if err := closure.ClearClosure(pc.Cycle); err != nil {
+			return len(replayed), err
+		}
+		replayed[pc.Cycle] = true
+	}
+	return len(replayed), nil
 }

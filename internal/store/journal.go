@@ -1,0 +1,645 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// ErrJournalCorrupt reports a metadata journal whose header region is
+// present but undecodable — unlike a torn tail (which replay tolerates),
+// a bad header means the journal cannot be trusted and the array refuses
+// to mount rather than silently dropping durable state.
+var ErrJournalCorrupt = errors.New("store: metadata journal corrupt")
+
+const (
+	journalMagic     = "OIRDJNL1"
+	journalVersion   = 1
+	journalHeaderLen = 8 + 4 + 8 + 4 // magic, version, epoch, crc
+	// journalMaxPayload bounds a single frame; larger lengths in the
+	// stream mean a torn or corrupt tail.
+	journalMaxPayload = 16 << 20
+	// defaultCompactAt is the appended-bytes threshold that triggers a
+	// snapshot into the inactive region.
+	defaultCompactAt = 1 << 20
+	// journalMaxTransitions bounds the retained state-transition audit
+	// trail (old entries are dropped at compaction).
+	journalMaxTransitions = 128
+)
+
+// Journal record types (first payload byte).
+const (
+	recSum        byte = 1 // durable per-strip checksum
+	recClosure    byte = 2 // redo record: full content of an in-flight parity closure
+	recClear      byte = 3 // closure committed to devices
+	recTransition byte = 4 // state transition (evict/adopt/rebuild-complete)
+)
+
+// TransitionKind labels a journalled state transition.
+type TransitionKind uint8
+
+const (
+	// TransEvict records a disk marked failed.
+	TransEvict TransitionKind = 1
+	// TransAdopt records a replacement device adopted for a failed disk.
+	TransAdopt TransitionKind = 2
+	// TransRebuildDone records a completed rebuild (failure flags cleared).
+	TransRebuildDone TransitionKind = 3
+)
+
+func (k TransitionKind) String() string {
+	switch k {
+	case TransEvict:
+		return "evict"
+	case TransAdopt:
+		return "adopt"
+	case TransRebuildDone:
+		return "rebuild-done"
+	}
+	return fmt.Sprintf("transition(%d)", uint8(k))
+}
+
+// Transition is one journalled state transition.
+type Transition struct {
+	Kind       TransitionKind
+	Disk       int
+	Generation uint64
+}
+
+// StripUpdate is one strip of a redo-logged parity closure.
+type StripUpdate struct {
+	Disk, Slot int
+	Data       []byte
+}
+
+// PendingClosure is a redo record whose device commit was never
+// acknowledged as complete: replaying its strips onto the live devices
+// restores the closure to a consistent state whichever subset of the
+// original writes reached the media.
+type PendingClosure struct {
+	Cycle  int64
+	Strips []StripUpdate
+}
+
+// ChecksumSink receives per-strip checksums as they are written; the
+// metadata journal implements it to make ChecksummedDevice sums durable.
+type ChecksumSink interface {
+	RecordSum(disk int, strip int64, sum uint32) error
+}
+
+// ClosureLogger is the redo-logging upgrade of IntentLog: instead of
+// recording only which cycle is dirty (forcing recovery to recompute
+// parity, which is unsound if a disk also failed), RecordClosure makes
+// the full new content of the parity closure durable before any device
+// write, so recovery replays exactly the consistent closure — healthy or
+// degraded.
+type ClosureLogger interface {
+	IntentLog
+	// RecordClosure appends a redo record and makes it durable before
+	// returning.
+	RecordClosure(cycle int64, strips []StripUpdate) error
+	// ClearClosure marks the closure committed (lazily durable: replaying
+	// a committed closure is idempotent).
+	ClearClosure(cycle int64) error
+	// PendingClosures lists redo records recorded but never cleared.
+	PendingClosures() ([]PendingClosure, error)
+}
+
+// MetaJournal is the array's durable metadata journal: an append-only
+// frame log over two blobs (double-buffered for crash-safe compaction)
+// holding per-strip checksums, redo records of in-flight parity closures,
+// and state transitions. Replay tolerates a torn tail — frames are
+// CRC-protected and parsing stops at the first invalid one.
+//
+// Durability policy, derived from what recovery needs:
+//
+//   - Redo records (RecordClosure) fsync before returning: they must be
+//     durable before the device writes they describe.
+//   - Checksum records and closure clears are lazily durable — they are
+//     flushed by the next fsync on the region. Losing a checksum causes
+//     at worst a spurious ErrCorrupt healed by read repair; losing a
+//     clear causes an idempotent replay.
+//   - Transitions fsync: an acknowledged evict/adopt/rebuild-complete
+//     must survive, and the fsync also flushes the checksums recorded
+//     before it (rebuild writes in particular).
+type MetaJournal struct {
+	mu        sync.Mutex
+	blobs     [2]Blob
+	active    int
+	epoch     uint64
+	off       int64 // append offset in the active region
+	appended  int64 // bytes appended since open/compaction
+	compactAt int64
+	disks     int
+	sums      []map[int64]uint32
+	pending   []PendingClosure // FIFO; overlapping closures are serialised by the array
+	trans     []Transition
+	closed    bool
+}
+
+var (
+	_ IntentLog     = (*MetaJournal)(nil)
+	_ ClosureLogger = (*MetaJournal)(nil)
+	_ ChecksumSink  = (*MetaJournal)(nil)
+)
+
+// OpenMetaJournal opens (replaying) or initialises the journal over its
+// two regions. Two empty blobs initialise a fresh journal; a non-empty
+// region pair with no valid header is ErrJournalCorrupt.
+func OpenMetaJournal(b0, b1 Blob, disks int) (*MetaJournal, error) {
+	if disks < 1 || disks > superMaxDisks {
+		return nil, fmt.Errorf("%w: %d disks", ErrBadGeometry, disks)
+	}
+	j := &MetaJournal{
+		blobs:     [2]Blob{b0, b1},
+		compactAt: defaultCompactAt,
+		disks:     disks,
+		sums:      make([]map[int64]uint32, disks),
+	}
+	for i := range j.sums {
+		j.sums[i] = make(map[int64]uint32)
+	}
+
+	var contents [2][]byte
+	nonEmpty := false
+	for i, b := range j.blobs {
+		data, err := readBlobAll(b)
+		if err != nil {
+			return nil, fmt.Errorf("store: journal region %d: %w", i, err)
+		}
+		contents[i] = data
+		if len(data) > 0 {
+			nonEmpty = true
+		}
+	}
+	if !nonEmpty {
+		// Fresh journal: initialise region 0 at epoch 1.
+		j.active, j.epoch, j.off = 0, 1, journalHeaderLen
+		if _, err := j.blobs[0].WriteAt(journalHeader(1), 0); err != nil {
+			return nil, err
+		}
+		if err := j.blobs[0].Sync(); err != nil {
+			return nil, err
+		}
+		return j, nil
+	}
+	best := -1
+	var bestEpoch uint64
+	for i, data := range contents {
+		epoch, ok := parseJournalHeader(data)
+		if ok && (best < 0 || epoch > bestEpoch) {
+			best, bestEpoch = i, epoch
+		}
+	}
+	if best < 0 {
+		return nil, fmt.Errorf("%w: no valid region header", ErrJournalCorrupt)
+	}
+	j.active, j.epoch = best, bestEpoch
+	if err := j.replay(contents[best]); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func journalHeader(epoch uint64) []byte {
+	buf := make([]byte, journalHeaderLen)
+	copy(buf, journalMagic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], journalVersion)
+	le.PutUint64(buf[12:], epoch)
+	le.PutUint32(buf[20:], crc32.Checksum(buf[:20], castagnoli))
+	return buf
+}
+
+func parseJournalHeader(data []byte) (epoch uint64, ok bool) {
+	if len(data) < journalHeaderLen {
+		return 0, false
+	}
+	if string(data[:8]) != journalMagic {
+		return 0, false
+	}
+	le := binary.LittleEndian
+	if le.Uint32(data[20:]) != crc32.Checksum(data[:20], castagnoli) {
+		return 0, false
+	}
+	if le.Uint32(data[8:]) != journalVersion {
+		return 0, false
+	}
+	return le.Uint64(data[12:]), true
+}
+
+// replay walks the frame stream of the chosen region, rebuilding the
+// in-memory state and positioning the append offset after the last valid
+// frame. A CRC-valid frame whose payload violates bounds is hard
+// corruption (ErrJournalCorrupt), not a torn tail.
+func (j *MetaJournal) replay(data []byte) error {
+	off := journalHeaderLen
+	le := binary.LittleEndian
+	for {
+		if off+8 > len(data) {
+			break
+		}
+		n := int(le.Uint32(data[off:]))
+		crc := le.Uint32(data[off+4:])
+		if n <= 0 || n > journalMaxPayload || off+8+n > len(data) {
+			break // torn tail
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.Checksum(payload, castagnoli) != crc {
+			break // torn tail
+		}
+		if err := j.apply(payload); err != nil {
+			return err
+		}
+		off += 8 + n
+	}
+	j.off = int64(off)
+	return nil
+}
+
+// apply interprets one CRC-valid payload during replay.
+func (j *MetaJournal) apply(payload []byte) error {
+	le := binary.LittleEndian
+	switch payload[0] {
+	case recSum:
+		if len(payload) != 1+4+8+4 {
+			return fmt.Errorf("%w: sum record length %d", ErrJournalCorrupt, len(payload))
+		}
+		disk := int(le.Uint32(payload[1:]))
+		strip := int64(le.Uint64(payload[5:]))
+		sum := le.Uint32(payload[13:])
+		if disk < 0 || disk >= j.disks || strip < 0 {
+			return fmt.Errorf("%w: sum record out of bounds (disk %d, strip %d)", ErrJournalCorrupt, disk, strip)
+		}
+		j.sums[disk][strip] = sum
+	case recClosure:
+		pc, err := decodeClosure(payload, j.disks)
+		if err != nil {
+			return err
+		}
+		j.pending = append(j.pending, *pc)
+	case recClear:
+		if len(payload) != 1+8 {
+			return fmt.Errorf("%w: clear record length %d", ErrJournalCorrupt, len(payload))
+		}
+		cycle := int64(le.Uint64(payload[1:]))
+		j.dropPending(cycle)
+	case recTransition:
+		if len(payload) != 1+1+4+8 {
+			return fmt.Errorf("%w: transition record length %d", ErrJournalCorrupt, len(payload))
+		}
+		kind := TransitionKind(payload[1])
+		if kind < TransEvict || kind > TransRebuildDone {
+			return fmt.Errorf("%w: transition kind %d", ErrJournalCorrupt, kind)
+		}
+		disk := int(le.Uint32(payload[2:]))
+		if disk < 0 || disk >= j.disks {
+			return fmt.Errorf("%w: transition disk %d", ErrJournalCorrupt, disk)
+		}
+		j.addTransition(Transition{Kind: kind, Disk: disk, Generation: le.Uint64(payload[6:])})
+	default:
+		return fmt.Errorf("%w: unknown record type %d", ErrJournalCorrupt, payload[0])
+	}
+	return nil
+}
+
+func decodeClosure(payload []byte, disks int) (*PendingClosure, error) {
+	le := binary.LittleEndian
+	if len(payload) < 1+8+2 {
+		return nil, fmt.Errorf("%w: closure record length %d", ErrJournalCorrupt, len(payload))
+	}
+	cycle := int64(le.Uint64(payload[1:]))
+	if cycle < 0 {
+		return nil, fmt.Errorf("%w: closure cycle %d", ErrJournalCorrupt, cycle)
+	}
+	n := int(le.Uint16(payload[9:]))
+	pc := &PendingClosure{Cycle: cycle}
+	off := 11
+	for i := 0; i < n; i++ {
+		if off+12 > len(payload) {
+			return nil, fmt.Errorf("%w: closure strip header overruns frame", ErrJournalCorrupt)
+		}
+		disk := int(le.Uint32(payload[off:]))
+		slot := int(le.Uint32(payload[off+4:]))
+		dlen := int(le.Uint32(payload[off+8:]))
+		off += 12
+		if disk < 0 || disk >= disks || slot < 0 || dlen < 0 || dlen > journalMaxPayload || off+dlen > len(payload) {
+			return nil, fmt.Errorf("%w: closure strip out of bounds", ErrJournalCorrupt)
+		}
+		pc.Strips = append(pc.Strips, StripUpdate{
+			Disk: disk,
+			Slot: slot,
+			Data: append([]byte(nil), payload[off:off+dlen]...),
+		})
+		off += dlen
+	}
+	if off != len(payload) {
+		return nil, fmt.Errorf("%w: closure record has %d trailing bytes", ErrJournalCorrupt, len(payload)-off)
+	}
+	return pc, nil
+}
+
+func (j *MetaJournal) dropPending(cycle int64) {
+	for i, pc := range j.pending {
+		if pc.Cycle == cycle {
+			j.pending = append(j.pending[:i], j.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (j *MetaJournal) addTransition(tr Transition) {
+	j.trans = append(j.trans, tr)
+	if len(j.trans) > journalMaxTransitions {
+		j.trans = j.trans[len(j.trans)-journalMaxTransitions:]
+	}
+}
+
+// appendFrame writes one frame to the active region; sync forces it (and
+// everything appended before it) durable before returning.
+func (j *MetaJournal) appendFrame(payload []byte, sync bool) error {
+	if j.closed {
+		return ErrClosed
+	}
+	frame := make([]byte, 8+len(payload))
+	le := binary.LittleEndian
+	le.PutUint32(frame, uint32(len(payload)))
+	le.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
+	copy(frame[8:], payload)
+	b := j.blobs[j.active]
+	if _, err := b.WriteAt(frame, j.off); err != nil {
+		return err
+	}
+	j.off += int64(len(frame))
+	j.appended += int64(len(frame))
+	if sync {
+		return b.Sync()
+	}
+	return nil
+}
+
+// RecordSum implements ChecksumSink (lazily durable).
+func (j *MetaJournal) RecordSum(disk int, strip int64, sum uint32) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if disk < 0 || disk >= j.disks || strip < 0 {
+		return fmt.Errorf("%w: sum for disk %d strip %d", ErrNoSuchDisk, disk, strip)
+	}
+	payload := make([]byte, 1+4+8+4)
+	payload[0] = recSum
+	le := binary.LittleEndian
+	le.PutUint32(payload[1:], uint32(disk))
+	le.PutUint64(payload[5:], uint64(strip))
+	le.PutUint32(payload[13:], sum)
+	if err := j.appendFrame(payload, false); err != nil {
+		return err
+	}
+	j.sums[disk][strip] = sum
+	return nil
+}
+
+// Sums returns a copy of the durable checksum map for one disk, the
+// initial state a ChecksummedDevice is wrapped with at mount.
+func (j *MetaJournal) Sums(disk int) map[int64]uint32 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if disk < 0 || disk >= j.disks {
+		return nil
+	}
+	out := make(map[int64]uint32, len(j.sums[disk]))
+	for k, v := range j.sums[disk] {
+		out[k] = v
+	}
+	return out
+}
+
+// RecordClosure implements ClosureLogger: the redo record is fsynced
+// before returning, the write-ahead barrier of every parity commit.
+func (j *MetaJournal) RecordClosure(cycle int64, strips []StripUpdate) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if cycle < 0 {
+		return fmt.Errorf("%w: cycle %d", ErrStripOutOfRange, cycle)
+	}
+	if len(strips) > 0xffff {
+		return fmt.Errorf("store: closure of %d strips too large", len(strips))
+	}
+	size := 1 + 8 + 2
+	for _, su := range strips {
+		size += 12 + len(su.Data)
+	}
+	if size > journalMaxPayload {
+		return fmt.Errorf("store: closure record %d bytes exceeds frame limit", size)
+	}
+	payload := make([]byte, size)
+	payload[0] = recClosure
+	le := binary.LittleEndian
+	le.PutUint64(payload[1:], uint64(cycle))
+	le.PutUint16(payload[9:], uint16(len(strips)))
+	off := 11
+	pc := PendingClosure{Cycle: cycle}
+	for _, su := range strips {
+		if su.Disk < 0 || su.Disk >= j.disks || su.Slot < 0 {
+			return fmt.Errorf("%w: closure strip (%d,%d)", ErrNoSuchDisk, su.Disk, su.Slot)
+		}
+		le.PutUint32(payload[off:], uint32(su.Disk))
+		le.PutUint32(payload[off+4:], uint32(su.Slot))
+		le.PutUint32(payload[off+8:], uint32(len(su.Data)))
+		off += 12
+		copy(payload[off:], su.Data)
+		off += len(su.Data)
+		pc.Strips = append(pc.Strips, StripUpdate{Disk: su.Disk, Slot: su.Slot, Data: append([]byte(nil), su.Data...)})
+	}
+	if err := j.appendFrame(payload, true); err != nil {
+		return err
+	}
+	j.pending = append(j.pending, pc)
+	return nil
+}
+
+// ClearClosure implements ClosureLogger (lazily durable; replay of a
+// committed closure is idempotent).
+func (j *MetaJournal) ClearClosure(cycle int64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	payload := make([]byte, 1+8)
+	payload[0] = recClear
+	binary.LittleEndian.PutUint64(payload[1:], uint64(cycle))
+	if err := j.appendFrame(payload, false); err != nil {
+		return err
+	}
+	j.dropPending(cycle)
+	return j.maybeCompact()
+}
+
+// PendingClosures implements ClosureLogger.
+func (j *MetaJournal) PendingClosures() ([]PendingClosure, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]PendingClosure(nil), j.pending...), nil
+}
+
+// RecordTransition appends a durable state-transition record.
+func (j *MetaJournal) RecordTransition(kind TransitionKind, disk int, generation uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if disk < 0 || disk >= j.disks {
+		return fmt.Errorf("%w: %d", ErrNoSuchDisk, disk)
+	}
+	payload := make([]byte, 1+1+4+8)
+	payload[0] = recTransition
+	payload[1] = byte(kind)
+	le := binary.LittleEndian
+	le.PutUint32(payload[2:], uint32(disk))
+	le.PutUint64(payload[6:], generation)
+	if err := j.appendFrame(payload, true); err != nil {
+		return err
+	}
+	j.addTransition(Transition{Kind: kind, Disk: disk, Generation: generation})
+	return nil
+}
+
+// Transitions returns the retained state-transition audit trail.
+func (j *MetaJournal) Transitions() []Transition {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Transition(nil), j.trans...)
+}
+
+// Epoch returns the active region's epoch (diagnostics, tests).
+func (j *MetaJournal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// SetCompactThreshold overrides the appended-bytes compaction trigger
+// (tests use small values); n <= 0 restores the default.
+func (j *MetaJournal) SetCompactThreshold(n int64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n <= 0 {
+		n = defaultCompactAt
+	}
+	j.compactAt = n
+}
+
+// maybeCompact snapshots live state (checksums, transitions) into the
+// inactive region once the active one has grown past the threshold and
+// no closures are pending. The header is written last and fsynced after
+// the frames, so a crash mid-compaction leaves the old region
+// authoritative: the new header only becomes valid once everything it
+// governs is durable.
+func (j *MetaJournal) maybeCompact() error {
+	if j.appended < j.compactAt || len(j.pending) > 0 {
+		return nil
+	}
+	inactive := 1 - j.active
+	b := j.blobs[inactive]
+	if err := b.Truncate(0); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var buf []byte
+	for disk, m := range j.sums {
+		for strip, sum := range m {
+			payload := make([]byte, 1+4+8+4)
+			payload[0] = recSum
+			le.PutUint32(payload[1:], uint32(disk))
+			le.PutUint64(payload[5:], uint64(strip))
+			le.PutUint32(payload[13:], sum)
+			buf = appendJournalFrame(buf, payload)
+		}
+	}
+	for _, tr := range j.trans {
+		payload := make([]byte, 1+1+4+8)
+		payload[0] = recTransition
+		payload[1] = byte(tr.Kind)
+		le.PutUint32(payload[2:], uint32(tr.Disk))
+		le.PutUint64(payload[6:], tr.Generation)
+		buf = appendJournalFrame(buf, payload)
+	}
+	if len(buf) > 0 {
+		if _, err := b.WriteAt(buf, journalHeaderLen); err != nil {
+			return err
+		}
+	} else if err := b.Truncate(journalHeaderLen); err != nil {
+		return err
+	}
+	if err := b.Sync(); err != nil {
+		return err
+	}
+	if _, err := b.WriteAt(journalHeader(j.epoch+1), 0); err != nil {
+		return err
+	}
+	if err := b.Sync(); err != nil {
+		return err
+	}
+	j.active = inactive
+	j.epoch++
+	j.off = journalHeaderLen + int64(len(buf))
+	j.appended = 0
+	return nil
+}
+
+func appendJournalFrame(buf, payload []byte) []byte {
+	le := binary.LittleEndian
+	hdr := make([]byte, 8)
+	le.PutUint32(hdr, uint32(len(payload)))
+	le.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+	return append(append(buf, hdr...), payload...)
+}
+
+// Record implements IntentLog as a redo record with no strips, so the
+// MetaJournal is a drop-in IntentLog for legacy callers.
+func (j *MetaJournal) Record(cycle int64) error { return j.RecordClosure(cycle, nil) }
+
+// Clear implements IntentLog.
+func (j *MetaJournal) Clear(cycle int64) error { return j.ClearClosure(cycle) }
+
+// Pending implements IntentLog: the distinct cycles with pending redo
+// records.
+func (j *MetaJournal) Pending() ([]int64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, pc := range j.pending {
+		if !seen[pc.Cycle] {
+			seen[pc.Cycle] = true
+			out = append(out, pc.Cycle)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out, nil
+}
+
+// Sync forces everything appended so far durable.
+func (j *MetaJournal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	return j.blobs[j.active].Sync()
+}
+
+// Close implements IntentLog, closing both regions (without an implicit
+// sync of lazily durable records).
+func (j *MetaJournal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	err0 := j.blobs[0].Close()
+	err1 := j.blobs[1].Close()
+	if err0 != nil {
+		return err0
+	}
+	return err1
+}

@@ -9,7 +9,11 @@ import (
 )
 
 // ReplaceDisk attaches a fresh device onto which failed disk d will be
-// rebuilt. The device must match the array geometry.
+// rebuilt. The device must match the array geometry. On an array with a
+// durable metadata plane the replacement is wrapped in a journal-backed
+// ChecksummedDevice (unless the caller already did) and the adoption is
+// committed — with a fresh disk identity — before it is acknowledged; the
+// disk stays in the failed set until its rebuild completes.
 func (a *Array) ReplaceDisk(d int, dev Device) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -22,7 +26,13 @@ func (a *Array) ReplaceDisk(d int, dev Device) error {
 	if dev.StripBytes() != a.stripBytes || dev.Strips() < a.cycles*int64(a.an.SlotsPerDisk()) {
 		return fmt.Errorf("%w: replacement for disk %d", ErrBadGeometry, d)
 	}
+	if a.meta != nil && checksummedOf(dev) == nil {
+		dev = NewDurableChecksummedDevice(dev, d, nil, a.meta.Journal())
+	}
 	a.replaced[d] = dev
+	if a.meta != nil {
+		return a.meta.commitAdopt(d, a.failedListLocked())
+	}
 	return nil
 }
 
@@ -121,6 +131,17 @@ func (a *Array) RebuildStep(batch int64) (done bool, err error) {
 	}
 	a.rebuildPlan = nil
 	a.rebuiltCycles = 0
+	if a.meta != nil {
+		// Completion is acknowledged only once the cleared failed set is
+		// on media; the transition fsync also flushes the checksums of
+		// every strip the rebuild wrote. After a crash short of this
+		// point the disks are still failed on media and the next mount
+		// rebuilds them again from cycle 0, which is safe (writes served
+		// from rebuilt cycles live on in parity on the live disks).
+		if err := a.meta.commitRebuildDone(failed, a.failedListLocked()); err != nil {
+			return false, err
+		}
+	}
 	return true, nil
 }
 

@@ -1,0 +1,229 @@
+package store
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Superblock errors.
+var (
+	// ErrNoSuperblock reports a device with no decodable superblock copy —
+	// a blank or torn-beyond-recovery disk.
+	ErrNoSuperblock = errors.New("store: no valid superblock")
+	// ErrForeignDisk reports a disk whose superblock belongs to a
+	// different array (UUID mismatch) — plugging the wrong disk in must
+	// not silently corrupt either array.
+	ErrForeignDisk = errors.New("store: foreign disk (array UUID mismatch)")
+	// ErrSuperblockMismatch reports a superblock whose geometry disagrees
+	// with the analyzer or the attached devices.
+	ErrSuperblockMismatch = errors.New("store: superblock geometry mismatch")
+)
+
+const (
+	superMagic   = "OIRDSBv1"
+	superVersion = 1
+	// superSlot is the size of one superblock copy; two copies live
+	// side by side so a torn write of one leaves the other intact.
+	superSlot = 256
+	// SuperblockBytes is the total on-media footprint (both slots).
+	SuperblockBytes = 2 * superSlot
+	// superMaxDisks bounds the failed-set bitmap (64 bytes).
+	superMaxDisks = 512
+)
+
+// Superblock is the per-device mount record: array identity and geometry,
+// this disk's identity and generation, the failed-disk set, and recovery
+// cursors. Two copies live at the head of the superblock blob; commits
+// alternate slots by epoch parity and fsync, so the highest-epoch valid
+// copy always reflects a fully persisted commit.
+type Superblock struct {
+	// Epoch increments on every committed state transition; mount picks
+	// the highest epoch across valid copies and disks.
+	Epoch uint64
+	// ArrayUUID identifies the array; a disk carrying another array's
+	// UUID is foreign and refused.
+	ArrayUUID [16]byte
+	// Geometry: it must match the analyzer and devices at mount.
+	Disks        int
+	SlotsPerDisk int
+	Cycles       int64
+	StripBytes   int
+	// Per-disk identity.
+	DiskIndex int
+	DiskUUID  [16]byte
+	// Generation is the epoch at which this disk's copy was last written;
+	// a disk whose generation lags the consensus epoch by more than one
+	// missed committed transitions while detached and is stale.
+	Generation uint64
+	// Failed is the committed failed-disk set.
+	Failed []int
+	// RebuiltCycles and ScrubCursor checkpoint recovery progress (for
+	// reporting; rebuilds restart from cycle 0 after a crash).
+	RebuiltCycles int64
+	ScrubCursor   int64
+	// Clean records a graceful shutdown; a mount clears it, a Seal sets
+	// it, so Clean == false on load means the previous run crashed.
+	Clean bool
+}
+
+// UUIDString formats the array UUID.
+func (sb *Superblock) UUIDString() string { return hex.EncodeToString(sb.ArrayUUID[:]) }
+
+// NewUUID returns 16 random bytes from crypto/rand.
+func NewUUID() [16]byte {
+	var u [16]byte
+	if _, err := rand.Read(u[:]); err != nil {
+		panic(fmt.Sprintf("store: uuid: %v", err)) // crypto/rand does not fail on supported platforms
+	}
+	return u
+}
+
+// failedBitmap packs the failed set into the fixed slot bitmap.
+func (sb *Superblock) failedBitmap() ([64]byte, error) {
+	var bm [64]byte
+	for _, d := range sb.Failed {
+		if d < 0 || d >= superMaxDisks {
+			return bm, fmt.Errorf("%w: failed disk %d", ErrNoSuchDisk, d)
+		}
+		bm[d/8] |= 1 << (d % 8)
+	}
+	return bm, nil
+}
+
+// encodeSlot serialises the superblock into one slot image.
+func (sb *Superblock) encodeSlot() ([]byte, error) {
+	if sb.Disks < 1 || sb.Disks > superMaxDisks {
+		return nil, fmt.Errorf("%w: %d disks", ErrBadGeometry, sb.Disks)
+	}
+	if sb.DiskIndex < 0 || sb.DiskIndex >= sb.Disks {
+		return nil, fmt.Errorf("%w: disk index %d", ErrBadGeometry, sb.DiskIndex)
+	}
+	bm, err := sb.failedBitmap()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, superSlot)
+	copy(buf[0:8], superMagic)
+	le := binary.LittleEndian
+	le.PutUint32(buf[8:], superVersion)
+	le.PutUint64(buf[12:], sb.Epoch)
+	copy(buf[20:36], sb.ArrayUUID[:])
+	le.PutUint32(buf[36:], uint32(sb.Disks))
+	le.PutUint32(buf[40:], uint32(sb.SlotsPerDisk))
+	le.PutUint64(buf[44:], uint64(sb.Cycles))
+	le.PutUint32(buf[52:], uint32(sb.StripBytes))
+	le.PutUint32(buf[56:], uint32(sb.DiskIndex))
+	copy(buf[60:76], sb.DiskUUID[:])
+	le.PutUint64(buf[76:], sb.Generation)
+	copy(buf[84:148], bm[:])
+	le.PutUint64(buf[148:], uint64(sb.RebuiltCycles))
+	le.PutUint64(buf[156:], uint64(sb.ScrubCursor))
+	var flags uint32
+	if sb.Clean {
+		flags |= 1
+	}
+	le.PutUint32(buf[164:], flags)
+	le.PutUint32(buf[superSlot-4:], crc32.Checksum(buf[:superSlot-4], castagnoli))
+	return buf, nil
+}
+
+// DecodeSuperblock parses one slot image, validating magic, version, CRC,
+// and field bounds. It never panics on arbitrary input (fuzzed).
+func DecodeSuperblock(buf []byte) (*Superblock, error) {
+	if len(buf) < superSlot {
+		return nil, fmt.Errorf("%w: short slot (%d bytes)", ErrNoSuperblock, len(buf))
+	}
+	buf = buf[:superSlot]
+	if string(buf[0:8]) != superMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrNoSuperblock)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint32(buf[superSlot-4:]); got != crc32.Checksum(buf[:superSlot-4], castagnoli) {
+		return nil, fmt.Errorf("%w: bad checksum", ErrNoSuperblock)
+	}
+	if v := le.Uint32(buf[8:]); v != superVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrNoSuperblock, v)
+	}
+	sb := &Superblock{
+		Epoch:         le.Uint64(buf[12:]),
+		Disks:         int(le.Uint32(buf[36:])),
+		SlotsPerDisk:  int(le.Uint32(buf[40:])),
+		Cycles:        int64(le.Uint64(buf[44:])),
+		StripBytes:    int(le.Uint32(buf[52:])),
+		DiskIndex:     int(le.Uint32(buf[56:])),
+		Generation:    le.Uint64(buf[76:]),
+		RebuiltCycles: int64(le.Uint64(buf[148:])),
+		ScrubCursor:   int64(le.Uint64(buf[156:])),
+		Clean:         le.Uint32(buf[164:])&1 != 0,
+	}
+	copy(sb.ArrayUUID[:], buf[20:36])
+	copy(sb.DiskUUID[:], buf[60:76])
+	if sb.Disks < 1 || sb.Disks > superMaxDisks ||
+		sb.SlotsPerDisk < 1 || sb.Cycles < 1 || sb.StripBytes < 1 ||
+		sb.DiskIndex < 0 || sb.DiskIndex >= sb.Disks ||
+		sb.RebuiltCycles < 0 || sb.RebuiltCycles > sb.Cycles ||
+		sb.ScrubCursor < 0 || sb.ScrubCursor > sb.Cycles {
+		return nil, fmt.Errorf("%w: fields out of bounds", ErrNoSuperblock)
+	}
+	for d := 0; d < superMaxDisks; d++ {
+		if buf[84+d/8]&(1<<(d%8)) != 0 {
+			if d >= sb.Disks {
+				return nil, fmt.Errorf("%w: failed bit %d beyond %d disks", ErrNoSuperblock, d, sb.Disks)
+			}
+			sb.Failed = append(sb.Failed, d)
+		}
+	}
+	return sb, nil
+}
+
+// WriteSuperblock commits sb to its blob: the copy lands in the slot
+// selected by epoch parity and is fsynced, so the other slot's previous
+// epoch survives a torn write intact.
+func WriteSuperblock(b Blob, sb *Superblock) error {
+	buf, err := sb.encodeSlot()
+	if err != nil {
+		return err
+	}
+	off := int64(sb.Epoch%2) * superSlot
+	if _, err := b.WriteAt(buf, off); err != nil {
+		return fmt.Errorf("store: superblock write: %w", err)
+	}
+	if err := b.Sync(); err != nil {
+		return fmt.Errorf("store: superblock sync: %w", err)
+	}
+	return nil
+}
+
+// LoadSuperblock reads both slots and returns the valid copy with the
+// highest epoch, or ErrNoSuperblock when neither decodes.
+func LoadSuperblock(b Blob) (*Superblock, error) {
+	buf := make([]byte, SuperblockBytes)
+	n, err := b.ReadAt(buf, 0)
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	buf = buf[:n]
+	var best *Superblock
+	for slot := 0; slot < 2; slot++ {
+		off := slot * superSlot
+		if off+superSlot > len(buf) {
+			break
+		}
+		sb, err := DecodeSuperblock(buf[off : off+superSlot])
+		if err != nil {
+			continue
+		}
+		if best == nil || sb.Epoch > best.Epoch {
+			best = sb
+		}
+	}
+	if best == nil {
+		return nil, ErrNoSuperblock
+	}
+	return best, nil
+}

@@ -1,0 +1,128 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+)
+
+func testSuper(epoch uint64) *Superblock {
+	return &Superblock{
+		Epoch:        epoch,
+		ArrayUUID:    [16]byte{1, 2, 3, 4},
+		Disks:        9,
+		SlotsPerDisk: 8,
+		Cycles:       2,
+		StripBytes:   512,
+		DiskIndex:    3,
+		DiskUUID:     [16]byte{9, 9},
+		Generation:   epoch,
+		Failed:       []int{1, 7},
+		ScrubCursor:  1,
+		Clean:        true,
+	}
+}
+
+func TestSuperblockRoundTrip(t *testing.T) {
+	b := NewMemBlob()
+	want := testSuper(1)
+	if err := WriteSuperblock(b, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSuperblock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != want.Epoch || got.ArrayUUID != want.ArrayUUID ||
+		got.Disks != want.Disks || got.SlotsPerDisk != want.SlotsPerDisk ||
+		got.Cycles != want.Cycles || got.StripBytes != want.StripBytes ||
+		got.DiskIndex != want.DiskIndex || got.DiskUUID != want.DiskUUID ||
+		got.ScrubCursor != want.ScrubCursor || !got.Clean {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	if len(got.Failed) != 2 || got.Failed[0] != 1 || got.Failed[1] != 7 {
+		t.Fatalf("failed set %v, want [1 7]", got.Failed)
+	}
+}
+
+// TestSuperblockDualSlot pins the commit protocol: epochs alternate
+// slots, load picks the highest valid epoch, and a torn write of the
+// newest copy falls back to the previous one.
+func TestSuperblockDualSlot(t *testing.T) {
+	b := NewMemBlob()
+	for e := uint64(1); e <= 2; e++ {
+		if err := WriteSuperblock(b, testSuper(e)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sb, err := LoadSuperblock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Epoch != 2 {
+		t.Fatalf("epoch %d, want 2", sb.Epoch)
+	}
+	// Tear the epoch-2 copy (slot 0, since 2%2 == 0).
+	if _, err := b.WriteAt([]byte{0xff}, 20); err != nil {
+		t.Fatal(err)
+	}
+	sb, err = LoadSuperblock(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.Epoch != 1 {
+		t.Fatalf("after torn slot: epoch %d, want fallback to 1", sb.Epoch)
+	}
+	// Tear both copies: no superblock.
+	if _, err := b.WriteAt([]byte{0xff}, superSlot+20); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSuperblock(b); !errors.Is(err, ErrNoSuperblock) {
+		t.Fatalf("err %v, want ErrNoSuperblock", err)
+	}
+}
+
+func TestSuperblockDecodeRejects(t *testing.T) {
+	valid, err := testSuper(1).encodeSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]func([]byte){
+		"short":      func(p []byte) {}, // truncated below
+		"bad magic":  func(p []byte) { p[0] ^= 0xff },
+		"bad crc":    func(p []byte) { p[40] ^= 0x01 },
+		"zero disks": func(p []byte) {
+			// Zero the field and fix the CRC so the bounds check, not the
+			// checksum, rejects it.
+			binary.LittleEndian.PutUint32(p[36:], 0)
+			binary.LittleEndian.PutUint32(p[superSlot-4:], crc32.Checksum(p[:superSlot-4], castagnoli))
+		},
+	}
+	for name, corrupt := range cases {
+		p := append([]byte(nil), valid...)
+		corrupt(p)
+		if name == "short" {
+			p = p[:superSlot-1]
+		}
+		if _, err := DecodeSuperblock(p); !errors.Is(err, ErrNoSuperblock) {
+			t.Errorf("%s: err %v, want ErrNoSuperblock", name, err)
+		}
+	}
+	if _, err := DecodeSuperblock(valid); err != nil {
+		t.Fatalf("valid slot rejected: %v", err)
+	}
+}
+
+func TestSuperblockEncodeBounds(t *testing.T) {
+	sb := testSuper(1)
+	sb.Disks = superMaxDisks + 1
+	if _, err := sb.encodeSlot(); err == nil {
+		t.Fatal("oversized disk count encoded")
+	}
+	sb = testSuper(1)
+	sb.Failed = []int{superMaxDisks}
+	if _, err := sb.encodeSlot(); err == nil {
+		t.Fatal("failed bit beyond bitmap encoded")
+	}
+}

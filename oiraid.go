@@ -123,6 +123,19 @@ type (
 	QoSState = engine.QoSState
 	// QoSUpdate is a partial, live update of the QoS knobs.
 	QoSUpdate = engine.QoSUpdate
+	// Blob is a byte-addressed durable file (superblock/journal media).
+	Blob = store.Blob
+	// Superblock is the per-disk durable identity + geometry record.
+	Superblock = store.Superblock
+	// ArrayMeta is an array's durable metadata plane (superblocks +
+	// metadata journal).
+	ArrayMeta = store.ArrayMeta
+	// Mount is the result of assembling an array from on-media metadata.
+	Mount = store.Mount
+	// FsckReport is a full two-layer verification report.
+	FsckReport = store.FsckReport
+	// FsckIssue is one inconsistency found by fsck.
+	FsckIssue = store.FsckIssue
 )
 
 // SupportedDiskCounts lists array sizes v ≤ limit for which an OI-RAID
@@ -270,6 +283,35 @@ func NewFileArray(g *Geometry, dir string, cycles int64, stripBytes int) (*Array
 	}
 	return store.NewArray(g.an, devs)
 }
+
+// FormatArray initialises the durable metadata plane for an array:
+// fresh identities and superblocks on every disk plus the metadata
+// journal (j0/j1 are its double-buffered regions). Device content is
+// left untouched, so an existing array upgrades in place.
+func FormatArray(g *Geometry, devs []Device, sbs []Blob, j0, j1 Blob) (*Mount, error) {
+	return store.FormatArray(g.an, devs, sbs, j0, j1)
+}
+
+// MountArray assembles an array from its on-media metadata: it loads
+// every superblock, fails disks whose copy is missing, foreign,
+// misplaced, or stale, replays the metadata journal, and refuses to
+// serve when the failure pattern exceeds the layout's recovery
+// capability.
+func MountArray(g *Geometry, devs []Device, sbs []Blob, j0, j1 Blob) (*Mount, error) {
+	return store.MountArray(g.an, devs, sbs, j0, j1)
+}
+
+// NewMemBlob exposes memory-backed metadata media (tests, ephemeral
+// arrays).
+func NewMemBlob() Blob { return store.NewMemBlob() }
+
+// CreateFileBlob opens (creating if needed, with a directory sync so
+// the name itself is durable) a file-backed metadata blob.
+func CreateFileBlob(path string) (Blob, error) { return store.CreateFileBlob(path) }
+
+// LoadSuperblock reads the best valid superblock copy from b, or
+// store.ErrNoSuperblock when neither slot decodes.
+func LoadSuperblock(b Blob) (*Superblock, error) { return store.LoadSuperblock(b) }
 
 // NewMemDevice exposes memory-backed devices for custom array assembly
 // (e.g. replacement disks for Array.ReplaceDisk).

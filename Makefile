@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos crash fuzz bench clean
+.PHONY: build test race vet check chaos qos crash tail fuzz bench clean
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,14 @@ qos:
 crash:
 	$(GO) test -race -count=1 -run 'Crash|Mount|Superblock|Journal|Fsck|Durable|IntentLog' \
 		./internal/store/... ./internal/engine/... ./internal/server/... ./cmd/...
+
+# Tail-tolerance suite under the race detector: hedged reconstruct-reads
+# (p99 bound with a slow disk, no goroutine leaks), slow-disk quarantine
+# recover/escalate cycles, read-avoid, slow-burst injection, panic
+# middleware, circuit-breaking client.
+tail:
+	$(GO) test -race -count=1 -run 'Hedge|Quarantine|ReadAvoid|SlowBurst|SetSlow|Panic|Breaker|Backoff|RetryTime|EndpointKey' \
+		./internal/store/... ./internal/engine/... ./internal/server/...
 
 # Short coverage-guided smoke over the media-facing decoders: array I/O,
 # superblock slots, journal replay.

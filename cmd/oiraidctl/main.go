@@ -148,7 +148,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|fsck|plan|info|export|analyze|metrics|health|spare|qos> [flags]
+	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|fsck|plan|info|export|analyze|metrics|health|spare|qos|quarantine|release> [flags]
 
   export  -disks N               write the layout as JSON to stdout
   analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
@@ -156,10 +156,13 @@ func usage() {
                                  -repair reconstructs damaged strips from redundancy
 
 With -remote URL the status, write, read, fail, rebuild, scrub, fsck,
-metrics, health, spare, and qos commands run against an oiraidd server
-instead of a local -dir array. health prints per-disk error/latency counters; spare
-registers -count hot spares with the server's auto-rebuild pool; qos
-reads the live pacing knobs, or sets the ones passed via -rebuild-rate,
+metrics, health, spare, qos, quarantine, and release commands run against
+an oiraidd server instead of a local -dir array. health prints per-disk
+error/latency counters (incl. the p99 estimate and quarantine state);
+spare registers -count hot spares with the server's auto-rebuild pool;
+quarantine -disk N makes reads reconstruct around a slow disk while
+writes still land on it, and release -disk N lifts that; qos reads the
+live pacing knobs, or sets the ones passed via -rebuild-rate,
 -min-rebuild-rate, -scrub-interval, -scrub-batch, -latency-target, and
 -admit-wait (-1 leaves a knob unchanged).`)
 }
@@ -647,6 +650,18 @@ func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length in
 		}
 		fmt.Fprintf(out, "disk %d marked failed\n", diskID)
 		return nil
+	case "quarantine":
+		if err := c.QuarantineCtx(ctx, diskID); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "disk %d quarantined (reads reconstruct around it; writes still land)\n", diskID)
+		return nil
+	case "release":
+		if err := c.ReleaseCtx(ctx, diskID); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "disk %d released from quarantine\n", diskID)
+		return nil
 	case "rebuild":
 		if err := c.RebuildCtx(ctx, true); err != nil {
 			return err
@@ -727,10 +742,14 @@ func remoteHealth(ctx context.Context, c *server.Client, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "policy: %s; spares: %d available, %d used; evictions: %d; auto-rebuilds: %d\n",
 		mode, h.Spares, h.SparesUsed, h.Evictions, h.AutoRebuilds)
+	if h.Quarantines > 0 || h.QuarantineReleases > 0 || h.QuarantineEscalations > 0 {
+		fmt.Fprintf(w, "quarantines: %d entered, %d released, %d escalated to eviction\n",
+			h.Quarantines, h.QuarantineReleases, h.QuarantineEscalations)
+	}
 	for _, d := range h.Disks {
-		fmt.Fprintf(w, "disk %2d  %-8s ops %-8d errors %-4d transient %-4d absorbed %-4d corrupt %-4d slow %-4d mean %.1fµs\n",
+		fmt.Fprintf(w, "disk %2d  %-11s ops %-8d errors %-4d transient %-4d absorbed %-4d corrupt %-4d slow %-4d quar %-3d mean %.1fµs p99 %.1fµs\n",
 			d.Disk, d.State, d.Ops, d.Errors, d.TransientErrors, d.RetriesAbsorbed,
-			d.CorruptReads, d.SlowOps, d.MeanLatencyUs)
+			d.CorruptReads, d.SlowOps, d.Quarantines, d.MeanLatencyUs, d.P99LatencyUs)
 	}
 	return nil
 }

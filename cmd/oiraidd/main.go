@@ -47,6 +47,14 @@ type config struct {
 	spares     int           // hot spares registered at boot
 	slowOp     time.Duration // latency above which an op counts as slow (0: off)
 
+	// Tail-tolerance knobs (see engine.HealthPolicy).
+	hedgeMult    float64       // hedge timer as a multiple of per-disk p99 (0: hedging off)
+	hedgeFloor   time.Duration // hedge timer lower bound (0: 1ms default)
+	hedgeCeil    time.Duration // hedge timer upper bound (0: 50ms default)
+	quarSlowFrac float64       // slow-op fraction EWMA that quarantines a disk (0: off)
+	quarProbe    time.Duration // recovery probe interval for quarantined disks
+	quarEscalate int64         // quarantine cycles before escalating to eviction
+
 	// QoS knobs (see engine.QoSConfig).
 	opTimeout     time.Duration // per-op engine deadline (0: bounded only by -timeout)
 	admitDepth    int           // admission queue depth (0: no admission control)
@@ -71,11 +79,21 @@ func buildServer(cfg config) (*server.Server, error) {
 	if cfg.retries > 0 {
 		opts.Retry = &store.RetryPolicy{MaxAttempts: cfg.retries}
 	}
-	if cfg.evictAfter > 0 {
+	// The health monitor also hosts the tail-tolerance layer, so hedging
+	// or quarantine knobs activate it even with auto-eviction off.
+	if cfg.evictAfter > 0 || cfg.hedgeMult > 0 || cfg.quarSlowFrac > 0 {
 		opts.Health = &engine.HealthPolicy{
 			EvictAfter:   cfg.evictAfter,
 			SlowOp:       cfg.slowOp,
 			RebuildBatch: cfg.batch,
+
+			HedgeMultiple: cfg.hedgeMult,
+			HedgeFloor:    cfg.hedgeFloor,
+			HedgeCeiling:  cfg.hedgeCeil,
+
+			QuarantineSlowFrac: cfg.quarSlowFrac,
+			QuarantineProbe:    cfg.quarProbe,
+			QuarantineEscalate: cfg.quarEscalate,
 		}
 	}
 	if cfg.admitDepth > 0 || cfg.rebuildRate > 0 || cfg.scrubInterval > 0 || cfg.latencyTarget > 0 {
@@ -259,6 +277,12 @@ func main() {
 	flag.Int64Var(&cfg.evictAfter, "evict-after", 3, "hard device errors before auto-eviction (0: disable auto-heal)")
 	flag.IntVar(&cfg.spares, "spares", 0, "hot spares to register at boot")
 	flag.DurationVar(&cfg.slowOp, "slow-op", 0, "latency above which a device op counts as slow (0: off)")
+	flag.Float64Var(&cfg.hedgeMult, "hedge-mult", 0, "hedge reads at this multiple of per-disk p99 latency (0: off)")
+	flag.DurationVar(&cfg.hedgeFloor, "hedge-floor", 0, "hedge timer lower bound (0: 1ms default)")
+	flag.DurationVar(&cfg.hedgeCeil, "hedge-ceil", 0, "hedge timer upper bound (0: 50ms default)")
+	flag.Float64Var(&cfg.quarSlowFrac, "quarantine-slow-frac", 0, "slow-op fraction that quarantines a disk; needs -slow-op (0: off)")
+	flag.DurationVar(&cfg.quarProbe, "quarantine-probe", 0, "recovery probe interval for quarantined disks (0: 250ms default)")
+	flag.Int64Var(&cfg.quarEscalate, "quarantine-escalate", 0, "quarantine cycles before escalating to eviction (0: 3 default)")
 	flag.DurationVar(&cfg.opTimeout, "op-timeout", 0, "per-operation engine deadline, 504 when exceeded (0: off)")
 	flag.IntVar(&cfg.admitDepth, "admit-depth", 0, "admission queue depth, full queue sheds with 429 (0: off)")
 	flag.DurationVar(&cfg.admitWait, "admit-wait", 0, "admission wait budget before shedding (0: 50ms default)")

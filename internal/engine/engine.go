@@ -115,6 +115,14 @@ type Engine struct {
 	healStop  chan struct{}
 	healWg    sync.WaitGroup
 
+	// Tail tolerance: the quarantine manager goroutine (tailLoop) runs
+	// iff Options.Health is set; hedgeWg tracks the cleanup goroutines
+	// that reap losing hedge branches so Close can drain them.
+	tailStop    chan struct{}
+	tailWg      sync.WaitGroup
+	hedgeWg     sync.WaitGroup
+	probeCursor atomic.Int64
+
 	rebuildMu      sync.Mutex
 	rebuilding     bool
 	rebuildErr     error
@@ -184,6 +192,9 @@ func New(arr *store.Array, opts Options) (*Engine, error) {
 		e.healStop = make(chan struct{})
 		e.healWg.Add(1)
 		go e.healLoop()
+		e.tailStop = make(chan struct{})
+		e.tailWg.Add(1)
+		go e.tailLoop()
 	}
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
@@ -277,6 +288,14 @@ func (e *Engine) ReadStripCtx(ctx context.Context, addr int64) ([]byte, error) {
 		return nil, err
 	}
 	defer release()
+	if e.hedging() {
+		p, err := e.readStripHedged(addr)
+		if err != nil {
+			return nil, err
+		}
+		e.stats.reads.Add(1)
+		return p, nil
+	}
 	p := make([]byte, e.stripBytes)
 	if err := e.stripOp(addr, false, func() error {
 		_, err := e.arr.ReadAt(p, addr*int64(e.stripBytes))
@@ -715,8 +734,8 @@ func (e *Engine) Status() Status {
 		epoch = meta.Epoch()
 	}
 	return Status{
-		ArrayUUID: uuid,
-		MetaEpoch: epoch,
+		ArrayUUID:        uuid,
+		MetaEpoch:        epoch,
 		Disks:            e.an.Disks(),
 		StripBytes:       e.stripBytes,
 		Strips:           e.strips,
@@ -743,6 +762,10 @@ func (e *Engine) Close() error {
 	if e.closed.Swap(true) {
 		return nil
 	}
+	if e.tailStop != nil {
+		close(e.tailStop)
+		e.tailWg.Wait()
+	}
 	if e.healStop != nil {
 		close(e.healStop)
 		e.healWg.Wait()
@@ -756,5 +779,8 @@ func (e *Engine) Close() error {
 	close(e.tasks)
 	e.submitMu.Unlock()
 	e.wg.Wait()
+	// Losing hedge branches still touch the array; drain their reapers
+	// before sealing.
+	e.hedgeWg.Wait()
 	return e.arr.SealMeta()
 }

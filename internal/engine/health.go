@@ -9,25 +9,61 @@ package engine
 
 import (
 	"errors"
+	"math"
 	"sync/atomic"
 	"time"
 
 	"github.com/oiraid/oiraid/internal/store"
 )
 
-// HealthPolicy tunes auto-eviction and auto-rebuild.
+// HealthPolicy tunes auto-eviction, auto-rebuild, and the tail-tolerance
+// layer (hedged reads and slow-disk quarantine).
 type HealthPolicy struct {
 	// EvictAfter is the count of hard device errors (permanent errors, or
 	// transient errors that survived the retry policy) at which the disk
 	// is auto-evicted (default 3).
 	EvictAfter int64 `json:"evict_after"`
 	// SlowOp, when positive, counts operations at least this slow toward
-	// the per-disk slow-op counter (observability only; slow disks are
-	// reported, not evicted).
+	// the per-disk slow-op counter. It is also the slowness criterion the
+	// quarantine state machine classifies by, so quarantine needs it set.
 	SlowOp time.Duration `json:"slow_op_ns"`
 	// RebuildBatch is the layout-cycle batch size for auto-rebuilds
 	// (default 1).
 	RebuildBatch int64 `json:"rebuild_batch"`
+
+	// HedgeMultiple, when positive, enables hedged reads: every strip
+	// read arms a timer at HedgeMultiple × the target disk's streaming
+	// p99 latency estimate (clamped to [HedgeFloor, HedgeCeiling]) and,
+	// on expiry, races a parity reconstruction from the survivors against
+	// the straggling direct read — first result wins.
+	HedgeMultiple float64 `json:"hedge_multiple"`
+	// HedgeFloor bounds the hedge timer below (default 1ms) so a cold or
+	// very fast latency estimate cannot hedge every read.
+	HedgeFloor time.Duration `json:"hedge_floor_ns"`
+	// HedgeCeiling bounds the hedge timer above (default 50ms) so a disk
+	// whose own p99 has degraded still gets hedged against.
+	HedgeCeiling time.Duration `json:"hedge_ceiling_ns"`
+
+	// QuarantineSlowFrac, when positive, enables slow-disk quarantine: a
+	// disk whose slow-op fraction EWMA crosses the threshold (after at
+	// least QuarantineMinOps operations) stops serving reads — they are
+	// reconstructed from redundancy instead — while writes continue to
+	// land on it, so leaving quarantine needs no rebuild.
+	QuarantineSlowFrac float64 `json:"quarantine_slow_frac"`
+	// QuarantineMinOps is the operation count before the slow fraction is
+	// trusted (default 8).
+	QuarantineMinOps int64 `json:"quarantine_min_ops"`
+	// QuarantineProbe is the interval between recovery probe reads of a
+	// quarantined disk (default 250ms).
+	QuarantineProbe time.Duration `json:"quarantine_probe_ns"`
+	// QuarantineProbeOK is the count of consecutive fast probe reads that
+	// releases a quarantined disk back to service (default 3).
+	QuarantineProbeOK int64 `json:"quarantine_probe_ok"`
+	// QuarantineEscalate is the number of completed quarantine cycles
+	// after which the next quarantine trigger escalates to auto-eviction
+	// (fail → spare → rebuild) instead of another quarantine (default 3;
+	// 0 keeps the default).
+	QuarantineEscalate int64 `json:"quarantine_escalate"`
 }
 
 func (p HealthPolicy) withDefaults() HealthPolicy {
@@ -37,14 +73,36 @@ func (p HealthPolicy) withDefaults() HealthPolicy {
 	if p.RebuildBatch <= 0 {
 		p.RebuildBatch = 1
 	}
+	if p.HedgeFloor <= 0 {
+		p.HedgeFloor = time.Millisecond
+	}
+	if p.HedgeCeiling < p.HedgeFloor {
+		p.HedgeCeiling = 50 * time.Millisecond
+		if p.HedgeCeiling < p.HedgeFloor {
+			p.HedgeCeiling = p.HedgeFloor
+		}
+	}
+	if p.QuarantineMinOps <= 0 {
+		p.QuarantineMinOps = 8
+	}
+	if p.QuarantineProbe <= 0 {
+		p.QuarantineProbe = 250 * time.Millisecond
+	}
+	if p.QuarantineProbeOK <= 0 {
+		p.QuarantineProbeOK = 3
+	}
+	if p.QuarantineEscalate <= 0 {
+		p.QuarantineEscalate = 3
+	}
 	return p
 }
 
 // DiskHealth is one disk's health snapshot.
 type DiskHealth struct {
 	Disk int `json:"disk"`
-	// State is "healthy", "failed" (awaiting or undergoing rebuild), or
-	// "evicted" (auto-evicted by the health policy, awaiting heal).
+	// State is "healthy", "failed" (awaiting or undergoing rebuild),
+	// "evicted" (auto-evicted by the health policy, awaiting heal), or
+	// "quarantined" (too slow to serve reads; writes still land on it).
 	State string `json:"state"`
 	// Ops counts device operations (reads + writes) admitted to the disk.
 	Ops int64 `json:"ops"`
@@ -62,6 +120,14 @@ type DiskHealth struct {
 	SlowOps int64 `json:"slow_ops"`
 	// MeanLatencyUs is the mean device-op latency in microseconds.
 	MeanLatencyUs float64 `json:"mean_latency_us"`
+	// EWMALatencyUs is the exponentially weighted latency average in
+	// microseconds (α=1/8), more reactive than the lifetime mean.
+	EWMALatencyUs float64 `json:"ewma_latency_us"`
+	// P99LatencyUs is the streaming p99 latency estimate in microseconds
+	// (the quantity hedge timers are armed from).
+	P99LatencyUs float64 `json:"p99_latency_us"`
+	// Quarantines counts quarantine cycles entered on the current device.
+	Quarantines int64 `json:"quarantines"`
 }
 
 // HealthReport is the full health snapshot served by GET /v1/health.
@@ -75,6 +141,12 @@ type HealthReport struct {
 	Evictions int64 `json:"evictions"`
 	// AutoRebuilds counts rebuilds launched by the healer.
 	AutoRebuilds int64 `json:"auto_rebuilds"`
+	// Quarantines counts slow-disk quarantine entries across all disks.
+	Quarantines int64 `json:"quarantines"`
+	// QuarantineReleases counts quarantines lifted by recovery probes.
+	QuarantineReleases int64 `json:"quarantine_releases"`
+	// QuarantineEscalations counts quarantines escalated to eviction.
+	QuarantineEscalations int64 `json:"quarantine_escalations"`
 	// AutoHeal reports whether the eviction/auto-rebuild policy is active.
 	AutoHeal bool `json:"auto_heal"`
 	// Policy echoes the active policy when AutoHeal is true.
@@ -91,6 +163,56 @@ type diskCounters struct {
 	latencyNs                             atomic.Int64
 	evicted                               atomic.Bool
 	gen                                   atomic.Int64
+
+	// Tail-tolerance estimators, updated by CAS so observe stays lock-free.
+	// latEwmaBits holds the float64 bits of a latency EWMA (ns, α=1/8);
+	// p99Ns is a streaming high-quantile estimate: it steps up 1/8 of the
+	// gap on samples above it and decays 1/512 of the gap on samples below,
+	// so it settles near the envelope of the latency distribution — cheap
+	// enough to run per op, accurate enough to arm a hedge timer.
+	latEwmaBits  atomic.Uint64
+	p99Ns        atomic.Int64
+	slowFracBits atomic.Uint64 // float64 bits of the slow-op fraction EWMA
+
+	quarantined atomic.Bool
+	quarantines atomic.Int64 // completed/entered quarantine cycles on this device
+	fastProbes  atomic.Int64 // consecutive fast recovery probes while quarantined
+	quarBase    atomic.Int64 // ops count at the last release; re-arms MinOps
+}
+
+// ewmaAdd folds sample into the float64-bits EWMA at bits with weight
+// alpha. The average deliberately ramps from zero rather than seeding
+// with the first sample: for the slow-op fraction that means one slow
+// op cannot spike the fraction to 1.0 — it takes a sustained run to
+// cross a quarantine threshold.
+func ewmaAdd(bits *atomic.Uint64, sample, alpha float64) float64 {
+	for {
+		old := bits.Load()
+		cur := math.Float64frombits(old)
+		next := cur + alpha*(sample-cur)
+		if bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// observeLatency feeds one op latency into the disk's EWMA and streaming
+// p99 estimators.
+func (c *diskCounters) observeLatency(dur time.Duration) {
+	ns := int64(dur)
+	ewmaAdd(&c.latEwmaBits, float64(ns), 1.0/8)
+	for {
+		cur := c.p99Ns.Load()
+		var next int64
+		if ns > cur {
+			next = cur + (ns-cur)/8 + 1
+		} else {
+			next = cur - (cur-ns)/512
+		}
+		if c.p99Ns.CompareAndSwap(cur, next) {
+			return
+		}
+	}
 }
 
 // monitor aggregates per-disk health and feeds the healer.
@@ -103,9 +225,16 @@ type monitor struct {
 	sparesUsed   atomic.Int64
 	autoRebuilds atomic.Int64
 
+	quarantines atomic.Int64 // quarantine entries across all disks
+	releases    atomic.Int64 // quarantines released by recovery probes
+	escalations atomic.Int64 // quarantines escalated to eviction
+
 	// evictCh carries at most one pending eviction per disk (the evicted
 	// flag gates re-sends), so a buffer of len(disks) never blocks.
 	evictCh chan int
+	// quarCh carries quarantine triggers to the engine's tail loop; the
+	// quarantined flag gates re-sends the same way evicted gates evictCh.
+	quarCh chan int
 }
 
 func newMonitor(disks int, pol HealthPolicy, auto bool) *monitor {
@@ -114,6 +243,7 @@ func newMonitor(disks int, pol HealthPolicy, auto bool) *monitor {
 		autoMon: auto,
 		disks:   make([]diskCounters, disks),
 		evictCh: make(chan int, disks),
+		quarCh:  make(chan int, disks),
 	}
 }
 
@@ -125,10 +255,25 @@ func (m *monitor) observe(disk int, gen int64, dur time.Duration, err error) {
 	if gen != c.gen.Load() {
 		return
 	}
-	c.ops.Add(1)
+	ops := c.ops.Add(1)
 	c.latencyNs.Add(int64(dur))
-	if m.pol.SlowOp > 0 && dur >= m.pol.SlowOp {
-		c.slow.Add(1)
+	c.observeLatency(dur)
+	if m.pol.SlowOp > 0 {
+		isSlow := dur >= m.pol.SlowOp
+		if isSlow {
+			c.slow.Add(1)
+		}
+		sample := 0.0
+		if isSlow {
+			sample = 1.0
+		}
+		frac := ewmaAdd(&c.slowFracBits, sample, 1.0/8)
+		if m.autoMon && m.pol.QuarantineSlowFrac > 0 &&
+			frac >= m.pol.QuarantineSlowFrac &&
+			ops >= c.quarBase.Load()+m.pol.QuarantineMinOps &&
+			!c.evicted.Load() && !c.quarantined.Swap(true) {
+			m.quarCh <- disk
+		}
 	}
 	if err == nil {
 		return
@@ -162,6 +307,16 @@ func (m *monitor) adopt(disk int) {
 	c.errors.Store(0)
 	c.transient.Store(0)
 	c.evicted.Store(false)
+	// The fresh device starts with clean tail state too: latency history,
+	// slow fraction, and the quarantine escalation count all belonged to
+	// the hardware that was just replaced.
+	c.latEwmaBits.Store(0)
+	c.p99Ns.Store(0)
+	c.slowFracBits.Store(0)
+	c.quarantined.Store(false)
+	c.quarantines.Store(0)
+	c.fastProbes.Store(0)
+	c.quarBase.Store(0)
 }
 
 // probeDevice wraps a store.Device with the monitor's per-disk probe,
@@ -272,6 +427,10 @@ func (e *Engine) Health() HealthReport {
 		Evictions:    e.mon.evictions.Load(),
 		AutoRebuilds: e.mon.autoRebuilds.Load(),
 		AutoHeal:     e.mon.autoMon,
+
+		Quarantines:           e.mon.quarantines.Load(),
+		QuarantineReleases:    e.mon.releases.Load(),
+		QuarantineEscalations: e.mon.escalations.Load(),
 	}
 	if e.mon.autoMon {
 		pol := e.mon.pol
@@ -296,15 +455,20 @@ func (e *Engine) Health() HealthReport {
 			RetriesAbsorbed: retries[d],
 			CorruptReads:    c.corrupt.Load(),
 			SlowOps:         c.slow.Load(),
+			Quarantines:     c.quarantines.Load(),
 		}
 		if h.Ops > 0 {
 			h.MeanLatencyUs = float64(c.latencyNs.Load()) / float64(h.Ops) / 1e3
 		}
+		h.EWMALatencyUs = math.Float64frombits(c.latEwmaBits.Load()) / 1e3
+		h.P99LatencyUs = float64(c.p99Ns.Load()) / 1e3
 		switch {
 		case failedSet[d] && c.evicted.Load():
 			h.State = "evicted"
 		case failedSet[d]:
 			h.State = "failed"
+		case c.quarantined.Load():
+			h.State = "quarantined"
 		}
 		rep.Disks[d] = h
 	}

@@ -193,6 +193,26 @@ func (q *qos) admit(ctx context.Context) (release func(), err error) {
 	}, nil
 }
 
+// tryAdmit claims an admission slot without waiting. Hedge branches use
+// it so hedge amplification stays inside the same budget foreground work
+// admits through: a saturated queue refuses the hedge (ok=false) instead
+// of queuing it behind the very load that made hedging attractive.
+func (q *qos) tryAdmit() (release func(), ok bool) {
+	if q.slots == nil {
+		return func() {}, true
+	}
+	select {
+	case q.slots <- struct{}{}:
+		q.inflight.Add(1)
+		return func() {
+			q.inflight.Add(-1)
+			<-q.slots
+		}, true
+	default:
+		return nil, false
+	}
+}
+
 // observe feeds one foreground-operation latency into the EWMA.
 func (q *qos) observe(dur time.Duration) {
 	q.fgOps.Add(1)

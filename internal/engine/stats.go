@@ -19,6 +19,11 @@ type counters struct {
 	scrubPasses    atomic.Int64
 	scrubBad       atomic.Int64
 	fsckRuns       atomic.Int64
+
+	hedgeFired  atomic.Int64
+	hedgeWon    atomic.Int64
+	hedgeWasted atomic.Int64
+	hedgeShed   atomic.Int64
 }
 
 // Stats is a snapshot of the engine's counters, merged with the wrapped
@@ -74,6 +79,22 @@ type Stats struct {
 	ScrubBatches    int64
 	ScrubPasses     int64
 	ScrubBadStripes int64
+	// HedgeFired counts reads whose hedge timer expired and launched a
+	// reconstruction branch; HedgeWon is the subset the reconstruction
+	// won, HedgeWasted the subset the straggling direct read still won.
+	// HedgeShed counts hedges refused because admission was saturated.
+	HedgeFired  int64
+	HedgeWon    int64
+	HedgeWasted int64
+	HedgeShed   int64
+	// QuarantinedReads counts reads the array served by reconstructing
+	// around a quarantined (read-avoided) disk.
+	QuarantinedReads int64
+	// Quarantines/QuarantineReleases/QuarantineEscalations describe the
+	// slow-disk quarantine state machine.
+	Quarantines           int64
+	QuarantineReleases    int64
+	QuarantineEscalations int64
 }
 
 // Stats returns a snapshot of the engine and array counters.
@@ -114,5 +135,14 @@ func (e *Engine) Stats() Stats {
 		ScrubBatches:         e.stats.scrubBatches.Load(),
 		ScrubPasses:          e.stats.scrubPasses.Load(),
 		ScrubBadStripes:      e.stats.scrubBad.Load(),
+
+		HedgeFired:            e.stats.hedgeFired.Load(),
+		HedgeWon:              e.stats.hedgeWon.Load(),
+		HedgeWasted:           e.stats.hedgeWasted.Load(),
+		HedgeShed:             e.stats.hedgeShed.Load(),
+		QuarantinedReads:      io.AvoidedReads,
+		Quarantines:           e.mon.quarantines.Load(),
+		QuarantineReleases:    e.mon.releases.Load(),
+		QuarantineEscalations: e.mon.escalations.Load(),
 	}
 }

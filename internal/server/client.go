@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -30,6 +31,19 @@ type ClientOptions struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 2s).
 	MaxDelay time.Duration
+	// MaxRetryTime caps the total time a single call may spend across
+	// retries (default 30s): once the budget would be exceeded by the
+	// next backoff sleep, the call returns the last error instead.
+	MaxRetryTime time.Duration
+	// BreakerThreshold, when positive, arms a per-endpoint circuit
+	// breaker: that many consecutive failures (transport errors, 429, or
+	// 5xx) open the circuit and further calls to the endpoint fail fast
+	// with ErrCircuitOpen until a half-open probe succeeds after
+	// BreakerCooldown. 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit waits before letting
+	// one probe request through (default 1s).
+	BreakerCooldown time.Duration
 	// Seed fixes the backoff jitter stream for reproducible tests.
 	Seed int64
 	// HTTPClient overrides the underlying transport (tests).
@@ -49,7 +63,88 @@ func (o ClientOptions) withDefaults() ClientOptions {
 	if o.MaxDelay <= 0 {
 		o.MaxDelay = 2 * time.Second
 	}
+	if o.MaxRetryTime <= 0 {
+		o.MaxRetryTime = 30 * time.Second
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
 	return o
+}
+
+// ErrCircuitOpen reports a call refused locally because the endpoint's
+// circuit breaker is open: recent calls failed consecutively and the
+// cooldown has not elapsed, so the client fails fast instead of adding
+// load to a struggling server.
+var ErrCircuitOpen = errors.New("server: circuit open")
+
+// Circuit breaker states.
+const (
+	brClosed = iota
+	brOpen
+	brHalfOpen
+)
+
+// breaker is one endpoint's circuit: closed counts consecutive failures,
+// open fails fast until the cooldown elapses, half-open admits exactly
+// one probe whose outcome decides between closed and open again.
+type breaker struct {
+	mu       sync.Mutex
+	state    int
+	failures int
+	openedAt time.Time
+}
+
+// allow reports whether a call may proceed, transitioning open→half-open
+// once the cooldown has elapsed (the caller becomes the probe).
+func (b *breaker) allow(cooldown time.Duration) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brOpen:
+		if time.Since(b.openedAt) < cooldown {
+			return false
+		}
+		b.state = brHalfOpen
+		return true
+	case brHalfOpen:
+		return false // a probe is already in flight
+	default:
+		return true
+	}
+}
+
+// record folds one call outcome into the breaker.
+func (b *breaker) record(ok bool, threshold int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if ok {
+		b.state = brClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == brHalfOpen || b.failures >= threshold {
+		b.state = brOpen
+		b.openedAt = time.Now()
+		b.failures = 0
+	}
+}
+
+// endpointKey normalises method+path into a breaker key: the query is
+// dropped and purely numeric path segments (strip addresses, disk ids)
+// collapse to "*", so all strips share one circuit per verb.
+func endpointKey(method, path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	segs := strings.Split(path, "/")
+	for i, s := range segs {
+		if s != "" && strings.Trim(s, "0123456789") == "" {
+			segs[i] = "*"
+		}
+	}
+	return method + " " + strings.Join(segs, "/")
 }
 
 // Client is the Go client for an oiraidd server. It speaks the strip API
@@ -65,6 +160,9 @@ type Client struct {
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
+
+	brMu     sync.Mutex
+	breakers map[string]*breaker
 
 	stripBytes int
 	strips     int64
@@ -85,11 +183,24 @@ func NewClientWithOptions(base string, opts ClientOptions) *Client {
 		hc = &http.Client{Timeout: opts.Timeout}
 	}
 	return &Client{
-		base: strings.TrimRight(base, "/"),
-		hc:   hc,
-		opts: opts,
-		rng:  rand.New(rand.NewSource(opts.Seed)),
+		base:     strings.TrimRight(base, "/"),
+		hc:       hc,
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		breakers: make(map[string]*breaker),
 	}
+}
+
+// breakerFor returns the endpoint's breaker, creating it on first use.
+func (c *Client) breakerFor(key string) *breaker {
+	c.brMu.Lock()
+	defer c.brMu.Unlock()
+	b := c.breakers[key]
+	if b == nil {
+		b = &breaker{}
+		c.breakers[key] = b
+	}
+	return b
 }
 
 // remoteError reconstitutes a sentinel error from an HTTP status so
@@ -142,8 +253,10 @@ func retryableStatus(code int) bool {
 	return false
 }
 
-// backoff computes the jittered exponential delay before retry number n
-// (0-based), bounded by MaxDelay; retryAfter, when positive, wins.
+// backoff computes the delay before retry number n (0-based) with full
+// jitter: uniform in [0, BaseDelay·2ⁿ] capped at MaxDelay, so a burst of
+// clients shedded together (429/503) decorrelates instead of retrying in
+// lockstep. A Retry-After header, when present, wins (capped the same).
 func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 	if retryAfter > 0 {
 		if retryAfter > c.opts.MaxDelay {
@@ -156,7 +269,7 @@ func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 		d = c.opts.MaxDelay
 	}
 	c.rngMu.Lock()
-	jitter := 0.5 + c.rng.Float64()
+	jitter := c.rng.Float64()
 	c.rngMu.Unlock()
 	return time.Duration(float64(d) * jitter)
 }
@@ -164,10 +277,27 @@ func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 // doCtx performs one API call with retries. Only transport failures and
 // retryable statuses re-attempt; application errors (4xx, 500) surface
 // immediately. The body is replayed from the byte slice on each attempt.
+// Retries stop once MaxRetryTime would be exceeded, and with a breaker
+// configured each attempt is gated by the endpoint's circuit.
 func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var br *breaker
+	if c.opts.BreakerThreshold > 0 {
+		br = c.breakerFor(endpointKey(method, path))
+	}
+	start := time.Now()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		out, retryAfter, err, retryable := c.attempt(ctx, method, path, body)
+		if br != nil && !br.allow(c.opts.BreakerCooldown) {
+			return nil, fmt.Errorf("%w: %s %s", ErrCircuitOpen, method, path)
+		}
+		out, status, retryAfter, err, retryable := c.attempt(ctx, method, path, body)
+		if br != nil {
+			// The breaker trips on server-health signals — transport
+			// failures, overload sheds, 5xx — not on application errors
+			// (a 404 means the server is fine).
+			failure := err != nil && (status == 0 || status >= 500 || status == http.StatusTooManyRequests)
+			br.record(!failure, c.opts.BreakerThreshold)
+		}
 		if err == nil {
 			return out, nil
 		}
@@ -175,22 +305,28 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([
 		if !retryable || attempt >= c.opts.MaxRetries {
 			return nil, lastErr
 		}
+		delay := c.backoff(attempt, retryAfter)
+		if time.Since(start)+delay > c.opts.MaxRetryTime {
+			return nil, lastErr
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(c.backoff(attempt, retryAfter)):
+		case <-time.After(delay):
 		}
 	}
 }
 
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (out []byte, retryAfter time.Duration, err error, retryable bool) {
+// attempt performs one HTTP round trip. status is 0 for transport-level
+// failures (no response reached the client).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (out []byte, status int, retryAfter time.Duration, err error, retryable bool) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return nil, 0, err, false
+		return nil, 0, 0, err, false
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
@@ -200,22 +336,22 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		// Transport-level failure (refused, reset, timeout): retryable
 		// unless the context itself is done.
 		if ctx.Err() != nil {
-			return nil, 0, ctx.Err(), false
+			return nil, 0, 0, ctx.Err(), false
 		}
-		return nil, 0, err, true
+		return nil, 0, 0, err, true
 	}
 	defer resp.Body.Close()
 	out, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, 0, err, true
+		return nil, 0, 0, err, true
 	}
 	if resp.StatusCode >= 400 {
 		if secs, perr := strconv.Atoi(resp.Header.Get("Retry-After")); perr == nil && secs > 0 {
 			retryAfter = time.Duration(secs) * time.Second
 		}
-		return nil, retryAfter, remoteError(resp.StatusCode, string(out)), retryableStatus(resp.StatusCode)
+		return nil, resp.StatusCode, retryAfter, remoteError(resp.StatusCode, string(out)), retryableStatus(resp.StatusCode)
 	}
-	return out, 0, nil, false
+	return out, resp.StatusCode, 0, nil, false
 }
 
 func (c *Client) do(method, path string, body []byte) ([]byte, error) {
@@ -318,6 +454,30 @@ func (c *Client) FailDisk(id int) error {
 // FailDiskCtx is FailDisk bounded by ctx.
 func (c *Client) FailDiskCtx(ctx context.Context, id int) error {
 	_, err := c.doCtx(ctx, http.MethodPost, fmt.Sprintf("/v1/disks/%d/fail", id), nil)
+	return err
+}
+
+// Quarantine marks disk id quarantined on the server: reads reconstruct
+// around it while writes continue to land on it.
+func (c *Client) Quarantine(id int) error {
+	return c.QuarantineCtx(context.Background(), id)
+}
+
+// QuarantineCtx is Quarantine bounded by ctx.
+func (c *Client) QuarantineCtx(ctx context.Context, id int) error {
+	_, err := c.doCtx(ctx, http.MethodPost, fmt.Sprintf("/v1/disks/%d/quarantine", id), nil)
+	return err
+}
+
+// Release lifts a quarantine on disk id. Releasing a disk that is not
+// quarantined is a no-op.
+func (c *Client) Release(id int) error {
+	return c.ReleaseCtx(context.Background(), id)
+}
+
+// ReleaseCtx is Release bounded by ctx.
+func (c *Client) ReleaseCtx(ctx context.Context, id int) error {
+	_, err := c.doCtx(ctx, http.MethodPost, fmt.Sprintf("/v1/disks/%d/release", id), nil)
 	return err
 }
 

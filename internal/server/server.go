@@ -4,6 +4,8 @@
 //	PUT  /v1/strips/{addr}     store one data strip (binary body)
 //	GET  /v1/strips/{addr}     fetch one data strip (binary)
 //	POST /v1/disks/{id}/fail   inject a disk failure (idempotent)
+//	POST /v1/disks/{id}/quarantine  quarantine a slow disk (reads avoid it)
+//	POST /v1/disks/{id}/release     lift a quarantine
 //	POST /v1/rebuild           start a background rebuild (?wait=1 blocks)
 //	POST /v1/scrub             drive an incremental scrub pass to completion
 //	POST /v1/spares            register hot spares (?count=N, default 1)
@@ -30,6 +32,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"github.com/oiraid/oiraid/internal/engine"
@@ -52,10 +55,11 @@ type Options struct {
 
 // Server serves one engine over HTTP.
 type Server struct {
-	eng  *engine.Engine
-	opts Options
-	mux  *http.ServeMux
-	hs   *http.Server
+	eng    *engine.Engine
+	opts   Options
+	mux    *http.ServeMux
+	hs     *http.Server
+	panics atomic.Int64 // handler panics converted to 500s
 }
 
 // New builds a server over the engine.
@@ -70,6 +74,8 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("PUT /v1/strips/{addr}", s.putStrip)
 	s.mux.HandleFunc("GET /v1/strips/{addr}", s.getStrip)
 	s.mux.HandleFunc("POST /v1/disks/{id}/fail", s.failDisk)
+	s.mux.HandleFunc("POST /v1/disks/{id}/quarantine", s.quarantineDisk)
+	s.mux.HandleFunc("POST /v1/disks/{id}/release", s.releaseDisk)
 	s.mux.HandleFunc("POST /v1/rebuild", s.rebuild)
 	s.mux.HandleFunc("POST /v1/scrub", s.scrub)
 	s.mux.HandleFunc("POST /v1/fsck", s.fsck)
@@ -82,9 +88,33 @@ func New(eng *engine.Engine, opts Options) *Server {
 	return s
 }
 
-// Handler returns the routed handler with the per-request timeout applied.
+// Handler returns the routed handler with panic recovery and the
+// per-request timeout applied.
 func (s *Server) Handler() http.Handler {
-	return http.TimeoutHandler(s.mux, s.opts.RequestTimeout, "request timed out\n")
+	return http.TimeoutHandler(s.recoverPanics(s.mux), s.opts.RequestTimeout, "request timed out\n")
+}
+
+// recoverPanics converts a handler panic into a 500 and a counter bump
+// instead of a crashed daemon: one poisoned request must not take the
+// array offline. http.ErrAbortHandler passes through — it is the
+// sanctioned way to abort a response, not a bug.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.panics.Add(1)
+			// Best-effort: if the handler already wrote, this is a no-op
+			// on the status line and the client sees a torn body.
+			http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Serve accepts connections on l until Shutdown. It always returns a
@@ -219,6 +249,40 @@ func (s *Server) failDisk(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+func (s *Server) diskID(r *http.Request) (int, error) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		return 0, fmt.Errorf("%w: bad disk id %q", store.ErrNoSuchDisk, r.PathValue("id"))
+	}
+	return id, nil
+}
+
+func (s *Server) quarantineDisk(w http.ResponseWriter, r *http.Request) {
+	id, err := s.diskID(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if err := s.eng.QuarantineDisk(id); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) releaseDisk(w http.ResponseWriter, r *http.Request) {
+	id, err := s.diskID(r)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if err := s.eng.ReleaseDisk(id); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) rebuild(w http.ResponseWriter, r *http.Request) {
 	if err := s.eng.StartRebuild(s.opts.RebuildBatch); err != nil {
 		fail(w, err)
@@ -330,6 +394,15 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"oiraid_engine_scrub_batches_total", st.ScrubBatches},
 		{"oiraid_engine_scrub_passes_total", st.ScrubPasses},
 		{"oiraid_engine_scrub_bad_stripes_total", st.ScrubBadStripes},
+		{"oiraid_engine_hedge_fired_total", st.HedgeFired},
+		{"oiraid_engine_hedge_won_total", st.HedgeWon},
+		{"oiraid_engine_hedge_wasted_total", st.HedgeWasted},
+		{"oiraid_engine_hedge_shed_total", st.HedgeShed},
+		{"oiraid_engine_quarantined_reads_total", st.QuarantinedReads},
+		{"oiraid_engine_quarantines_total", st.Quarantines},
+		{"oiraid_engine_quarantine_releases_total", st.QuarantineReleases},
+		{"oiraid_engine_quarantine_escalations_total", st.QuarantineEscalations},
+		{"oiraid_server_panics_total", s.panics.Load()},
 	} {
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)
 	}
@@ -340,5 +413,6 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "oiraid_disk_errors_total{disk=\"%d\"} %d\n", d.Disk, d.Errors)
 		fmt.Fprintf(w, "oiraid_disk_corrupt_reads_total{disk=\"%d\"} %d\n", d.Disk, d.CorruptReads)
 		fmt.Fprintf(w, "oiraid_disk_slow_ops_total{disk=\"%d\"} %d\n", d.Disk, d.SlowOps)
+		fmt.Fprintf(w, "oiraid_disk_p99_latency_us{disk=\"%d\"} %g\n", d.Disk, d.P99LatencyUs)
 	}
 }

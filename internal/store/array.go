@@ -25,12 +25,16 @@ type IOStats struct {
 	// CorruptStrips counts checksum mismatches observed on the read path
 	// (each is an ErrCorrupt that triggered reconstruction).
 	CorruptStrips int64
+	// AvoidedReads counts reads served by reconstruction because the
+	// strip's disk was read-avoided (quarantined as slow, not failed).
+	AvoidedReads int64
 }
 
 // ioCounters is the lock-free accumulator behind IOStats, so concurrent
 // readers (which hold only the read lock) can update the counters.
 type ioCounters struct {
 	readOps, writeOps, degradedReads, readRepairs, corruptStrips atomic.Int64
+	avoidedReads                                                 atomic.Int64
 }
 
 func (c *ioCounters) snapshot() IOStats {
@@ -40,6 +44,7 @@ func (c *ioCounters) snapshot() IOStats {
 		DegradedReads: c.degradedReads.Load(),
 		ReadRepairs:   c.readRepairs.Load(),
 		CorruptStrips: c.corruptStrips.Load(),
+		AvoidedReads:  c.avoidedReads.Load(),
 	}
 }
 
@@ -49,6 +54,7 @@ func (c *ioCounters) reset() {
 	c.degradedReads.Store(0)
 	c.readRepairs.Store(0)
 	c.corruptStrips.Store(0)
+	c.avoidedReads.Store(0)
 }
 
 // Array is a byte-accurate RAID array over strip devices, laid out by any
@@ -108,6 +114,14 @@ type Array struct {
 	// pass completes, so background scrubbing releases the array between
 	// slices instead of holding the lock for a whole-array scan.
 	scrubCursor int64
+
+	// readAvoid marks disks whose reads should be served by parity
+	// reconstruction when a decode path around them exists — the
+	// quarantine state for slow-but-alive disks. Writes still land on an
+	// avoided disk (its content stays current, so leaving quarantine
+	// needs no rebuild). Nil until the first SetReadAvoid; written under
+	// mu, read under at least the read lock.
+	readAvoid []bool
 
 	stats ioCounters
 }
@@ -284,14 +298,63 @@ func (a *Array) stripAlive(d int, cycle int64) bool {
 	return !a.failed[d] || (a.replaced[d] != nil && cycle < a.rebuiltCycles)
 }
 
+// avoided reports whether disk d is read-avoided (quarantined).
+func (a *Array) avoided(d int) bool {
+	return a.readAvoid != nil && a.readAvoid[d]
+}
+
+// SetReadAvoid marks disk d read-avoided (avoid true) or clears the mark.
+// While avoided, reads of the disk's strips are served by parity
+// reconstruction whenever a decode path around the disk exists, falling
+// back to a direct read otherwise (slow beats unavailable); writes are
+// unaffected. This is the data-plane half of slow-disk quarantine.
+func (a *Array) SetReadAvoid(d int, avoid bool) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d < 0 || d >= len(a.devs) {
+		return fmt.Errorf("%w: %d", ErrNoSuchDisk, d)
+	}
+	if a.readAvoid == nil {
+		if !avoid {
+			return nil
+		}
+		a.readAvoid = make([]bool, len(a.devs))
+	}
+	a.readAvoid[d] = avoid
+	return nil
+}
+
+// ReadAvoided returns the currently read-avoided disk ids.
+func (a *Array) ReadAvoided() []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	var out []int
+	for d := range a.readAvoid {
+		if a.readAvoid[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // readStrip reads one physical strip, reconstructing if the disk is
-// failed. A checksum failure (latent sector error from a
-// ChecksummedDevice) is healed in place: the strip is reconstructed from
-// parity and rewritten.
+// failed. A read-avoided (quarantined) disk is bypassed the same way when
+// a decode path around it exists. A checksum failure (latent sector error
+// from a ChecksummedDevice) is healed in place: the strip is
+// reconstructed from parity and rewritten.
 func (a *Array) readStrip(d int, devStrip int64, p []byte) error {
 	dev := a.liveDevice(d, devStrip)
 	if dev == nil {
 		return a.reconstructStrip(d, devStrip, p)
+	}
+	if a.avoided(d) && !a.failed[d] {
+		if err := a.readStripAvoiding(d, devStrip, p); err == nil {
+			a.stats.avoidedReads.Add(1)
+			return nil
+		}
+		// No decode path around the quarantined disk (another disk failed
+		// or also avoided in every shared stripe); fall through to the
+		// direct read.
 	}
 	a.stats.readOps.Add(1)
 	err := dev.ReadStrip(devStrip, p)
@@ -321,21 +384,54 @@ func (a *Array) reconstructStrip(d int, devStrip int64, p []byte) error {
 // could otherwise chase a (pathological) cycle of mutually corrupt strips.
 const maxHealDepth = 3
 
+// errNoDecodePath is the internal verdict of decodeVia when no single
+// live stripe can reconstruct the target under the given predicate.
+var errNoDecodePath = errors.New("store: no single-stripe decode path")
+
 func (a *Array) reconstructStripDepth(d int, devStrip int64, p []byte, depth int) error {
 	a.stats.degradedReads.Add(1)
 	slots := int64(a.an.SlotsPerDisk())
 	cycle, slot := devStrip/slots, int(devStrip%slots)
 	target := layout.Strip{Disk: d, Slot: slot}
 	alive := func(disk int) bool { return a.stripAlive(disk, cycle) }
+	err := a.decodeVia(target, cycle, alive, p, depth)
+	if errors.Is(err, errNoDecodePath) {
+		return a.reconstructDeep(cycle, target, p)
+	}
+	return err
+}
+
+// readStripAvoiding reconstructs strip (d, devStrip) through a single
+// stripe whose surviving members all sit on disks that are neither
+// failed nor read-avoided — the read path around a quarantined disk.
+// Unlike failure reconstruction it never falls back to the deep
+// multi-phase path: the disk is alive, so the caller direct-reads it
+// instead.
+func (a *Array) readStripAvoiding(d int, devStrip int64, p []byte) error {
+	slots := int64(a.an.SlotsPerDisk())
+	cycle, slot := devStrip/slots, int(devStrip%slots)
+	target := layout.Strip{Disk: d, Slot: slot}
+	alive := func(disk int) bool {
+		return disk != d && a.stripAlive(disk, cycle) && !a.avoided(disk)
+	}
+	return a.decodeVia(target, cycle, alive, p, 0)
+}
+
+// decodeVia reconstructs target into p through one stripe whose members
+// satisfy alive, healing corrupt sources in place along the way. It
+// returns errNoDecodePath when no single stripe qualifies.
+func (a *Array) decodeVia(target layout.Strip, cycle int64, alive func(disk int) bool, p []byte, depth int) error {
+	slots := int64(a.an.SlotsPerDisk())
+	d := target.Disk
 	info, ok := a.an.DecodePath(target, alive)
 	if !ok {
-		return a.reconstructDeep(cycle, target, p)
+		return errNoDecodePath
 	}
 	stripe := a.sch.Stripes()[info.Stripe]
 	shards := erasure.AllocShards(stripe.Data, stripe.Parity(), a.stripBytes)
 	present := make([]bool, len(info.Members))
 	for mi, st := range info.Members {
-		if st.Disk == d || !a.stripAlive(st.Disk, cycle) {
+		if st.Disk == d || !alive(st.Disk) {
 			continue
 		}
 		idx := cycle*slots + int64(st.Slot)
@@ -363,10 +459,52 @@ func (a *Array) reconstructStripDepth(d int, devStrip int64, p []byte, depth int
 	}
 	code := a.codes[[2]int{stripe.Data, stripe.Parity()}]
 	if err := code.Reconstruct(shards, present); err != nil {
-		return fmt.Errorf("store: reconstruct (%d,%d): %w", d, slot, err)
+		return fmt.Errorf("store: reconstruct (%d,%d): %w", d, target.Slot, err)
 	}
 	copy(p, shards[info.Target])
 	return nil
+}
+
+// DataStripDisk returns the disk holding logical data strip dataIdx — the
+// disk whose latency profile decides a hedged read's timer.
+func (a *Array) DataStripDisk(dataIdx int64) int {
+	d, _ := a.locate(dataIdx)
+	return d
+}
+
+// ReconstructDataStrip reads logical data strip dataIdx without touching
+// the disk that stores it, decoding from the surviving members of one of
+// its stripes — the racing branch of a hedged read. It fails with
+// errNoDecodePath semantics (wrapped ErrDiskFaulty) when no stripe can be
+// decoded around the disk.
+func (a *Array) ReconstructDataStrip(dataIdx int64, p []byte) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	d, devStrip := a.locate(dataIdx)
+	if err := a.readStripAvoiding(d, devStrip, p); err != nil {
+		if errors.Is(err, errNoDecodePath) {
+			return fmt.Errorf("%w: no decode path around disk %d", ErrDiskFaulty, d)
+		}
+		return err
+	}
+	return nil
+}
+
+// ProbeDiskStrip reads one strip directly from disk d's device, bypassing
+// read-avoidance and reconstruction — the quarantine manager's recovery
+// probe. It fails with ErrDiskFaulty when the strip has no live device.
+func (a *Array) ProbeDiskStrip(d int, devStrip int64, p []byte) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if d < 0 || d >= len(a.devs) {
+		return fmt.Errorf("%w: %d", ErrNoSuchDisk, d)
+	}
+	dev := a.liveDevice(d, devStrip)
+	if dev == nil {
+		return fmt.Errorf("%w: disk %d", ErrDiskFaulty, d)
+	}
+	a.stats.readOps.Add(1)
+	return dev.ReadStrip(devStrip, p)
 }
 
 // reconstructDeep recovers the target strip by executing the multi-phase

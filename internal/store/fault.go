@@ -46,6 +46,15 @@ type FaultConfig struct {
 	SlowRate float64
 	// SlowBy is the injected latency for slow operations.
 	SlowBy time.Duration
+	// SlowBurstPeriod/SlowBurstLen define a deterministic slow *burst*
+	// schedule keyed to the operation counter instead of the rng: every
+	// operation whose index modulo SlowBurstPeriod falls below
+	// SlowBurstLen sleeps SlowBy. Unlike SlowRate, bursts replay
+	// identically for the same operation sequence regardless of wall
+	// clock, which is what hedge/quarantine tests need. Both must be
+	// positive for bursts to fire.
+	SlowBurstPeriod int64
+	SlowBurstLen    int64
 	// FailAfterOps, when positive, turns the device permanently failed
 	// once that many operations have been admitted: every later operation
 	// returns ErrPermanent.
@@ -136,6 +145,17 @@ func (f *FaultDevice) SetSlow(rate float64, delay time.Duration) {
 	f.cfg.SlowBy = delay
 }
 
+// SetSlowBurst adjusts the deterministic slow-burst schedule at runtime:
+// operations whose index modulo period falls below length sleep delay.
+// period <= 0 or length <= 0 disables bursts.
+func (f *FaultDevice) SetSlowBurst(period, length int64, delay time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.SlowBurstPeriod = period
+	f.cfg.SlowBurstLen = length
+	f.cfg.SlowBy = delay
+}
+
 // decision is what admit resolves an operation to, drawn under the lock so
 // the stream is deterministic; the fault itself executes outside the lock.
 type decision struct {
@@ -157,7 +177,14 @@ func (f *FaultDevice) admit(idx int64, write bool) decision {
 		return decision{err: fmt.Errorf("%w: strip %d", ErrPermanent, idx)}
 	}
 	var d decision
-	if f.cfg.SlowRate > 0 && f.rng.Float64() < f.cfg.SlowRate {
+	if f.cfg.SlowBurstPeriod > 0 && f.cfg.SlowBurstLen > 0 &&
+		(f.stats.Ops-1)%f.cfg.SlowBurstPeriod < f.cfg.SlowBurstLen {
+		f.stats.Slow++
+		d.sleep = f.cfg.SlowBy
+	}
+	// The rng draw below stays in the stream even when a burst already
+	// slowed the op, so enabling bursts never shifts the fault schedule.
+	if f.cfg.SlowRate > 0 && f.rng.Float64() < f.cfg.SlowRate && d.sleep == 0 {
 		f.stats.Slow++
 		d.sleep = f.cfg.SlowBy
 	}

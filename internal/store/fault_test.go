@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -182,5 +183,98 @@ func TestRetryDeadline(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
 		t.Fatalf("deadline not honoured: %v", elapsed)
+	}
+}
+
+// TestFaultSlowBurstSchedule: the burst schedule is keyed to the op
+// counter — exactly the first SlowBurstLen ops of every SlowBurstPeriod
+// window are slow, replaying identically run after run.
+func TestFaultSlowBurstSchedule(t *testing.T) {
+	f := newFaultMem(t, FaultConfig{
+		SlowBurstPeriod: 10,
+		SlowBurstLen:    3,
+		SlowBy:          time.Microsecond,
+	})
+	p := make([]byte, 64)
+	for i := 0; i < 100; i++ {
+		if err := f.ReadStrip(int64(i%8), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Stats(); st.Slow != 30 {
+		t.Fatalf("100 ops with 3-in-10 bursts injected %d slow ops, want 30", st.Slow)
+	}
+	// Disabling the burst stops the injection.
+	f.SetSlowBurst(0, 0, 0)
+	for i := 0; i < 20; i++ {
+		if err := f.ReadStrip(int64(i%8), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := f.Stats(); st.Slow != 30 {
+		t.Fatalf("disabled burst still injected: %d slow ops", st.Slow)
+	}
+}
+
+// TestFaultSlowBurstKeepsFaultSchedule: enabling bursts must not shift
+// the rng-driven fault stream — the same seed draws the same transient
+// schedule with and without bursts.
+func TestFaultSlowBurstKeepsFaultSchedule(t *testing.T) {
+	run := func(burst bool) []bool {
+		f := newFaultMem(t, FaultConfig{Seed: 42, TransientRate: 0.3})
+		if burst {
+			f.SetSlowBurst(5, 2, time.Microsecond)
+		}
+		p := make([]byte, 64)
+		out := make([]bool, 80)
+		for i := range out {
+			out[i] = f.ReadStrip(int64(i%8), p) != nil
+		}
+		return out
+	}
+	plain, bursty := run(false), run(true)
+	for i := range plain {
+		if plain[i] != bursty[i] {
+			t.Fatalf("burst shifted the fault schedule at op %d", i)
+		}
+	}
+}
+
+// TestFaultSetSlowConcurrent: SetSlow/SetSlowBurst racing live I/O is
+// safe (exercised under -race).
+func TestFaultSetSlowConcurrent(t *testing.T) {
+	f := newFaultMem(t, FaultConfig{Seed: 7})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := make([]byte, 64)
+			for i := 0; i < 300; i++ {
+				idx := int64((w + i) % 8)
+				if i%2 == 0 {
+					_ = f.ReadStrip(idx, p)
+				} else {
+					_ = f.WriteStrip(idx, p)
+				}
+			}
+		}(w)
+	}
+	go func() { wg.Wait(); close(done) }()
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			if st := f.Stats(); st.Ops != 4*300 {
+				t.Fatalf("workload ran %d ops, want %d", st.Ops, 4*300)
+			}
+			return
+		default:
+		}
+		f.SetSlow(0.5, time.Microsecond)
+		f.SetSlowBurst(4, 1, time.Microsecond)
+		f.SetSlow(0, 0)
+		f.SetSlowBurst(0, 0, 0)
+		_ = f.Stats()
 	}
 }

@@ -86,7 +86,7 @@ func (m *MemIntentLog) Close() error { return nil }
 type FileIntentLog struct {
 	mu       sync.Mutex
 	b        Blob
-	size     int64 // append offset
+	size     int64         // append offset
 	dirty    map[int64]int // reference counts (nested writes to one cycle)
 	appended int
 }

@@ -89,9 +89,9 @@ func TestSuperblockDecodeRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 	cases := map[string]func([]byte){
-		"short":      func(p []byte) {}, // truncated below
-		"bad magic":  func(p []byte) { p[0] ^= 0xff },
-		"bad crc":    func(p []byte) { p[40] ^= 0x01 },
+		"short":     func(p []byte) {}, // truncated below
+		"bad magic": func(p []byte) { p[0] ^= 0xff },
+		"bad crc":   func(p []byte) { p[40] ^= 0x01 },
 		"zero disks": func(p []byte) {
 			// Zero the field and fix the CRC so the bounds check, not the
 			// checksum, rejects it.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos crash tail fuzz bench clean
+.PHONY: build test race vet check chaos qos crash tail fuzz bench object clean
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,11 @@ qos:
 
 # Crash-consistency suite under the race detector: the power-fail sweep
 # (hundreds of seeded crash points, remount, oracle verify), durable
-# superblock/journal/mount semantics, and two-layer fsck — local, engine,
-# HTTP, and CLI levels.
+# superblock/journal/mount semantics, two-layer fsck, and the object
+# plane's all-or-nothing PUT sweep — local, engine, HTTP, and CLI levels.
 crash:
 	$(GO) test -race -count=1 -run 'Crash|Mount|Superblock|Journal|Fsck|Durable|IntentLog' \
-		./internal/store/... ./internal/engine/... ./internal/server/... ./cmd/...
+		./internal/store/... ./internal/engine/... ./internal/object/... ./internal/server/... ./cmd/...
 
 # Tail-tolerance suite under the race detector: hedged reconstruct-reads
 # (p99 bound with a slow disk, no goroutine leaks), slow-disk quarantine
@@ -54,8 +54,19 @@ fuzz:
 
 check: build vet test
 
+# Object-plane suite under the race detector: store unit tests, the
+# crash sweep, and the HTTP lifecycle/retry-safety end-to-end tests.
+object:
+	$(GO) test -race -count=1 ./internal/object/...
+	$(GO) test -race -count=1 -run 'Object|PutRetry' ./internal/server/...
+
+# Machine-readable benchmark report: the erasure/rebuild micro- and
+# experiment benchmarks plus the object PUT/GET path (MB/s, p50/p99
+# latency, allocs/op) land in BENCH_object.json via cmd/benchjson.
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	( $(GO) test -bench . -benchtime 1x -benchmem -run '^$$' . && \
+	  $(GO) test -bench Object -benchtime 50x -benchmem -run '^$$' ./internal/object/ ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_object.json
 
 clean:
 	$(GO) clean ./...

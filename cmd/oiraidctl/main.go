@@ -69,6 +69,12 @@ func main() {
 		count  = fs.Int("count", 1, "spares to register (spare command)")
 		repair = fs.Bool("repair", false, "fsck: reconstruct damaged strips from redundancy")
 
+		// Object-plane flags (mb/put/get/rm/ls/stat).
+		bucket  = fs.String("bucket", "", "object commands: bucket name")
+		key     = fs.String("key", "", "object commands: object key")
+		prefix  = fs.String("prefix", "", "ls: only keys with this prefix")
+		maxKeys = fs.Int("max", 0, "ls: page size (0: server default)")
+
 		// qos command knobs; -1 leaves a knob unchanged on the server.
 		qosRate   = fs.Float64("rebuild-rate", -1, "qos: rebuild batches/sec when idle (0: unpaced, -1: unchanged)")
 		qosMin    = fs.Float64("min-rebuild-rate", -1, "qos: rebuild pacing floor under load (-1: unchanged)")
@@ -105,8 +111,21 @@ func main() {
 		// request (and its retry loop) instead of orphaning it.
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
-		err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, *repair, qu, os.Stdin, os.Stdout)
+		if isObjectCmd(cmd) {
+			err = remoteObjectCmd(ctx, server.NewClient(*remote), cmd, *bucket, *key, *prefix, *maxKeys, os.Stdin, os.Stdout)
+		} else {
+			err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, *repair, qu, os.Stdin, os.Stdout)
+		}
 		if err != nil {
+			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if isObjectCmd(cmd) {
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := localObjectCmd(ctx, *dir, cmd, *bucket, *key, *prefix, *maxKeys, os.Stdin, os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
 			os.Exit(1)
 		}
@@ -148,12 +167,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|fsck|plan|info|export|analyze|metrics|health|spare|qos|quarantine|release> [flags]
+	fmt.Fprintln(os.Stderr, `usage: oiraidctl <create|status|write|read|fail|rebuild|scrub|fsck|plan|info|export|analyze|metrics|health|spare|qos|quarantine|release|mb|put|get|rm|ls|stat> [flags]
 
   export  -disks N               write the layout as JSON to stdout
   analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
   fsck    [-repair]              verify durable checksums and both parity layers;
                                  -repair reconstructs damaged strips from redundancy
+
+Object commands (work with -remote URL or a durable -dir array):
+  mb   -bucket b                 create a bucket
+  put  -bucket b -key k < file   store an object (stdin)
+  get  -bucket b -key k > file   fetch an object (stdout)
+  stat -bucket b -key k          print object metadata as JSON
+  rm   -bucket b [-key k]        remove an object, or an empty bucket
+  ls   [-bucket b] [-prefix p]   list buckets, or a bucket's objects
 
 With -remote URL the status, write, read, fail, rebuild, scrub, fsck,
 metrics, health, spare, qos, quarantine, and release commands run against

@@ -27,6 +27,7 @@ import (
 
 	"github.com/oiraid/oiraid"
 	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/object"
 	"github.com/oiraid/oiraid/internal/server"
 	"github.com/oiraid/oiraid/internal/store"
 )
@@ -135,10 +136,19 @@ func buildServer(cfg config) (*server.Server, error) {
 		// as image files a restart can reopen.
 		eng.AddSpares(cfg.spares)
 	}
+	// The bucket/object plane mounts over the engine: with -dir its
+	// metadata rides the array's durable journal (buckets and objects
+	// survive restarts); memory-backed arrays get a volatile journal.
+	objs, err := object.New(eng, object.Options{})
+	if err != nil {
+		eng.Close()
+		return nil, fmt.Errorf("object plane: %w", err)
+	}
 	return server.New(eng, server.Options{
 		RequestTimeout: cfg.timeout,
 		RebuildBatch:   cfg.batch,
 		OpTimeout:      cfg.opTimeout,
+		Objects:        objs,
 	}), nil
 }
 

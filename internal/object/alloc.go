@@ -1,0 +1,127 @@
+package object
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// allocator is the in-memory free-strip bitmap over the engine's
+// logical data space. It has no durable state of its own: the bitmap
+// is a pure function of the journal's committed object metadata,
+// part records, and allocation intents, and is rebuilt from them at
+// mount. Alloc/free therefore cannot leak across a crash — a strip is
+// only ever allocated because some journalled record references it.
+type allocator struct {
+	words  []uint64
+	strips int64
+	free   int64
+	cursor int64 // next-fit scan start
+}
+
+// run is one contiguous range of allocated strips.
+type run struct {
+	start, n int64
+}
+
+func newAllocator(strips int64) *allocator {
+	return &allocator{
+		words:  make([]uint64, (strips+63)/64),
+		strips: strips,
+		free:   strips,
+	}
+}
+
+func (a *allocator) allocated(i int64) bool {
+	return a.words[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+func (a *allocator) set(i int64)   { a.words[i/64] |= 1 << (uint(i) % 64) }
+func (a *allocator) clear(i int64) { a.words[i/64] &^= 1 << (uint(i) % 64) }
+
+// alloc reserves n strips, preferring long contiguous runs via a
+// next-fit scan from the rotating cursor. It either reserves exactly n
+// strips (returned as runs, longest-first in scan order) or fails with
+// ErrNoSpace leaving the bitmap untouched.
+func (a *allocator) alloc(n int64) ([]run, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n > a.free {
+		return nil, fmt.Errorf("%w: need %d strips, %d free of %d", ErrNoSpace, n, a.free, a.strips)
+	}
+	var runs []run
+	remaining := n
+	pos := a.cursor
+	for scanned := int64(0); scanned < a.strips && remaining > 0; {
+		if pos >= a.strips {
+			pos = 0
+		}
+		if a.allocated(pos) {
+			pos++
+			scanned++
+			continue
+		}
+		start := pos
+		for pos < a.strips && pos-start < remaining && !a.allocated(pos) {
+			pos++
+		}
+		length := pos - start
+		for i := start; i < start+length; i++ {
+			a.set(i)
+		}
+		runs = append(runs, run{start: start, n: length})
+		remaining -= length
+		scanned += length
+	}
+	if remaining > 0 {
+		// free counter said the strips exist; the wrap-around scan can
+		// only miss them if the counter is inconsistent with the bitmap.
+		for _, r := range runs {
+			for i := r.start; i < r.start+r.n; i++ {
+				a.clear(i)
+			}
+		}
+		return nil, fmt.Errorf("%w: bitmap inconsistent with free counter", ErrMetaCorrupt)
+	}
+	a.free -= n
+	a.cursor = pos
+	return runs, nil
+}
+
+// mark reserves an exact run during mount replay; a strip already set
+// means two journalled records claim it — hard corruption.
+func (a *allocator) mark(start, n int64) error {
+	if start < 0 || n <= 0 || start+n > a.strips {
+		return fmt.Errorf("%w: extent [%d,+%d) outside %d strips", ErrMetaCorrupt, start, n, a.strips)
+	}
+	for i := start; i < start+n; i++ {
+		if a.allocated(i) {
+			return fmt.Errorf("%w: strip %d double-allocated", ErrMetaCorrupt, i)
+		}
+		a.set(i)
+	}
+	a.free -= n
+	return nil
+}
+
+// release returns a run to the free pool.
+func (a *allocator) release(start, n int64) {
+	for i := start; i < start+n; i++ {
+		if a.allocated(i) {
+			a.clear(i)
+			a.free++
+		}
+	}
+}
+
+// used returns the number of allocated strips.
+func (a *allocator) used() int64 { return a.strips - a.free }
+
+// popcount recounts allocated strips from the bitmap (fsck).
+func (a *allocator) popcount() int64 {
+	var total int64
+	for _, w := range a.words {
+		total += int64(bits.OnesCount64(w))
+	}
+	return total
+}

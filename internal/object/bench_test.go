@@ -1,0 +1,94 @@
+package object
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"sort"
+	"testing"
+	"time"
+)
+
+// benchStore builds a store with enough capacity for a 64 KiB working
+// object plus metadata headroom.
+func benchStore(b *testing.B) *Store {
+	b.Helper()
+	s, _ := newTestStore(b, 8)
+	if err := s.CreateBucket(context.Background(), "bench"); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// reportLatency attaches p50/p99 per-op latency to the benchmark result
+// alongside the ns/op mean, so BENCH_object.json captures tails.
+func reportLatency(b *testing.B, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(p(0.50), "p50-ms")
+	b.ReportMetric(p(0.99), "p99-ms")
+}
+
+// BenchmarkObjectPut measures the full staged-write-then-commit PUT
+// path: allocation, chunked data writes, checksums, journal commit.
+func BenchmarkObjectPut(b *testing.B) {
+	s := benchStore(b)
+	ctx := context.Background()
+	data := payload(1, 64<<10)
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := s.PutObject(ctx, "bench", "obj", bytes.NewReader(data), int64(len(data)), nil); err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}
+
+// BenchmarkObjectGet measures the streaming read path with per-extent
+// checksum verification.
+func BenchmarkObjectGet(b *testing.B) {
+	s := benchStore(b)
+	ctx := context.Background()
+	data := payload(2, 64<<10)
+	if _, err := s.PutObject(ctx, "bench", "obj", bytes.NewReader(data), int64(len(data)), nil); err != nil {
+		b.Fatal(err)
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := s.GetObject(ctx, "bench", "obj", io.Discard); err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}
+
+// BenchmarkObjectPutSmall measures metadata-dominated small PUTs (one
+// strip of data, journal commit per object).
+func BenchmarkObjectPutSmall(b *testing.B) {
+	s := benchStore(b)
+	ctx := context.Background()
+	data := payload(3, testStrip)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.PutObject(ctx, "bench", "small", bytes.NewReader(data), int64(len(data)), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+package object
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// objCrashRig is the object-plane power-fail harness: a full durable
+// array on crash-faulted media with the bucket/object store mounted on
+// top. The oracle records every acknowledged object PUT/DELETE; the op
+// cut mid-flight is remembered separately, because all-or-nothing is
+// exactly what the PUT protocol promises — after remount the object is
+// either fully present (bit-identical) or fully absent, and its strips
+// are either owned or free, never leaked.
+type objCrashRig struct {
+	t      *testing.T
+	ctl    *store.CrashController
+	devs   []*store.CrashDevice
+	sbs    []*store.CrashBlob
+	j0, j1 *store.CrashBlob
+	phase  string
+	// oracle maps object key -> content of the last acknowledged PUT
+	// (deleted keys are removed).
+	oracle map[string][]byte
+	// inflight is the op cut mid-flight: the key it targeted and the
+	// contents recovery may legitimately surface (nil entry = absent is
+	// also legitimate).
+	inflightKey  string
+	inflightWant [][]byte
+}
+
+const crashBucket = "crash-bucket"
+
+func newObjCrashRig(t *testing.T, seed int64) *objCrashRig {
+	t.Helper()
+	r := &objCrashRig{
+		t:      t,
+		ctl:    store.NewCrashController(seed),
+		phase:  "format",
+		oracle: map[string][]byte{},
+	}
+	an := newAnalyzer(t, 9)
+	strips := 2 * int64(an.SlotsPerDisk())
+	for i := 0; i < an.Disks(); i++ {
+		dev, err := store.NewCrashDevice(r.ctl, strips, testStrip)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.devs = append(r.devs, dev)
+		r.sbs = append(r.sbs, store.NewCrashBlob(r.ctl))
+	}
+	r.j0, r.j1 = store.NewCrashBlob(r.ctl), store.NewCrashBlob(r.ctl)
+	return r
+}
+
+func (r *objCrashRig) format() *store.Mount {
+	r.t.Helper()
+	devs := make([]store.Device, len(r.devs))
+	for i, d := range r.devs {
+		devs[i] = d
+	}
+	sbs := make([]store.Blob, len(r.sbs))
+	for i, b := range r.sbs {
+		sbs[i] = b
+	}
+	m, err := store.FormatArray(newAnalyzer(r.t, 9), devs, sbs, r.j0, r.j1)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return m
+}
+
+// workload drives buckets, simple PUTs, an overwrite, a delete, and a
+// multipart assembly through the object store, recording every
+// acknowledged state change. It returns on the first error — the
+// simulated power failure when the controller is armed.
+func (r *objCrashRig) workload(m *store.Mount) error {
+	eng, err := engine.New(m.Array, engine.Options{})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	s, err := New(eng, Options{ChunkBytes: 2 * testStrip})
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	put := func(key string, data []byte) error {
+		r.inflightKey, r.inflightWant = key, [][]byte{nil, data}
+		if old, ok := r.oracle[key]; ok {
+			r.inflightWant = append(r.inflightWant, old)
+		}
+		if _, err := s.PutObject(ctx, crashBucket, key, bytes.NewReader(data), int64(len(data)), nil); err != nil {
+			return err
+		}
+		r.oracle[key] = data
+		r.inflightKey = ""
+		return nil
+	}
+
+	r.phase = "bucket"
+	if err := s.CreateBucket(ctx, crashBucket); err != nil {
+		return err
+	}
+	r.phase = "put"
+	for i := 0; i < 6; i++ {
+		if err := put(fmt.Sprintf("obj/%02d", i), payload(int64(i+1), (i+1)*testStrip+i*37)); err != nil {
+			return err
+		}
+	}
+	r.phase = "overwrite"
+	if err := put("obj/02", payload(100, 2*testStrip+5)); err != nil {
+		return err
+	}
+	r.phase = "delete"
+	r.inflightKey, r.inflightWant = "obj/04", [][]byte{nil, r.oracle["obj/04"]}
+	if err := s.DeleteObject(ctx, crashBucket, "obj/04"); err != nil {
+		return err
+	}
+	delete(r.oracle, "obj/04")
+	r.inflightKey = ""
+
+	r.phase = "multipart"
+	p1 := payload(201, 3*testStrip+11)
+	p2 := payload(202, 2*testStrip)
+	assembled := append(append([]byte(nil), p1...), p2...)
+	r.inflightKey, r.inflightWant = "obj/big", [][]byte{nil, assembled}
+	id, err := s.CreateUpload(ctx, crashBucket, "obj/big", nil)
+	if err != nil {
+		return err
+	}
+	if _, err := s.UploadPart(ctx, crashBucket, "obj/big", id, 1, bytes.NewReader(p1), int64(len(p1))); err != nil {
+		return err
+	}
+	if _, err := s.UploadPart(ctx, crashBucket, "obj/big", id, 2, bytes.NewReader(p2), int64(len(p2))); err != nil {
+		return err
+	}
+	if _, err := s.CompleteUpload(ctx, crashBucket, "obj/big", id); err != nil {
+		return err
+	}
+	r.oracle["obj/big"] = assembled
+	r.inflightKey = ""
+
+	r.phase = "degraded"
+	if err := eng.FailDisk(1); err != nil {
+		return err
+	}
+	for i := 0; i < 3; i++ {
+		if err := put(fmt.Sprintf("deg/%02d", i), payload(int64(300+i), 2*testStrip+i)); err != nil {
+			return err
+		}
+	}
+	r.phase = "seal"
+	return eng.Close()
+}
+
+// recover remounts from the survivors, swaps fresh media into failed
+// slots, rebuilds, and mounts a fresh object store (running its
+// mount-time sweep).
+func (r *objCrashRig) recover() (*Store, *engine.Engine, error) {
+	r.t.Helper()
+	devs := make([]store.Device, len(r.devs))
+	for i, d := range r.devs {
+		m, err := d.Survivor()
+		if err != nil {
+			r.t.Fatal(err)
+		}
+		devs[i] = m
+	}
+	sbs := make([]store.Blob, len(r.sbs))
+	for i, b := range r.sbs {
+		sbs[i] = b.Survivor()
+	}
+	mnt, err := store.MountArray(newAnalyzer(r.t, 9), devs, sbs, r.j0.Survivor(), r.j1.Survivor())
+	if err != nil {
+		return nil, nil, fmt.Errorf("mount: %w", err)
+	}
+	for _, d := range mnt.Failed {
+		fresh, err := store.NewMemDevice(devs[d].Strips(), testStrip)
+		if err != nil {
+			r.t.Fatal(err)
+		}
+		if err := mnt.Array.ReplaceDisk(d, fresh); err != nil {
+			return nil, nil, fmt.Errorf("replace disk %d: %w", d, err)
+		}
+	}
+	if len(mnt.Failed) > 0 {
+		if err := mnt.Array.Rebuild(); err != nil {
+			return nil, nil, fmt.Errorf("rebuild: %w", err)
+		}
+	}
+	eng, err := engine.New(mnt.Array, engine.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := New(eng, Options{ChunkBytes: 2 * testStrip})
+	if err != nil {
+		eng.Close()
+		return nil, nil, fmt.Errorf("object mount: %w", err)
+	}
+	return s, eng, nil
+}
+
+// verify checks every acknowledged object bit-identical, the in-flight
+// op all-or-nothing, and the allocator leak-free.
+func (r *objCrashRig) verify(s *Store) error {
+	ctx := context.Background()
+	for key, want := range r.oracle {
+		if key == r.inflightKey {
+			continue // judged by the in-flight rule below
+		}
+		var buf bytes.Buffer
+		if _, err := s.GetObject(ctx, crashBucket, key, &buf); err != nil {
+			return fmt.Errorf("acked object %q: %w", key, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			return fmt.Errorf("acked object %q content mangled (%d vs %d bytes)", key, buf.Len(), len(want))
+		}
+	}
+	if r.inflightKey != "" {
+		var buf bytes.Buffer
+		_, err := s.GetObject(ctx, crashBucket, r.inflightKey, &buf)
+		ok := false
+		for _, want := range r.inflightWant {
+			if want == nil {
+				if errors.Is(err, ErrNoSuchObject) || errors.Is(err, ErrNoSuchBucket) {
+					ok = true
+				}
+				continue
+			}
+			if err == nil && bytes.Equal(buf.Bytes(), want) {
+				ok = true
+			}
+		}
+		if !ok {
+			return fmt.Errorf("in-flight object %q neither fully present nor absent (err=%v, %d bytes)",
+				r.inflightKey, err, buf.Len())
+		}
+	}
+	if rep := s.Fsck(); !rep.Clean {
+		return fmt.Errorf("allocator fsck dirty after recovery: %+v", rep)
+	}
+	return nil
+}
+
+// TestObjectCrashNoCrash sanity-checks the rig: a workload that never
+// loses power remounts with every object intact and no swept intents.
+func TestObjectCrashNoCrash(t *testing.T) {
+	r := newObjCrashRig(t, 1)
+	m := r.format()
+	if err := r.workload(m); err != nil {
+		t.Fatalf("disarmed workload failed in %s: %v", r.phase, err)
+	}
+	s, eng, err := r.recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := r.verify(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Swept() != 0 {
+		t.Errorf("clean run swept %d intents", s.Swept())
+	}
+}
+
+// TestObjectCrashSweep is the object-phase power-fail sweep: cut power
+// at every k-th persisting operation across bucket creation, PUTs, an
+// overwrite, a delete, a multipart assembly, and degraded-mode PUTs,
+// then remount and prove acked objects are intact, the in-flight op is
+// all-or-nothing, and no strip leaked.
+func TestObjectCrashSweep(t *testing.T) {
+	dry := newObjCrashRig(t, 0)
+	mDry := dry.format()
+	afterFormat := dry.ctl.Writes()
+	if err := dry.workload(mDry); err != nil {
+		t.Fatalf("dry run failed in %s: %v", dry.phase, err)
+	}
+	span := dry.ctl.Writes() - afterFormat
+	points := int64(100)
+	if testing.Short() {
+		points = 25
+	}
+	stride := span / points
+	if stride < 1 {
+		stride = 1
+	}
+
+	ran := 0
+	phases := map[string]int{}
+	for cut := int64(0); cut < span; cut += stride {
+		cut := cut
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			r := newObjCrashRig(t, cut)
+			m := r.format()
+			r.ctl.Arm(cut)
+			err := r.workload(m)
+			if err == nil {
+				t.Fatalf("cut %d inside span %d did not crash", cut, span)
+			}
+			if !r.ctl.Crashed() {
+				t.Fatalf("workload error without crash in %s: %v", r.phase, err)
+			}
+			phases[r.phase]++
+			s, eng, err := r.recover()
+			if err != nil {
+				t.Fatalf("crash in %s: recovery failed: %v", r.phase, err)
+			}
+			defer eng.Close()
+			if err := r.verify(s); err != nil {
+				t.Fatalf("crash in %s: %v", r.phase, err)
+			}
+		})
+		ran++
+	}
+	t.Logf("swept %d crash points over %d operations; crash phases: %v", ran, span, phases)
+	if len(phases) < 4 {
+		t.Errorf("crash points hit %d phases (%v), want >= 4", len(phases), phases)
+	}
+}

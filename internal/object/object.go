@@ -1,0 +1,57 @@
+// Package object implements the bucket/object plane of the array: a
+// user-shaped store mapping variable-size objects onto the engine's
+// logical strips, in the spirit of an erasure-backed object server
+// (buckets, keys, streaming PUT/GET, multipart uploads) layered over
+// the OI-RAID strip layer.
+//
+// Layout. Every object owns an extent list — runs of logical strips
+// handed out by a free-strip allocator — plus a metadata record (name,
+// size, timestamps, user metadata, whole-object CRC-32C and per-extent
+// checksums). Metadata and allocation state persist through the
+// array's existing metadata journal as key/value records, so the
+// object plane inherits the journal's double-buffered crash-safety and
+// compaction wholesale.
+//
+// Crash-safety. PUT is staged write-then-commit: an allocation intent
+// is journalled (fsync) before any data lands, the payload streams
+// into the allocated strips, and the object becomes visible in one
+// small critical region that journals the metadata record (fsync) and
+// retires the intent. Readers therefore never observe a partial
+// object, and a power cut mid-PUT leaves only an intent whose strips
+// are swept back into the free pool at mount — never leaked, never
+// double-allocated.
+package object
+
+import "errors"
+
+// Sentinel errors of the object plane. Callers branch with errors.Is;
+// the HTTP layer maps them onto statuses.
+var (
+	// ErrNoSuchBucket reports an operation on a bucket that does not exist.
+	ErrNoSuchBucket = errors.New("object: no such bucket")
+	// ErrBucketExists reports a create of a bucket that already exists.
+	ErrBucketExists = errors.New("object: bucket already exists")
+	// ErrBucketNotEmpty reports a delete of a bucket that still holds
+	// objects or active multipart uploads.
+	ErrBucketNotEmpty = errors.New("object: bucket not empty")
+	// ErrNoSuchObject reports a lookup of an object that does not exist.
+	ErrNoSuchObject = errors.New("object: no such object")
+	// ErrNoSuchUpload reports an unknown or already-completed multipart
+	// upload id.
+	ErrNoSuchUpload = errors.New("object: no such multipart upload")
+	// ErrBadName reports a bucket name or object key that fails validation.
+	ErrBadName = errors.New("object: invalid bucket or object name")
+	// ErrNoSpace reports an allocation that exceeds the free strip pool.
+	ErrNoSpace = errors.New("object: not enough free strips")
+	// ErrCorruptObject reports object data whose checksum does not match
+	// its metadata record — detected on GET, after the array's own
+	// read-repair had its chance.
+	ErrCorruptObject = errors.New("object: object data corrupt (checksum mismatch)")
+	// ErrMetaCorrupt reports an undecodable or internally inconsistent
+	// object-plane journal state at mount.
+	ErrMetaCorrupt = errors.New("object: object metadata corrupt")
+	// ErrBadUpload reports a multipart operation that is structurally
+	// invalid: part number out of range, completing an upload with no
+	// parts.
+	ErrBadUpload = errors.New("object: invalid multipart request")
+)

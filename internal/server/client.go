@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/object"
 	"github.com/oiraid/oiraid/internal/store"
 )
 
@@ -228,6 +229,9 @@ func remoteError(status int, body string) error {
 		store.ErrNoReplacement, store.ErrTooManyFailures, store.ErrDiskFaulty,
 		store.ErrTransient, store.ErrPermanent, store.ErrOverloaded,
 		engine.ErrRebuildRunning, engine.ErrClosed,
+		object.ErrNoSuchBucket, object.ErrBucketExists, object.ErrBucketNotEmpty,
+		object.ErrNoSuchObject, object.ErrNoSuchUpload, object.ErrBadName,
+		object.ErrBadUpload, object.ErrNoSpace, object.ErrCorruptObject,
 		context.DeadlineExceeded,
 	} {
 		if strings.Contains(body, s.Error()) {
@@ -280,6 +284,12 @@ func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
 // Retries stop once MaxRetryTime would be exceeded, and with a breaker
 // configured each attempt is gated by the endpoint's circuit.
 func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	return c.doCtxHdr(ctx, method, path, body, nil)
+}
+
+// doCtxHdr is doCtx with extra request headers (object-plane metadata,
+// conditional-GET validators).
+func (c *Client) doCtxHdr(ctx context.Context, method, path string, body []byte, hdr map[string]string) ([]byte, error) {
 	var br *breaker
 	if c.opts.BreakerThreshold > 0 {
 		br = c.breakerFor(endpointKey(method, path))
@@ -290,7 +300,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([
 		if br != nil && !br.allow(c.opts.BreakerCooldown) {
 			return nil, fmt.Errorf("%w: %s %s", ErrCircuitOpen, method, path)
 		}
-		out, status, retryAfter, err, retryable := c.attempt(ctx, method, path, body)
+		out, status, retryAfter, err, retryable := c.attempt(ctx, method, path, body, hdr)
 		if br != nil {
 			// The breaker trips on server-health signals — transport
 			// failures, overload sheds, 5xx — not on application errors
@@ -319,7 +329,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body []byte) ([
 
 // attempt performs one HTTP round trip. status is 0 for transport-level
 // failures (no response reached the client).
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (out []byte, status int, retryAfter time.Duration, err error, retryable bool) {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr map[string]string) (out []byte, status int, retryAfter time.Duration, err error, retryable bool) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -330,6 +340,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/octet-stream")
+		req.ContentLength = int64(len(body))
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

@@ -1,0 +1,496 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/object"
+)
+
+// ErrNonRetryable reports an object PUT that failed with a condition the
+// client would normally retry (overload shed, transient 503, transport
+// error) but could not, because the request body streamed from a
+// non-rewindable reader and re-sending would require replaying bytes the
+// client no longer has. The caller owns the retry decision: re-issue the
+// PUT with a fresh reader. Bodies up to maxBufferedPut are buffered and
+// retried transparently; only larger streams can surface this error.
+var ErrNonRetryable = errors.New("server: streaming body consumed, not retrying")
+
+// maxBufferedPut is the largest object/part body the client buffers in
+// memory to make the PUT replayable across retries (8 MiB). Larger
+// bodies stream straight from the reader in a single attempt.
+const maxBufferedPut = 8 << 20
+
+// objectsPath builds the URL path of an object, escaping each key
+// segment while preserving the key's internal slashes.
+func objectsPath(bucket, key string) string {
+	p := "/v1/buckets/" + url.PathEscape(bucket) + "/objects"
+	if key != "" {
+		segs := strings.Split(key, "/")
+		for i, s := range segs {
+			segs[i] = url.PathEscape(s)
+		}
+		p += "/" + strings.Join(segs, "/")
+	}
+	return p
+}
+
+// checkKey rejects an empty object key client-side: objectsPath would
+// build the bucket's LIST path and the server's trailing-slash redirect
+// would quietly turn the request into a GET.
+func checkKey(key string) error {
+	if key == "" {
+		return fmt.Errorf("%w: empty object key", object.ErrBadName)
+	}
+	return nil
+}
+
+// userMetaHeaders renders user metadata as x-oiraid-meta-* headers.
+func userMetaHeaders(meta map[string]string) map[string]string {
+	if len(meta) == 0 {
+		return nil
+	}
+	hdr := make(map[string]string, len(meta))
+	for k, v := range meta {
+		hdr[userMetaPrefix+k] = v
+	}
+	return hdr
+}
+
+// MakeBucket creates a bucket.
+func (c *Client) MakeBucket(name string) error {
+	return c.MakeBucketCtx(context.Background(), name)
+}
+
+// MakeBucketCtx is MakeBucket bounded by ctx.
+func (c *Client) MakeBucketCtx(ctx context.Context, name string) error {
+	_, err := c.doCtx(ctx, http.MethodPut, "/v1/buckets/"+url.PathEscape(name), nil)
+	return err
+}
+
+// RemoveBucket deletes an empty bucket.
+func (c *Client) RemoveBucket(name string) error {
+	return c.RemoveBucketCtx(context.Background(), name)
+}
+
+// RemoveBucketCtx is RemoveBucket bounded by ctx.
+func (c *Client) RemoveBucketCtx(ctx context.Context, name string) error {
+	_, err := c.doCtx(ctx, http.MethodDelete, "/v1/buckets/"+url.PathEscape(name), nil)
+	return err
+}
+
+// ListBuckets returns every bucket on the server.
+func (c *Client) ListBuckets() ([]object.BucketInfo, error) {
+	return c.ListBucketsCtx(context.Background())
+}
+
+// ListBucketsCtx is ListBuckets bounded by ctx.
+func (c *Client) ListBucketsCtx(ctx context.Context) ([]object.BucketInfo, error) {
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/buckets", nil)
+	if err != nil {
+		return nil, err
+	}
+	var bs []object.BucketInfo
+	if err := json.Unmarshal(out, &bs); err != nil {
+		return nil, fmt.Errorf("server: decode buckets: %w", err)
+	}
+	return bs, nil
+}
+
+// PutObject stores size bytes from r as bucket/key. Bodies up to
+// maxBufferedPut are buffered so transient failures (429/503/504,
+// transport errors) retry transparently; larger bodies stream in one
+// attempt and a retryable failure surfaces wrapped in ErrNonRetryable
+// instead of silently re-sending a half-consumed reader.
+func (c *Client) PutObject(bucket, key string, r io.Reader, size int64, meta map[string]string) (object.Info, error) {
+	return c.PutObjectCtx(context.Background(), bucket, key, r, size, meta)
+}
+
+// PutObjectCtx is PutObject bounded by ctx.
+func (c *Client) PutObjectCtx(ctx context.Context, bucket, key string, r io.Reader, size int64, meta map[string]string) (object.Info, error) {
+	if err := checkKey(key); err != nil {
+		return object.Info{}, err
+	}
+	return c.putBody(ctx, objectsPath(bucket, key), r, size, userMetaHeaders(meta))
+}
+
+// putBody implements the buffered-or-single-shot PUT protocol shared by
+// PutObject and UploadPart.
+func (c *Client) putBody(ctx context.Context, path string, r io.Reader, size int64, hdr map[string]string) (object.Info, error) {
+	var info object.Info
+	if size < 0 {
+		return info, fmt.Errorf("%w: negative size %d", object.ErrBadName, size)
+	}
+	if size <= maxBufferedPut {
+		body := make([]byte, size)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return info, fmt.Errorf("server: reading put body: %w", err)
+		}
+		out, err := c.doCtxHdr(ctx, http.MethodPut, path, body, hdr)
+		if err != nil {
+			return info, err
+		}
+		if err := json.Unmarshal(out, &info); err != nil {
+			return info, fmt.Errorf("server: decode put response: %w", err)
+		}
+		return info, nil
+	}
+	out, err := c.streamPut(ctx, path, r, size, hdr)
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal(out, &info); err != nil {
+		return info, fmt.Errorf("server: decode put response: %w", err)
+	}
+	return info, nil
+}
+
+// streamPut sends one non-replayable PUT attempt. A failure the retry
+// loop would normally re-attempt is wrapped in ErrNonRetryable: the body
+// stream is (partially) consumed and only the caller can rewind it.
+func (c *Client) streamPut(ctx context.Context, path string, r io.Reader, size int64, hdr map[string]string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+path, r)
+	if err != nil {
+		return nil, err
+	}
+	req.ContentLength = size
+	req.Header.Set("Content-Type", "application/octet-stream")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %w", ErrNonRetryable, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrNonRetryable, err)
+	}
+	if resp.StatusCode >= 400 {
+		rerr := remoteError(resp.StatusCode, string(out))
+		if retryableStatus(resp.StatusCode) {
+			rerr = fmt.Errorf("%w: %w", ErrNonRetryable, rerr)
+		}
+		return nil, rerr
+	}
+	return out, nil
+}
+
+// GetObject streams bucket/key into w and returns its Info (assembled
+// from response headers). The transfer is verified against the declared
+// Content-Length — a truncated body (server aborting on a mid-stream
+// read error) is reported rather than silently accepted.
+func (c *Client) GetObject(bucket, key string, w io.Writer) (object.Info, error) {
+	info, _, err := c.GetObjectCond(context.Background(), bucket, key, "", w)
+	return info, err
+}
+
+// GetObjectCtx is GetObject bounded by ctx.
+func (c *Client) GetObjectCtx(ctx context.Context, bucket, key string, w io.Writer) (object.Info, error) {
+	info, _, err := c.GetObjectCond(ctx, bucket, key, "", w)
+	return info, err
+}
+
+// GetObjectCond is the conditional GET: with a non-empty etag it sends
+// If-None-Match and, when the server answers 304 Not Modified, returns
+// notModified true without writing to w. Transient failures retry as
+// long as no body byte has been written yet.
+func (c *Client) GetObjectCond(ctx context.Context, bucket, key, etag string, w io.Writer) (info object.Info, notModified bool, err error) {
+	if err := checkKey(key); err != nil {
+		return object.Info{}, false, err
+	}
+	path := objectsPath(bucket, key)
+	var hdr map[string]string
+	if etag != "" {
+		hdr = map[string]string{"If-None-Match": `"` + etag + `"`}
+	}
+	for attempt := 0; ; attempt++ {
+		info, notModified, err = c.getObjectOnce(ctx, path, hdr, w)
+		if err == nil {
+			return info, notModified, nil
+		}
+		// Partial-body failures and application errors do not retry; the
+		// wrapper marks failures that happened before any body byte
+		// reached w, where a re-issue is safe.
+		var rge *retryableGetError
+		if !errors.As(err, &rge) || attempt >= c.opts.MaxRetries {
+			return info, false, unwrapRetryableGet(err)
+		}
+		select {
+		case <-ctx.Done():
+			return info, false, ctx.Err()
+		case <-time.After(c.backoff(attempt, 0)):
+		}
+	}
+}
+
+// retryableGetError marks a GET failure that occurred before any body
+// byte reached the caller's writer, so re-issuing the request is safe.
+type retryableGetError struct{ err error }
+
+func (e *retryableGetError) Error() string { return e.err.Error() }
+func (e *retryableGetError) Unwrap() error { return e.err }
+
+func unwrapRetryableGet(err error) error {
+	var rge *retryableGetError
+	if errors.As(err, &rge) {
+		return rge.err
+	}
+	return err
+}
+
+func (c *Client) getObjectOnce(ctx context.Context, path string, hdr map[string]string, w io.Writer) (object.Info, bool, error) {
+	var info object.Info
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return info, false, err
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return info, false, ctx.Err()
+		}
+		return info, false, &retryableGetError{err}
+	}
+	defer resp.Body.Close()
+	info = infoFromHeaders(resp)
+	if resp.StatusCode == http.StatusNotModified {
+		return info, true, nil
+	}
+	if resp.StatusCode >= 400 {
+		body, _ := io.ReadAll(resp.Body)
+		rerr := remoteError(resp.StatusCode, string(body))
+		if retryableStatus(resp.StatusCode) {
+			rerr = &retryableGetError{rerr}
+		}
+		return info, false, rerr
+	}
+	n, err := io.Copy(w, resp.Body)
+	if err != nil {
+		if n == 0 {
+			return info, false, &retryableGetError{err}
+		}
+		return info, false, fmt.Errorf("server: object body after %d bytes: %w", n, err)
+	}
+	if resp.ContentLength >= 0 && n != resp.ContentLength {
+		return info, false, fmt.Errorf("server: object body truncated: %d of %d bytes", n, resp.ContentLength)
+	}
+	info.Size = n
+	return info, false, nil
+}
+
+// infoFromHeaders reconstructs the Info fields the object endpoints
+// expose as headers (ETag, size, user metadata).
+func infoFromHeaders(resp *http.Response) object.Info {
+	info := object.Info{
+		ETag: strings.Trim(resp.Header.Get("ETag"), `"`),
+		Size: resp.ContentLength,
+	}
+	for k, vs := range resp.Header {
+		lk := strings.ToLower(k)
+		if strings.HasPrefix(lk, userMetaPrefix) && len(vs) > 0 {
+			if info.UserMeta == nil {
+				info.UserMeta = make(map[string]string)
+			}
+			info.UserMeta[lk[len(userMetaPrefix):]] = vs[0]
+		}
+	}
+	return info
+}
+
+// StatObject fetches an object's Info without its data (HEAD).
+func (c *Client) StatObject(bucket, key string) (object.Info, error) {
+	return c.StatObjectCtx(context.Background(), bucket, key)
+}
+
+// StatObjectCtx is StatObject bounded by ctx.
+func (c *Client) StatObjectCtx(ctx context.Context, bucket, key string) (object.Info, error) {
+	var info object.Info
+	if err := checkKey(key); err != nil {
+		return info, err
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.base+objectsPath(bucket, key), nil)
+		if err != nil {
+			return info, err
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				return info, ctx.Err()
+			}
+			lastErr = err
+		} else {
+			resp.Body.Close()
+			if resp.StatusCode < 400 {
+				info = infoFromHeaders(resp)
+				info.Bucket, info.Key = bucket, key
+				return info, nil
+			}
+			// HEAD bodies are empty by protocol; reconstitute from status
+			// alone (the sentinel taxonomy maps 404 unambiguously here).
+			lastErr = statError(resp.StatusCode, bucket, key)
+			if !retryableStatus(resp.StatusCode) {
+				return info, lastErr
+			}
+		}
+		if attempt >= c.opts.MaxRetries {
+			return info, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(c.backoff(attempt, 0)):
+		}
+	}
+}
+
+// statError maps a body-less HEAD status onto the object sentinels.
+func statError(status int, bucket, key string) error {
+	switch status {
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s/%s", object.ErrNoSuchObject, bucket, key)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("%w (http 504)", context.DeadlineExceeded)
+	}
+	return fmt.Errorf("server: http %d", status)
+}
+
+// RemoveObject deletes an object.
+func (c *Client) RemoveObject(bucket, key string) error {
+	return c.RemoveObjectCtx(context.Background(), bucket, key)
+}
+
+// RemoveObjectCtx is RemoveObject bounded by ctx.
+func (c *Client) RemoveObjectCtx(ctx context.Context, bucket, key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	_, err := c.doCtx(ctx, http.MethodDelete, objectsPath(bucket, key), nil)
+	return err
+}
+
+// ListObjects fetches one LIST page: up to max keys matching prefix,
+// strictly after the `after` cursor. Follow page.NextAfter while
+// page.Truncated to walk the whole bucket.
+func (c *Client) ListObjects(bucket, prefix, after string, max int) (object.ListPage, error) {
+	return c.ListObjectsCtx(context.Background(), bucket, prefix, after, max)
+}
+
+// ListObjectsCtx is ListObjects bounded by ctx.
+func (c *Client) ListObjectsCtx(ctx context.Context, bucket, prefix, after string, max int) (object.ListPage, error) {
+	var page object.ListPage
+	q := url.Values{}
+	if prefix != "" {
+		q.Set("prefix", prefix)
+	}
+	if after != "" {
+		q.Set("after", after)
+	}
+	if max > 0 {
+		q.Set("max", strconv.Itoa(max))
+	}
+	path := objectsPath(bucket, "")
+	if enc := q.Encode(); enc != "" {
+		path += "?" + enc
+	}
+	out, err := c.doCtx(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return page, err
+	}
+	if err := json.Unmarshal(out, &page); err != nil {
+		return page, fmt.Errorf("server: decode list: %w", err)
+	}
+	return page, nil
+}
+
+// CreateUpload starts a multipart upload of bucket/key and returns its id.
+func (c *Client) CreateUpload(bucket, key string, meta map[string]string) (string, error) {
+	return c.CreateUploadCtx(context.Background(), bucket, key, meta)
+}
+
+// CreateUploadCtx is CreateUpload bounded by ctx.
+func (c *Client) CreateUploadCtx(ctx context.Context, bucket, key string, meta map[string]string) (string, error) {
+	if err := checkKey(key); err != nil {
+		return "", err
+	}
+	out, err := c.doCtxHdr(ctx, http.MethodPost, objectsPath(bucket, key)+"?uploads", nil, userMetaHeaders(meta))
+	if err != nil {
+		return "", err
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return "", fmt.Errorf("server: decode upload id: %w", err)
+	}
+	return resp["upload_id"], nil
+}
+
+// UploadPart streams one part (1-based part numbers) under the same
+// buffered-or-single-shot retry protocol as PutObject.
+func (c *Client) UploadPart(bucket, key, uploadID string, part int, r io.Reader, size int64) (object.PartInfo, error) {
+	return c.UploadPartCtx(context.Background(), bucket, key, uploadID, part, r, size)
+}
+
+// UploadPartCtx is UploadPart bounded by ctx.
+func (c *Client) UploadPartCtx(ctx context.Context, bucket, key, uploadID string, part int, r io.Reader, size int64) (object.PartInfo, error) {
+	if err := checkKey(key); err != nil {
+		return object.PartInfo{}, err
+	}
+	path := fmt.Sprintf("%s?uploadId=%s&part=%d", objectsPath(bucket, key), url.QueryEscape(uploadID), part)
+	info, err := c.putBody(ctx, path, r, size, nil)
+	if err != nil {
+		return object.PartInfo{}, err
+	}
+	return object.PartInfo{Part: part, Size: size, ETag: info.ETag}, nil
+}
+
+// CompleteUpload assembles the uploaded parts into the committed object.
+func (c *Client) CompleteUpload(bucket, key, uploadID string) (object.Info, error) {
+	return c.CompleteUploadCtx(context.Background(), bucket, key, uploadID)
+}
+
+// CompleteUploadCtx is CompleteUpload bounded by ctx.
+func (c *Client) CompleteUploadCtx(ctx context.Context, bucket, key, uploadID string) (object.Info, error) {
+	var info object.Info
+	if err := checkKey(key); err != nil {
+		return info, err
+	}
+	out, err := c.doCtx(ctx, http.MethodPost, objectsPath(bucket, key)+"?uploadId="+url.QueryEscape(uploadID), nil)
+	if err != nil {
+		return info, err
+	}
+	if err := json.Unmarshal(out, &info); err != nil {
+		return info, fmt.Errorf("server: decode complete response: %w", err)
+	}
+	return info, nil
+}
+
+// AbortUpload discards a multipart upload and frees its parts.
+func (c *Client) AbortUpload(bucket, key, uploadID string) error {
+	return c.AbortUploadCtx(context.Background(), bucket, key, uploadID)
+}
+
+// AbortUploadCtx is AbortUpload bounded by ctx.
+func (c *Client) AbortUploadCtx(ctx context.Context, bucket, key, uploadID string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	_, err := c.doCtx(ctx, http.MethodDelete, objectsPath(bucket, key)+"?uploadId="+url.QueryEscape(uploadID), nil)
+	return err
+}

@@ -1,0 +1,260 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/oiraid/oiraid/internal/object"
+)
+
+// userMetaPrefix is the header namespace carrying user metadata.
+const userMetaPrefix = "x-oiraid-meta-"
+
+// registerObjectRoutes wires the bucket/object plane of the HTTP API;
+// called from New only when the server is built with an object store
+// (Options.Objects):
+//
+//	GET    /v1/buckets                          list buckets
+//	PUT    /v1/buckets/{bucket}                 create bucket
+//	DELETE /v1/buckets/{bucket}                 delete empty bucket
+//	GET    /v1/buckets/{b}/objects?prefix=&max=&after=   paginated LIST
+//	PUT    /v1/buckets/{b}/objects/{key...}     streaming PUT (Content-Length required)
+//	GET    /v1/buckets/{b}/objects/{key...}     streaming GET (If-None-Match → 304)
+//	HEAD   /v1/buckets/{b}/objects/{key...}     stat (headers only)
+//	DELETE /v1/buckets/{b}/objects/{key...}     delete object
+//	POST   .../objects/{key...}?uploads         create multipart upload
+//	PUT    .../objects/{key...}?uploadId=&part= upload one part
+//	POST   .../objects/{key...}?uploadId=       complete multipart upload
+//	DELETE .../objects/{key...}?uploadId=       abort multipart upload
+//
+// User metadata travels as x-oiraid-meta-* headers. Every object op runs
+// under the same opCtx deadline/admission path as strip I/O, so 429/504
+// semantics apply to the object plane transparently.
+func (s *Server) registerObjectRoutes() {
+	s.mux.HandleFunc("GET /v1/buckets", s.listBuckets)
+	s.mux.HandleFunc("PUT /v1/buckets/{bucket}", s.createBucket)
+	s.mux.HandleFunc("DELETE /v1/buckets/{bucket}", s.deleteBucket)
+	s.mux.HandleFunc("GET /v1/buckets/{bucket}/objects", s.listObjects)
+	s.mux.HandleFunc("PUT /v1/buckets/{bucket}/objects/{key...}", s.putObject)
+	s.mux.HandleFunc("GET /v1/buckets/{bucket}/objects/{key...}", s.getObject)
+	s.mux.HandleFunc("HEAD /v1/buckets/{bucket}/objects/{key...}", s.headObject)
+	s.mux.HandleFunc("DELETE /v1/buckets/{bucket}/objects/{key...}", s.deleteObject)
+	s.mux.HandleFunc("POST /v1/buckets/{bucket}/objects/{key...}", s.postObject)
+}
+
+// userMetaFromHeader collects x-oiraid-meta-* request headers (keys
+// lower-cased, prefix stripped).
+func userMetaFromHeader(h http.Header) map[string]string {
+	var meta map[string]string
+	for k, vs := range h {
+		lk := strings.ToLower(k)
+		if !strings.HasPrefix(lk, userMetaPrefix) || len(vs) == 0 {
+			continue
+		}
+		if meta == nil {
+			meta = make(map[string]string)
+		}
+		meta[lk[len(userMetaPrefix):]] = vs[0]
+	}
+	return meta
+}
+
+// writeInfoHeaders renders an object's Info onto response headers.
+func writeInfoHeaders(w http.ResponseWriter, info object.Info) {
+	w.Header().Set("ETag", `"`+info.ETag+`"`)
+	w.Header().Set("Last-Modified", info.Modified.UTC().Format(http.TimeFormat))
+	for k, v := range info.UserMeta {
+		w.Header().Set(userMetaPrefix+k, v)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) listBuckets(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.opts.Objects.ListBuckets(r.Context()))
+}
+
+func (s *Server) createBucket(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	if err := s.opts.Objects.CreateBucket(ctx, r.PathValue("bucket")); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) deleteBucket(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	if err := s.opts.Objects.DeleteBucket(ctx, r.PathValue("bucket")); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) listObjects(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	max := 0
+	if m := q.Get("max"); m != "" {
+		n, err := strconv.Atoi(m)
+		if err != nil || n < 0 {
+			fail(w, fmt.Errorf("%w: max %q", object.ErrBadName, m))
+			return
+		}
+		max = n
+	}
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	page, err := s.opts.Objects.ListObjects(ctx, r.PathValue("bucket"), q.Get("prefix"), q.Get("after"), max)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, page)
+}
+
+// putObject is both the simple streaming PUT and, with ?uploadId=&part=,
+// a multipart part upload. The body streams straight from the wire into
+// the store's pooled chunk writer — no whole-object buffering — which is
+// why an explicit Content-Length is required (411 otherwise).
+func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
+	bucket, key := r.PathValue("bucket"), r.PathValue("key")
+	if r.ContentLength < 0 {
+		http.Error(w, "object PUT requires Content-Length", http.StatusLengthRequired)
+		return
+	}
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	q := r.URL.Query()
+	if id := q.Get("uploadId"); id != "" {
+		part, err := strconv.Atoi(q.Get("part"))
+		if err != nil {
+			fail(w, fmt.Errorf("%w: part %q", object.ErrBadUpload, q.Get("part")))
+			return
+		}
+		info, err := s.opts.Objects.UploadPart(ctx, bucket, key, id, part, r.Body, r.ContentLength)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		w.Header().Set("ETag", `"`+info.ETag+`"`)
+		writeJSON(w, info)
+		return
+	}
+	info, err := s.opts.Objects.PutObject(ctx, bucket, key, r.Body, r.ContentLength, userMetaFromHeader(r.Header))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeInfoHeaders(w, info)
+	writeJSON(w, info)
+}
+
+// etagMatch compares an If-None-Match header against an ETag, tolerating
+// quotes and weak validators.
+func etagMatch(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if strings.Trim(part, `"`) == etag || part == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
+	bucket, key := r.PathValue("bucket"), r.PathValue("key")
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	info, err := s.opts.Objects.StatObject(ctx, bucket, key)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, info.ETag) {
+		writeInfoHeaders(w, info)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	writeInfoHeaders(w, info)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+	// From here the 200 is committed; a read error mid-stream can only
+	// truncate the body, which the declared Content-Length lets clients
+	// detect. The stat→get window is safe: GETs pin the generation they
+	// start on, so a racing DELETE cannot recycle the strips mid-read —
+	// but the object may vanish between the calls, which is a clean 404
+	// only if nothing was written yet.
+	if _, err := s.opts.Objects.GetObject(ctx, bucket, key, w); err != nil {
+		panic(http.ErrAbortHandler) // torn body: abort the connection, never a fake-complete 200
+	}
+}
+
+func (s *Server) headObject(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	info, err := s.opts.Objects.StatObject(ctx, r.PathValue("bucket"), r.PathValue("key"))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeInfoHeaders(w, info)
+	w.Header().Set("Content-Length", strconv.FormatInt(info.Size, 10))
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) deleteObject(w http.ResponseWriter, r *http.Request) {
+	bucket, key := r.PathValue("bucket"), r.PathValue("key")
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	if id := r.URL.Query().Get("uploadId"); id != "" {
+		if err := s.opts.Objects.AbortUpload(ctx, bucket, key, id); err != nil {
+			fail(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err := s.opts.Objects.DeleteObject(ctx, bucket, key); err != nil {
+		fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// postObject hosts the multipart control verbs: ?uploads creates an
+// upload, ?uploadId= completes one.
+func (s *Server) postObject(w http.ResponseWriter, r *http.Request) {
+	bucket, key := r.PathValue("bucket"), r.PathValue("key")
+	ctx, cancel := s.opCtx(r)
+	defer cancel()
+	q := r.URL.Query()
+	if q.Has("uploads") {
+		id, err := s.opts.Objects.CreateUpload(ctx, bucket, key, userMetaFromHeader(r.Header))
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, map[string]string{"upload_id": id})
+		return
+	}
+	if id := q.Get("uploadId"); id != "" {
+		info, err := s.opts.Objects.CompleteUpload(ctx, bucket, key, id)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeInfoHeaders(w, info)
+		writeJSON(w, info)
+		return
+	}
+	fail(w, fmt.Errorf("%w: POST needs ?uploads or ?uploadId", object.ErrBadUpload))
+}

@@ -15,6 +15,9 @@
 //	GET  /v1/qos               live QoS knob + pacing snapshot
 //	POST /v1/qos               partial live update of the QoS knobs
 //
+// With an object store configured (Options.Objects) the bucket/object
+// plane is served too — see registerObjectRoutes in object.go.
+//
 // Sentinel errors from internal/store map onto HTTP statuses, so remote
 // callers can branch the same way local ones do with errors.Is. Transient
 // conditions answer 503 with a Retry-After header; requests shed by
@@ -36,6 +39,7 @@ import (
 	"time"
 
 	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/object"
 	"github.com/oiraid/oiraid/internal/store"
 )
 
@@ -51,6 +55,10 @@ type Options struct {
 	// exceeds it answers 504. 0 leaves ops bounded only by
 	// RequestTimeout.
 	OpTimeout time.Duration
+	// Objects, when set, enables the bucket/object plane of the API
+	// (/v1/buckets/...) over the given store. Nil leaves the server
+	// strip-only.
+	Objects *object.Store
 }
 
 // Server serves one engine over HTTP.
@@ -85,6 +93,9 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/metrics", s.metrics)
 	s.mux.HandleFunc("GET /v1/qos", s.qosGet)
 	s.mux.HandleFunc("POST /v1/qos", s.qosSet)
+	if opts.Objects != nil {
+		s.registerObjectRoutes()
+	}
 	return s
 }
 
@@ -153,14 +164,20 @@ func httpStatus(err error) int {
 	case errors.Is(err, context.Canceled):
 		// The caller went away mid-op; nothing was torn, a retry is safe.
 		return http.StatusServiceUnavailable
-	case errors.Is(err, store.ErrStripOutOfRange), errors.Is(err, store.ErrNoSuchDisk):
+	case errors.Is(err, store.ErrStripOutOfRange), errors.Is(err, store.ErrNoSuchDisk),
+		errors.Is(err, object.ErrNoSuchBucket), errors.Is(err, object.ErrNoSuchObject),
+		errors.Is(err, object.ErrNoSuchUpload):
 		return http.StatusNotFound
 	case errors.Is(err, store.ErrShortBuffer), errors.Is(err, store.ErrNegativeOffset),
-		errors.Is(err, store.ErrBadGeometry):
+		errors.Is(err, store.ErrBadGeometry), errors.Is(err, object.ErrBadName),
+		errors.Is(err, object.ErrBadUpload):
 		return http.StatusBadRequest
 	case errors.Is(err, store.ErrNotFailed), errors.Is(err, store.ErrNoReplacement),
-		errors.Is(err, engine.ErrRebuildRunning):
+		errors.Is(err, engine.ErrRebuildRunning), errors.Is(err, object.ErrBucketExists),
+		errors.Is(err, object.ErrBucketNotEmpty):
 		return http.StatusConflict
+	case errors.Is(err, object.ErrNoSpace):
+		return http.StatusInsufficientStorage
 	case errors.Is(err, store.ErrTooManyFailures):
 		return http.StatusInternalServerError // data loss: nothing a retry can do
 	case errors.Is(err, store.ErrDiskFaulty), errors.Is(err, engine.ErrClosed),

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -36,6 +37,15 @@ const (
 	recClosure    byte = 2 // redo record: full content of an in-flight parity closure
 	recClear      byte = 3 // closure committed to devices
 	recTransition byte = 4 // state transition (evict/adopt/rebuild-complete)
+	recKV         byte = 5 // object-plane key/value record (put or tombstone)
+)
+
+const (
+	// kvMaxKey bounds a KV record key; longer keys in the stream mean
+	// corruption, not a torn tail.
+	kvMaxKey = 4096
+	// kvDelete flags a KV record as a tombstone.
+	kvDelete byte = 1
 )
 
 // TransitionKind labels a journalled state transition.
@@ -137,6 +147,7 @@ type MetaJournal struct {
 	sums      []map[int64]uint32
 	pending   []PendingClosure // FIFO; overlapping closures are serialised by the array
 	trans     []Transition
+	kv        map[string][]byte
 	closed    bool
 }
 
@@ -158,6 +169,7 @@ func OpenMetaJournal(b0, b1 Blob, disks int) (*MetaJournal, error) {
 		compactAt: defaultCompactAt,
 		disks:     disks,
 		sums:      make([]map[int64]uint32, disks),
+		kv:        make(map[string][]byte),
 	}
 	for i := range j.sums {
 		j.sums[i] = make(map[int64]uint32)
@@ -300,6 +312,16 @@ func (j *MetaJournal) apply(payload []byte) error {
 			return fmt.Errorf("%w: transition disk %d", ErrJournalCorrupt, disk)
 		}
 		j.addTransition(Transition{Kind: kind, Disk: disk, Generation: le.Uint64(payload[6:])})
+	case recKV:
+		key, value, del, err := decodeKV(payload)
+		if err != nil {
+			return err
+		}
+		if del {
+			delete(j.kv, key)
+		} else {
+			j.kv[key] = value
+		}
 	default:
 		return fmt.Errorf("%w: unknown record type %d", ErrJournalCorrupt, payload[0])
 	}
@@ -340,6 +362,111 @@ func decodeClosure(payload []byte, disks int) (*PendingClosure, error) {
 		return nil, fmt.Errorf("%w: closure record has %d trailing bytes", ErrJournalCorrupt, len(payload)-off)
 	}
 	return pc, nil
+}
+
+// encodeKV builds one KV record payload.
+func encodeKV(key string, value []byte, del bool) []byte {
+	payload := make([]byte, 1+1+2+len(key)+4+len(value))
+	payload[0] = recKV
+	if del {
+		payload[1] = kvDelete
+	}
+	le := binary.LittleEndian
+	le.PutUint16(payload[2:], uint16(len(key)))
+	copy(payload[4:], key)
+	off := 4 + len(key)
+	le.PutUint32(payload[off:], uint32(len(value)))
+	copy(payload[off+4:], value)
+	return payload
+}
+
+// decodeKV parses one KV record payload with strict bounds (fuzzed via
+// FuzzJournalReplay); any structural violation is hard corruption.
+func decodeKV(payload []byte) (key string, value []byte, del bool, err error) {
+	le := binary.LittleEndian
+	if len(payload) < 1+1+2+4 {
+		return "", nil, false, fmt.Errorf("%w: kv record length %d", ErrJournalCorrupt, len(payload))
+	}
+	flags := payload[1]
+	if flags&^kvDelete != 0 {
+		return "", nil, false, fmt.Errorf("%w: kv record flags %#x", ErrJournalCorrupt, flags)
+	}
+	klen := int(le.Uint16(payload[2:]))
+	if klen == 0 || klen > kvMaxKey || 4+klen+4 > len(payload) {
+		return "", nil, false, fmt.Errorf("%w: kv key length %d", ErrJournalCorrupt, klen)
+	}
+	key = string(payload[4 : 4+klen])
+	off := 4 + klen
+	vlen := int(le.Uint32(payload[off:]))
+	if vlen < 0 || vlen > journalMaxPayload || off+4+vlen != len(payload) {
+		return "", nil, false, fmt.Errorf("%w: kv value length %d", ErrJournalCorrupt, vlen)
+	}
+	value = append([]byte(nil), payload[off+4:off+4+vlen]...)
+	return key, value, flags&kvDelete != 0, nil
+}
+
+// PutKV journals an object-plane key/value pair; sync forces it (and
+// everything appended before it) durable before returning. The object
+// layer uses fsynced puts as commit points — an object-metadata record,
+// an allocation intent — and unsynced puts where replaying stale state
+// is idempotent.
+func (j *MetaJournal) PutKV(key string, value []byte, sync bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(key) == 0 || len(key) > kvMaxKey {
+		return fmt.Errorf("store: kv key length %d out of range", len(key))
+	}
+	if len(value) > journalMaxPayload-(1+1+2+len(key)+4) {
+		return fmt.Errorf("store: kv value %d bytes exceeds frame limit", len(value))
+	}
+	if err := j.appendFrame(encodeKV(key, value, false), sync); err != nil {
+		return err
+	}
+	j.kv[key] = append([]byte(nil), value...)
+	return j.maybeCompact()
+}
+
+// DeleteKV journals a tombstone for key (a no-op record if absent).
+func (j *MetaJournal) DeleteKV(key string, sync bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(key) == 0 || len(key) > kvMaxKey {
+		return fmt.Errorf("store: kv key length %d out of range", len(key))
+	}
+	if err := j.appendFrame(encodeKV(key, nil, true), sync); err != nil {
+		return err
+	}
+	delete(j.kv, key)
+	return j.maybeCompact()
+}
+
+// GetKV returns a copy of the durable value for key.
+func (j *MetaJournal) GetKV(key string) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v, ok := j.kv[key]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), v...), true
+}
+
+// KVRange returns copies of every key/value pair whose key has the given
+// prefix, in ascending key order ("" ranges over everything).
+func (j *MetaJournal) KVRange(prefix string) (keys []string, values [][]byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for k := range j.kv {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	values = make([][]byte, len(keys))
+	for i, k := range keys {
+		values[i] = append([]byte(nil), j.kv[k]...)
+	}
+	return keys, values
 }
 
 func (j *MetaJournal) dropPending(cycle int64) {
@@ -561,6 +688,14 @@ func (j *MetaJournal) maybeCompact() error {
 		le.PutUint32(payload[2:], uint32(tr.Disk))
 		le.PutUint64(payload[6:], tr.Generation)
 		buf = appendJournalFrame(buf, payload)
+	}
+	kvKeys := make([]string, 0, len(j.kv))
+	for k := range j.kv {
+		kvKeys = append(kvKeys, k)
+	}
+	sort.Strings(kvKeys)
+	for _, k := range kvKeys {
+		buf = appendJournalFrame(buf, encodeKV(k, j.kv[k], false))
 	}
 	if len(buf) > 0 {
 		if _, err := b.WriteAt(buf, journalHeaderLen); err != nil {

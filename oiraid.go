@@ -41,6 +41,7 @@ import (
 	"github.com/oiraid/oiraid/internal/disk"
 	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/layout"
+	"github.com/oiraid/oiraid/internal/object"
 	"github.com/oiraid/oiraid/internal/reliability"
 	"github.com/oiraid/oiraid/internal/server"
 	"github.com/oiraid/oiraid/internal/sim"
@@ -136,6 +137,20 @@ type (
 	FsckReport = store.FsckReport
 	// FsckIssue is one inconsistency found by fsck.
 	FsckIssue = store.FsckIssue
+	// ObjectStore is the bucket/object plane layered over an Engine.
+	ObjectStore = object.Store
+	// ObjectStoreOptions tunes an ObjectStore.
+	ObjectStoreOptions = object.Options
+	// ObjectInfo is one object's metadata record.
+	ObjectInfo = object.Info
+	// ObjectBucketInfo is one bucket's listing entry.
+	ObjectBucketInfo = object.BucketInfo
+	// ObjectListPage is one page of an object listing.
+	ObjectListPage = object.ListPage
+	// ObjectPartInfo describes one uploaded multipart part.
+	ObjectPartInfo = object.PartInfo
+	// ObjectFsckReport is the object plane's consistency report.
+	ObjectFsckReport = object.FsckReport
 )
 
 // SupportedDiskCounts lists array sizes v ≤ limit for which an OI-RAID
@@ -328,6 +343,14 @@ func NewFileDevice(path string, strips int64, stripBytes int) (Device, error) {
 // owns the array from here on: all I/O should go through it.
 func NewEngine(arr *Array, opts EngineOptions) (*Engine, error) {
 	return engine.New(arr, opts)
+}
+
+// NewObjectStore mounts the bucket/object plane over an engine. Object
+// metadata persists through the array's metadata journal, so the store
+// survives remounts on durably-formatted arrays; interrupted PUTs are
+// swept (rolled back) during this call.
+func NewObjectStore(eng *Engine, opts ObjectStoreOptions) (*ObjectStore, error) {
+	return object.New(eng, opts)
 }
 
 // NewServer builds the HTTP service over an engine; serve it with

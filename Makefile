@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos crash tail fuzz bench object clean
+.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster clean
 
 build:
 	$(GO) build ./...
@@ -60,13 +60,27 @@ object:
 	$(GO) test -race -count=1 ./internal/object/...
 	$(GO) test -race -count=1 -run 'Object|PutRetry' ./internal/server/...
 
+# Multi-node suite under the race detector: the netdev wire protocol
+# (frame fuzz corpus, breaker, probes, identity check), the coordinator's
+# unreachable-vs-lost state machine, the seeded partition/node-kill chaos
+# sweep with the acked-write oracle + clean fsck, and the oiraidd
+# -node/-nodes end-to-end.
+cluster:
+	$(GO) test -race -count=1 ./internal/store/netdev/... ./internal/cluster/...
+	$(GO) test -race -count=1 -run 'Cluster|NodeSpecs|Unreachable' ./cmd/oiraidd/... ./cmd/oiraidctl/...
+
 # Machine-readable benchmark report: the erasure/rebuild micro- and
 # experiment benchmarks plus the object PUT/GET path (MB/s, p50/p99
-# latency, allocs/op) land in BENCH_object.json via cmd/benchjson.
+# latency, allocs/op) land in BENCH_object.json via cmd/benchjson;
+# the network plane's wire round-trip and reconstruct-over-network
+# numbers land in BENCH_netdev.json.
 bench:
 	( $(GO) test -bench . -benchtime 1x -benchmem -run '^$$' . && \
 	  $(GO) test -bench Object -benchtime 50x -benchmem -run '^$$' ./internal/object/ ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_object.json
+	( $(GO) test -bench Netdev -benchtime 200x -benchmem -run '^$$' ./internal/store/netdev/ && \
+	  $(GO) test -bench Cluster -benchtime 50x -benchmem -run '^$$' ./internal/cluster/ ) \
+		| $(GO) run ./cmd/benchjson -out BENCH_netdev.json
 
 clean:
 	$(GO) clean ./...

@@ -117,8 +117,8 @@ func main() {
 			err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, *repair, qu, os.Stdin, os.Stdout)
 		}
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "oiraidctl:", err)
-			os.Exit(1)
+			fmt.Fprintln(os.Stderr, "oiraidctl:", renderErr(err))
+			os.Exit(exitCode(err))
 		}
 		return
 	}
@@ -161,9 +161,32 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "oiraidctl:", err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "oiraidctl:", renderErr(err))
+		os.Exit(exitCode(err))
 	}
+}
+
+// unreachable reports a connectivity failure rather than an array fault:
+// the CLI-side circuit breaker refusing calls to a dead coordinator, or
+// the coordinator reporting a storage node unreachable mid-operation.
+// Scripts can tell "node down, retry later" (exit 3) apart from real
+// failures (exit 1) without parsing error text.
+func unreachable(err error) bool {
+	return errors.Is(err, server.ErrCircuitOpen) || errors.Is(err, store.ErrUnreachable)
+}
+
+func exitCode(err error) int {
+	if unreachable(err) {
+		return 3
+	}
+	return 1
+}
+
+func renderErr(err error) string {
+	if unreachable(err) {
+		return fmt.Sprintf("node unreachable (will retry once it returns): %v", err)
+	}
+	return err.Error()
 }
 
 func usage() {

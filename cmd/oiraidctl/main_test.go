@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -13,6 +16,7 @@ import (
 
 	"github.com/oiraid/oiraid"
 	"github.com/oiraid/oiraid/internal/server"
+	"github.com/oiraid/oiraid/internal/store"
 )
 
 // TestLifecycle drives the full command surface against a temp directory:
@@ -363,5 +367,45 @@ func TestExportAnalyzeRoundTrip(t *testing.T) {
 	}
 	if err := exportCmd(&out, 11); err == nil {
 		t.Fatal("unsupported disk count must fail")
+	}
+}
+
+// TestUnreachableExit pins the connectivity-vs-failure exit taxonomy:
+// circuit-open and node-unreachable errors exit 3 with a "node
+// unreachable" message; everything else keeps the generic exit 1.
+func TestUnreachableExit(t *testing.T) {
+	for _, err := range []error{
+		server.ErrCircuitOpen,
+		store.ErrUnreachable,
+		fmt.Errorf("write strip 7: %w", store.ErrUnreachable),
+	} {
+		if exitCode(err) != 3 {
+			t.Fatalf("exitCode(%v) = %d, want 3", err, exitCode(err))
+		}
+		if !strings.Contains(renderErr(err), "node unreachable") {
+			t.Fatalf("renderErr(%v) = %q, want a node-unreachable hint", err, renderErr(err))
+		}
+	}
+	plain := errors.New("disk on fire")
+	if exitCode(plain) != 1 || strings.Contains(renderErr(plain), "unreachable") {
+		t.Fatalf("generic error mis-rendered: %d %q", exitCode(plain), renderErr(plain))
+	}
+}
+
+// TestUnreachableSurvivesHTTP proves the coordinator's "storage node
+// unreachable" condition round-trips the CLI's HTTP hop as a sentinel
+// the exit-code mapping can errors.Is — not just matching strings.
+func TestUnreachableSurvivesHTTP(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, store.ErrUnreachable.Error()+" (netdev: circuit open for http://node)", http.StatusServiceUnavailable)
+	}))
+	defer hs.Close()
+	c := server.NewClientWithOptions(hs.URL, server.ClientOptions{MaxRetries: -1})
+	err := c.FailDisk(0)
+	if !errors.Is(err, store.ErrUnreachable) {
+		t.Fatalf("error lost the unreachable sentinel across HTTP: %v", err)
+	}
+	if exitCode(err) != 3 {
+		t.Fatalf("exitCode = %d, want 3", exitCode(err))
 	}
 }

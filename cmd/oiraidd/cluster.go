@@ -1,0 +1,219 @@
+// Cluster modes of oiraidd: the same binary runs either half of a
+// multi-node OI-RAID deployment.
+//
+// Storage node — exports local blobs as strip devices over HTTP:
+//
+//	oiraidd -node -node-id alpha -addr :7980 -dir /data/alpha
+//
+// Coordinator — mounts the array across storage nodes and serves the
+// strip/object API over it:
+//
+//	oiraidd -nodes alpha=http://h1:7980,beta=http://h2:7980,gamma=http://h3:7980 \
+//	        -dir /data/coord -disks 9 -cycles 4 -strip 4096
+//
+// The coordinator distinguishes a node that is *unreachable* (transient:
+// operations retry, reads degrade to reconstruction) from one that is
+// *lost* (the -grace window elapsed: its disks are evicted and rebuilt
+// onto the surviving nodes). See DESIGN.md §13.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/cluster"
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/object"
+	"github.com/oiraid/oiraid/internal/server"
+	"github.com/oiraid/oiraid/internal/store/netdev"
+)
+
+// clusterConfig holds the flags specific to the two cluster modes.
+type clusterConfig struct {
+	node       bool          // run as a storage node
+	nodeID     string        // this node's identity (verified by clients)
+	nodes      string        // coordinator: "id=url,id=url,..."
+	grace      time.Duration // unreachable → lost promotion window
+	netTimeout time.Duration // per-attempt deadline for node operations
+}
+
+// parseNodeSpecs parses the -nodes flag ("id=url,id=url,...").
+func parseNodeSpecs(s string) ([]cluster.NodeSpec, error) {
+	var specs []cluster.NodeSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("bad node spec %q (want id=url)", part)
+		}
+		specs = append(specs, cluster.NodeSpec{ID: id, URL: url})
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("no node specs in -nodes")
+	}
+	return specs, nil
+}
+
+// buildNode assembles a storage node from flags: dir-backed when -dir is
+// set (blobs persist and reopen across restarts), memory-backed otherwise.
+func buildNode(cfg config, ccfg clusterConfig) (*netdev.Node, error) {
+	if cfg.dir != "" {
+		return netdev.NewDirNode(ccfg.nodeID, cfg.dir)
+	}
+	return netdev.NewMemNode(ccfg.nodeID), nil
+}
+
+// runNode serves a storage node until SIGINT/SIGTERM.
+func runNode(cfg config, ccfg clusterConfig) error {
+	n, err := buildNode(cfg, ccfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		n.Close()
+		return err
+	}
+	log.Printf("oiraidd: storage node %q serving on http://%s", ccfg.nodeID, l.Addr())
+	hs := &http.Server{
+		Handler:           n.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		n.Close()
+		return err
+	case <-ctx.Done():
+		log.Printf("oiraidd: node %q shutting down", ccfg.nodeID)
+		sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		if cerr := n.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}
+}
+
+// buildClusterServer assembles coordinator mode: cluster mount → engine →
+// strip/object API. Split from runCoordinator so the end-to-end test can
+// boot the identical stack on a loopback listener.
+func buildClusterServer(cfg config, ccfg clusterConfig) (*server.Server, *cluster.Cluster, error) {
+	specs, err := parseNodeSpecs(ccfg.nodes)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.dir != "" {
+		if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
+			return nil, nil, err
+		}
+	}
+	copts := cluster.Options{
+		Dir:   cfg.dir,
+		Nodes: specs,
+		Client: netdev.Options{
+			Timeout:     ccfg.netTimeout,
+			MaxAttempts: cfg.retries,
+			Grace:       ccfg.grace,
+		},
+		Engine: engineOpts(cfg),
+		Format: &cluster.FormatSpec{Disks: cfg.disks, Cycles: cfg.cycles, StripBytes: cfg.strip},
+	}
+	c, err := cluster.Open(copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	objs, err := object.New(c.Eng, object.Options{})
+	if err != nil {
+		c.Close()
+		return nil, nil, fmt.Errorf("object plane: %w", err)
+	}
+	return server.New(c.Eng, server.Options{
+		RequestTimeout: cfg.timeout,
+		RebuildBatch:   cfg.batch,
+		OpTimeout:      cfg.opTimeout,
+		Objects:        objs,
+	}), c, nil
+}
+
+// engineOpts derives engine options from the shared flag set. It leaves
+// Retry unset: the single-process path adds a device retry layer on top,
+// while the coordinator relies on the NetDevice's own wire retries
+// (netdev.Options.MaxAttempts) — stacking both would multiply attempts.
+func engineOpts(cfg config) engine.Options {
+	opts := engine.Options{Workers: cfg.workers}
+	if cfg.evictAfter > 0 || cfg.hedgeMult > 0 || cfg.quarSlowFrac > 0 {
+		opts.Health = &engine.HealthPolicy{
+			EvictAfter:   cfg.evictAfter,
+			SlowOp:       cfg.slowOp,
+			RebuildBatch: cfg.batch,
+
+			HedgeMultiple: cfg.hedgeMult,
+			HedgeFloor:    cfg.hedgeFloor,
+			HedgeCeiling:  cfg.hedgeCeil,
+
+			QuarantineSlowFrac: cfg.quarSlowFrac,
+			QuarantineProbe:    cfg.quarProbe,
+			QuarantineEscalate: cfg.quarEscalate,
+		}
+	}
+	if cfg.admitDepth > 0 || cfg.rebuildRate > 0 || cfg.scrubInterval > 0 || cfg.latencyTarget > 0 {
+		opts.QoS = &engine.QoSConfig{
+			AdmitDepth:     cfg.admitDepth,
+			AdmitWait:      cfg.admitWait,
+			RebuildRate:    cfg.rebuildRate,
+			MinRebuildRate: cfg.minRate,
+			ScrubInterval:  cfg.scrubInterval,
+			ScrubBatch:     cfg.scrubBatch,
+			LatencyTarget:  cfg.latencyTarget,
+		}
+	}
+	return opts
+}
+
+// runCoordinator serves the cluster array until SIGINT/SIGTERM.
+func runCoordinator(cfg config, ccfg clusterConfig) error {
+	srv, c, err := buildClusterServer(cfg, ccfg)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	m := c.ManifestSnapshot()
+	log.Printf("oiraidd: coordinator serving %d disks across %d nodes on http://%s",
+		len(m.Disks), len(m.Nodes), l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Printf("oiraidd: coordinator shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		return srv.Shutdown(sctx) // closes the engine, draining node clients
+	}
+}

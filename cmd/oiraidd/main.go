@@ -76,37 +76,11 @@ func buildServer(cfg config) (*server.Server, error) {
 		return nil, err
 	}
 	var arr *oiraid.Array
-	opts := engine.Options{Workers: cfg.workers}
+	// engineOpts (shared with the cluster coordinator) covers health and
+	// QoS; the local-device path adds the retry layer on top.
+	opts := engineOpts(cfg)
 	if cfg.retries > 0 {
 		opts.Retry = &store.RetryPolicy{MaxAttempts: cfg.retries}
-	}
-	// The health monitor also hosts the tail-tolerance layer, so hedging
-	// or quarantine knobs activate it even with auto-eviction off.
-	if cfg.evictAfter > 0 || cfg.hedgeMult > 0 || cfg.quarSlowFrac > 0 {
-		opts.Health = &engine.HealthPolicy{
-			EvictAfter:   cfg.evictAfter,
-			SlowOp:       cfg.slowOp,
-			RebuildBatch: cfg.batch,
-
-			HedgeMultiple: cfg.hedgeMult,
-			HedgeFloor:    cfg.hedgeFloor,
-			HedgeCeiling:  cfg.hedgeCeil,
-
-			QuarantineSlowFrac: cfg.quarSlowFrac,
-			QuarantineProbe:    cfg.quarProbe,
-			QuarantineEscalate: cfg.quarEscalate,
-		}
-	}
-	if cfg.admitDepth > 0 || cfg.rebuildRate > 0 || cfg.scrubInterval > 0 || cfg.latencyTarget > 0 {
-		opts.QoS = &engine.QoSConfig{
-			AdmitDepth:     cfg.admitDepth,
-			AdmitWait:      cfg.admitWait,
-			RebuildRate:    cfg.rebuildRate,
-			MinRebuildRate: cfg.minRate,
-			ScrubInterval:  cfg.scrubInterval,
-			ScrubBatch:     cfg.scrubBatch,
-			LatencyTarget:  cfg.latencyTarget,
-		}
 	}
 	if cfg.dir != "" {
 		arr, g, cfg, err = openDurableArray(g, cfg)
@@ -301,9 +275,26 @@ func main() {
 	flag.DurationVar(&cfg.scrubInterval, "scrub-interval", 0, "pause between background scrub slices (0: scrubber off)")
 	flag.Int64Var(&cfg.scrubBatch, "scrub-batch", 1, "layout cycles per scrub slice")
 	flag.DurationVar(&cfg.latencyTarget, "latency-target", 0, "foreground-latency target driving adaptive pacing (0: off)")
+	var ccfg clusterConfig
+	flag.BoolVar(&ccfg.node, "node", false, "run as a storage node exporting local blobs (cluster mode)")
+	flag.StringVar(&ccfg.nodeID, "node-id", "node0", "storage node identity, verified by the coordinator")
+	flag.StringVar(&ccfg.nodes, "nodes", "", "coordinator mode: comma-separated id=url storage nodes")
+	flag.DurationVar(&ccfg.grace, "grace", 15*time.Second, "window before an unreachable node counts as lost (heal engages)")
+	flag.DurationVar(&ccfg.netTimeout, "net-timeout", 5*time.Second, "per-attempt deadline for storage-node operations")
 	flag.Parse()
 
-	if err := run(cfg); err != nil {
+	var err error
+	switch {
+	case ccfg.node && ccfg.nodes != "":
+		err = fmt.Errorf("-node and -nodes are mutually exclusive")
+	case ccfg.node:
+		err = runNode(cfg, ccfg)
+	case ccfg.nodes != "":
+		err = runCoordinator(cfg, ccfg)
+	default:
+		err = run(cfg)
+	}
+	if err != nil {
 		log.Fatalf("oiraidd: %v", err)
 	}
 }

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/store"
+	"github.com/oiraid/oiraid/internal/store/netdev"
+)
+
+// benchCluster boots three mem-backed storage nodes over loopback HTTP
+// and mounts the coordinator across them — the full wire path, no fault
+// transports in the way.
+func benchCluster(b *testing.B) (*Cluster, []*httptest.Server) {
+	b.Helper()
+	var specs []NodeSpec
+	var srvs []*httptest.Server
+	for _, id := range []string{"alpha", "beta", "gamma"} {
+		n := netdev.NewMemNode(id)
+		srv := httptest.NewServer(n.Handler())
+		b.Cleanup(srv.Close)
+		srvs = append(srvs, srv)
+		specs = append(specs, NodeSpec{ID: id, URL: srv.URL})
+	}
+	c, err := Open(Options{
+		Dir:   b.TempDir(),
+		Nodes: specs,
+		Client: netdev.Options{
+			Timeout:     5 * time.Second,
+			MaxAttempts: 2,
+			Grace:       time.Hour, // never promote to lost mid-benchmark
+		},
+		Engine: engine.Options{Workers: 4},
+		Format: &FormatSpec{Disks: 9, Cycles: 2, StripBytes: 4096},
+	})
+	if err != nil {
+		b.Fatalf("open cluster: %v", err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c, srvs
+}
+
+func reportLatency(b *testing.B, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(p(0.50), "p50-ms")
+	b.ReportMetric(p(0.99), "p99-ms")
+}
+
+// BenchmarkClusterWriteStrip measures a full coordinator strip write —
+// parity-closure RMW fanned out over HTTP to three nodes.
+func BenchmarkClusterWriteStrip(b *testing.B) {
+	c, _ := benchCluster(b)
+	p := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(p)
+	strips := c.Eng.Strips()
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := c.Eng.WriteStrip(int64(i)%strips, p); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}
+
+// BenchmarkClusterReadStrip measures a healthy coordinator read: one
+// wire round-trip to the node holding the data strip.
+func BenchmarkClusterReadStrip(b *testing.B) {
+	c, _ := benchCluster(b)
+	p := make([]byte, 4096)
+	rand.New(rand.NewSource(2)).Read(p)
+	strips := c.Eng.Strips()
+	for s := int64(0); s < strips; s++ {
+		if err := c.Eng.WriteStrip(s, p); err != nil {
+			b.Fatalf("seed write: %v", err)
+		}
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := c.Eng.ReadStrip(int64(i) % strips); err != nil {
+			b.Fatalf("read: %v", err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}
+
+// BenchmarkClusterDegradedRead measures a reconstruct-read with one
+// node dark: the read fans out to the surviving nodes and decodes the
+// strip from parity — the cost a partition adds to the read path once
+// the dark node's breaker is open.
+func BenchmarkClusterDegradedRead(b *testing.B) {
+	c, srvs := benchCluster(b)
+	p := make([]byte, 4096)
+	rand.New(rand.NewSource(3)).Read(p)
+	strips := c.Eng.Strips()
+	for s := int64(0); s < strips; s++ {
+		if err := c.Eng.WriteStrip(s, p); err != nil {
+			b.Fatalf("seed write: %v", err)
+		}
+	}
+	srvs[2].CloseClientConnections()
+	srvs[2].Close() // gamma goes dark
+	// Mark gamma's disks failed — the post-grace "node lost" state — so
+	// every read takes the reconstruct path instead of retrying the wire.
+	// The first evictions commit superblocks while gamma's other disks
+	// are still live-but-dark, so they surface transient errors; the
+	// in-memory failed state still advances and the last commit lands.
+	for _, d := range c.DisksOn("gamma") {
+		if err := c.Eng.FailDisk(d); err != nil && !store.IsTransient(err) {
+			b.Fatalf("fail disk %d: %v", d, err)
+		}
+	}
+	for s := int64(0); s < strips; s++ {
+		if _, err := c.Eng.ReadStrip(s); err != nil {
+			b.Fatalf("warm degraded read %d: %v", s, err)
+		}
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := c.Eng.ReadStrip(int64(i) % strips); err != nil {
+			b.Fatalf("degraded read: %v", err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}

@@ -1,0 +1,476 @@
+// Package cluster assembles an OI-RAID array whose disks live on remote
+// storage nodes (internal/store/netdev) and runs the engine over it —
+// the coordinator half of multi-node OI-RAID.
+//
+// Failure-domain mapping: disks are placed round-robin across nodes
+// (disk d on node d mod N), so the disks of one node form a set the
+// 9-disk OI-RAID geometry provably recovers from — losing a whole node
+// is survivable by construction, and the two-layer BIBD declustering
+// spreads the rebuild load over every surviving disk.
+//
+// Reachability handling composes three existing mechanisms:
+//
+//   - Node down (transient): the NodeClient's OnDown hook quarantines
+//     the node's disks, so foreground reads reconstruct around them
+//     (store.Array read-avoid) instead of stalling on retries; writes
+//     keep being attempted and return store.ErrUnreachable, which the
+//     health monitor deliberately does not count toward eviction.
+//   - Node back (OnUp): the quarantines are released and the disks
+//     serve reads again — no rebuild, nothing was evicted.
+//   - Node lost (grace window elapsed): operations turn into permanent
+//     errors, the monitor evicts the node's disks, and the engine's
+//     heal path rebuilds them onto replacement devices provisioned on
+//     surviving nodes — with each replacement's superblock blob rebound
+//     alongside (ArrayMeta.RebindSuperblock), so the metadata plane
+//     follows the data off the dead node.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oiraid/oiraid/internal/bibd"
+	"github.com/oiraid/oiraid/internal/core"
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/layout"
+	"github.com/oiraid/oiraid/internal/store"
+	"github.com/oiraid/oiraid/internal/store/netdev"
+)
+
+// NodeSpec names one storage node.
+type NodeSpec struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Placement records where one disk lives.
+type Placement struct {
+	Node   string `json:"node"`   // node ID
+	Device string `json:"device"` // device name on that node
+	Super  string `json:"super"`  // superblock blob name on that node
+}
+
+// Manifest is the coordinator's persisted cluster map: which nodes
+// exist and where each disk (and its superblock copy) currently lives.
+// It is a bootstrap hint, not the source of truth — the mount still
+// assembles from the superblocks themselves (media-authoritative), so a
+// stale manifest entry surfaces as a failed disk, never as silent
+// corruption.
+type Manifest struct {
+	Nodes      []NodeSpec  `json:"nodes"`
+	Disks      []Placement `json:"disks"`
+	Cycles     int64       `json:"cycles"`
+	StripBytes int         `json:"strip_bytes"`
+}
+
+// FormatSpec sizes a new cluster array.
+type FormatSpec struct {
+	Disks      int
+	Cycles     int64
+	StripBytes int
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the coordinator's state directory: cluster.json (the
+	// manifest) and the metadata journal live here. Empty runs volatile
+	// (in-memory journal, manifest not persisted) — tests only.
+	Dir string
+	// Nodes lists the storage nodes. Required when no manifest exists.
+	Nodes []NodeSpec
+	// Client is the per-node client template; ExpectID is filled per
+	// node, Seed is offset per node.
+	Client netdev.Options
+	// Engine configures the engine. Health must be set for a cluster
+	// (the quarantine probe loop drives partition recovery); Open
+	// installs a default policy when it is nil. Replace is overridden
+	// by the cluster's own provisioner.
+	Engine engine.Options
+	// Transport, when set, supplies the HTTP transport per node — the
+	// fault-injection hook for partition tests.
+	Transport func(NodeSpec) http.RoundTripper
+	// Format, when set and no cluster state exists yet, formats a new
+	// array of this size across the nodes.
+	Format *FormatSpec
+}
+
+// Cluster is a mounted multi-node array: the engine plus the node
+// clients it rides on.
+type Cluster struct {
+	Eng   *engine.Engine
+	Mount *store.Mount
+
+	dir      string
+	mu       sync.Mutex // guards manifest + persisted file
+	manifest Manifest
+
+	clients map[string]*netdev.NodeClient // node ID → client
+	order   []string                      // node IDs in manifest order
+
+	replaceSeq atomic.Int64 // suffix for replacement device names
+}
+
+// Open mounts (or formats) the cluster array and starts the engine.
+func Open(opts Options) (*Cluster, error) {
+	c := &Cluster{dir: opts.Dir, clients: map[string]*netdev.NodeClient{}}
+
+	// Manifest: from disk when present, else built fresh from Format.
+	loaded, err := c.loadManifest()
+	if err != nil {
+		return nil, err
+	}
+	if !loaded {
+		if opts.Format == nil {
+			return nil, errors.New("cluster: no manifest and no format spec")
+		}
+		if len(opts.Nodes) == 0 {
+			return nil, errors.New("cluster: no nodes")
+		}
+		c.manifest = buildManifest(opts.Nodes, *opts.Format)
+	}
+	man := c.manifest
+
+	// One client per node. The engine does not exist yet, so the
+	// reachability hooks go through an atomic pointer filled in below.
+	var engPtr atomic.Pointer[engine.Engine]
+	for i, n := range man.Nodes {
+		n := n
+		copts := opts.Client
+		copts.ExpectID = n.ID
+		copts.Seed = opts.Client.Seed + int64(i)*7919
+		if opts.Transport != nil {
+			copts.Transport = opts.Transport(n)
+		}
+		copts.OnDown = func() { c.nodeDown(engPtr.Load(), n.ID) }
+		copts.OnUp = func() { c.nodeUp(engPtr.Load(), n.ID) }
+		c.clients[n.ID] = netdev.NewNodeClient(n.URL, copts)
+		c.order = append(c.order, n.ID)
+	}
+	closeClients := func() {
+		for _, cl := range c.clients {
+			cl.Close()
+		}
+	}
+
+	// Geometry: disks count from the manifest placements.
+	an, err := analyzerFor(len(man.Disks))
+	if err != nil {
+		closeClients()
+		return nil, err
+	}
+	strips := man.Cycles * int64(an.SlotsPerDisk())
+
+	// Bind devices and superblock blobs per placement.
+	devs := make([]store.Device, len(man.Disks))
+	sbs := make([]store.Blob, len(man.Disks))
+	for d, p := range man.Disks {
+		cl, ok := c.clients[p.Node]
+		if !ok {
+			closeClients()
+			return nil, fmt.Errorf("cluster: disk %d placed on unknown node %q", d, p.Node)
+		}
+		if loaded {
+			// Bind blind: geometry comes from the manifest, verification
+			// from the superblocks at mount. Asking the node here would
+			// make an unreachable node block a degraded mount.
+			devs[d], sbs[d] = cl.Device(p.Device, strips, man.StripBytes), cl.Blob(p.Super)
+		} else {
+			devs[d], err = cl.CreateDevice(p.Device, strips, man.StripBytes)
+			if err == nil {
+				sbs[d], err = cl.CreateBlob(p.Super)
+			}
+		}
+		if err != nil {
+			closeClients()
+			return nil, fmt.Errorf("cluster: disk %d on node %s: %w", d, p.Node, err)
+		}
+	}
+
+	// The metadata journal is coordinator-local state: tying it to a
+	// node would couple every metadata commit to that node's
+	// availability, and the journal is the coordinator's own write-ahead
+	// record, not array media.
+	var j0, j1 store.Blob
+	if c.dir != "" {
+		if j0, err = store.CreateFileBlob(filepath.Join(c.dir, "meta0.journal")); err != nil {
+			closeClients()
+			return nil, err
+		}
+		if j1, err = store.CreateFileBlob(filepath.Join(c.dir, "meta1.journal")); err != nil {
+			closeClients()
+			return nil, err
+		}
+	} else {
+		j0, j1 = store.NewMemBlob(), store.NewMemBlob()
+	}
+
+	var mnt *store.Mount
+	if loaded {
+		mnt, err = store.MountArray(an, devs, sbs, j0, j1)
+	} else {
+		mnt, err = store.FormatArray(an, devs, sbs, j0, j1)
+	}
+	if err != nil {
+		closeClients()
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+
+	eopts := opts.Engine
+	if eopts.Health == nil {
+		eopts.Health = &engine.HealthPolicy{}
+	}
+	eopts.Replace = c.provisionReplacement
+	eng, err := engine.New(mnt.Array, eopts)
+	if err != nil {
+		closeClients()
+		return nil, err
+	}
+	engPtr.Store(eng)
+	// Node clients close at the very end of engine shutdown: the seal
+	// writes superblocks through them, and the drain guarantees no
+	// probe/callback goroutine outlives Close.
+	eng.OnClose(func() error {
+		var first error
+		for _, id := range c.order {
+			if err := c.clients[id].Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	})
+
+	c.Eng = eng
+	c.Mount = mnt
+	// Replacement names must not collide across coordinator restarts:
+	// continue from the count of non-original placements.
+	c.replaceSeq.Store(int64(replacementCount(man)))
+	if !loaded {
+		if err := c.saveManifest(); err != nil {
+			eng.Close()
+			return nil, err
+		}
+	}
+	// A node that was already unreachable at mount shows up as failed
+	// disks (the mount detected their superblocks missing); the engine
+	// heals them like any other failure once ops start flowing.
+	return c, nil
+}
+
+// Close shuts the engine down (which seals metadata, then closes the
+// node clients via the OnClose hook).
+func (c *Cluster) Close() error { return c.Eng.Close() }
+
+// Client returns the node client for id (tests, CLI surfacing).
+func (c *Cluster) Client(id string) *netdev.NodeClient {
+	return c.clients[id]
+}
+
+// Manifest returns a copy of the current cluster map.
+func (c *Cluster) ManifestSnapshot() Manifest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.manifest
+	m.Nodes = append([]NodeSpec(nil), c.manifest.Nodes...)
+	m.Disks = append([]Placement(nil), c.manifest.Disks...)
+	return m
+}
+
+// DisksOn lists the disk indices currently placed on node id.
+func (c *Cluster) DisksOn(id string) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for d, p := range c.manifest.Disks {
+		if p.Node == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// nodeDown quarantines every disk on the node: reads reconstruct around
+// them (the partition would otherwise stall every read that lands on
+// the node for a full retry budget), writes keep probing the path.
+func (c *Cluster) nodeDown(eng *engine.Engine, id string) {
+	if eng == nil {
+		return
+	}
+	for _, d := range c.DisksOn(id) {
+		_ = eng.QuarantineDisk(d) // best effort; closed engine says no
+	}
+}
+
+// nodeUp releases the node's quarantines: the disks were healthy the
+// whole time, nothing needs rebuilding.
+func (c *Cluster) nodeUp(eng *engine.Engine, id string) {
+	if eng == nil {
+		return
+	}
+	for _, d := range c.DisksOn(id) {
+		_ = eng.ReleaseDisk(d)
+	}
+	// A down episode can leave half-committed parity closures: a commit
+	// whose write to this node failed (or whose ack was lost) left its
+	// redo record pending. Replay them now that the node is back so
+	// every stripe is self-consistent again — the cluster's equivalent
+	// of a post-rejoin resync.
+	eng.Array().RecoverIntent()
+}
+
+// provisionReplacement is the engine's Replace hook: a new device for
+// disk d on a surviving node, with the superblock copy rebound next to
+// it and the manifest updated — the step that moves a dead node's disk
+// to live hardware.
+func (c *Cluster) provisionReplacement(d int) (store.Device, error) {
+	c.mu.Lock()
+	if d < 0 || d >= len(c.manifest.Disks) {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: disk %d", store.ErrNoSuchDisk, d)
+	}
+	// Pick the surviving node with the fewest disks (ties broken by
+	// manifest order) so replacements spread instead of piling onto one
+	// node.
+	load := map[string]int{}
+	for _, p := range c.manifest.Disks {
+		load[p.Node]++
+	}
+	best := ""
+	for _, id := range c.order {
+		cl := c.clients[id]
+		if cl.Lost() || cl.Down() {
+			continue
+		}
+		if best == "" || load[id] < load[best] {
+			best = id
+		}
+	}
+	c.mu.Unlock()
+	if best == "" {
+		return nil, fmt.Errorf("%w: no reachable node for replacement of disk %d", store.ErrUnreachable, d)
+	}
+
+	seq := c.replaceSeq.Add(1)
+	devName := fmt.Sprintf("disk%02d-r%d", d, seq)
+	sbName := fmt.Sprintf("sb%02d-r%d", d, seq)
+	cl := c.clients[best]
+	an := c.Mount.Array.Analyzer()
+	strips := c.Mount.Array.Cycles() * int64(an.SlotsPerDisk())
+	dev, err := cl.CreateDevice(devName, strips, c.Mount.Array.StripBytes())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: provision disk %d on %s: %w", d, best, err)
+	}
+	sb, err := cl.CreateBlob(sbName)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: provision superblock %d on %s: %w", d, best, err)
+	}
+	if err := c.Mount.Meta.RebindSuperblock(d, sb); err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	c.manifest.Disks[d] = Placement{Node: best, Device: devName, Super: sbName}
+	err = c.saveManifestLocked()
+	c.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return dev, nil
+}
+
+func (c *Cluster) manifestPath() string { return filepath.Join(c.dir, "cluster.json") }
+
+func (c *Cluster) loadManifest() (bool, error) {
+	if c.dir == "" {
+		return false, nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return false, err
+	}
+	raw, err := os.ReadFile(c.manifestPath())
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(raw, &c.manifest); err != nil {
+		return false, fmt.Errorf("cluster: manifest %s: %w", c.manifestPath(), err)
+	}
+	return true, nil
+}
+
+func (c *Cluster) saveManifest() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveManifestLocked()
+}
+
+// saveManifestLocked persists the manifest atomically; volatile
+// clusters (no dir) keep it in memory only.
+func (c *Cluster) saveManifestLocked() error {
+	if c.dir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(c.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := c.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, c.manifestPath()); err != nil {
+		return err
+	}
+	return store.SyncDir(c.dir)
+}
+
+// buildManifest places disk d on node d mod N. For the canonical 9-disk
+// geometry on 3 nodes this yields node-aligned disk sets ({0,3,6},
+// {1,4,7}, {2,5,8}), each of which the layout provably recovers from.
+func buildManifest(nodes []NodeSpec, spec FormatSpec) Manifest {
+	m := Manifest{
+		Nodes:      append([]NodeSpec(nil), nodes...),
+		Cycles:     spec.Cycles,
+		StripBytes: spec.StripBytes,
+	}
+	for d := 0; d < spec.Disks; d++ {
+		m.Disks = append(m.Disks, Placement{
+			Node:   nodes[d%len(nodes)].ID,
+			Device: fmt.Sprintf("disk%02d", d),
+			Super:  fmt.Sprintf("sb%02d", d),
+		})
+	}
+	return m
+}
+
+// replacementCount counts placements that are not original ("diskNN")
+// names, seeding the replacement sequence after a restart.
+func replacementCount(m Manifest) int {
+	n := 0
+	for d, p := range m.Disks {
+		if p.Device != fmt.Sprintf("disk%02d", d) {
+			n++
+		}
+	}
+	return n
+}
+
+// analyzerFor builds the OI-RAID analyzer for the given disk count.
+func analyzerFor(disks int) (*core.Analyzer, error) {
+	d, err := bibd.ForArray(disks)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := layout.NewOIRAID(d)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewAnalyzer(sch)
+}

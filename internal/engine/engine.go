@@ -136,6 +136,12 @@ type Engine struct {
 	stopCh  chan struct{}
 	scrubWg sync.WaitGroup
 
+	// closers run at the tail of Close, after the metadata seal: transport
+	// teardown (network node clients) must stay alive until the seal's
+	// superblock writes have gone through them.
+	closerMu sync.Mutex
+	closers  []func() error
+
 	stats counters
 }
 
@@ -332,14 +338,34 @@ func (e *Engine) WriteStripCtx(ctx context.Context, addr int64, p []byte) error 
 		return err
 	}
 	defer release()
-	if err := e.stripOp(addr, true, func() error {
+	fn := func() error {
 		_, err := e.arr.ConcurrentWriteAt(p, addr*int64(e.stripBytes))
 		return err
-	}); err != nil {
-		return err
+	}
+	if err := e.stripOp(addr, true, fn); err != nil {
+		err = e.resolveIntentConflict(err, func() error { return e.stripOp(addr, true, fn) })
+		if err != nil {
+			return err
+		}
 	}
 	e.stats.writes.Add(1)
 	return nil
+}
+
+// resolveIntentConflict handles a write refused because a pending redo
+// record from another (possibly abandoned) write overlaps its parity
+// closure: it replays all pending records under the array's exclusive
+// lock — safe, since a pending record by construction has no overlapping
+// commit acknowledged after it — and retries the write once. Must be
+// called with no engine locks held (retry re-acquires them itself).
+func (e *Engine) resolveIntentConflict(err error, retry func() error) error {
+	if !errors.Is(err, store.ErrIntentConflict) {
+		return err
+	}
+	if _, rerr := e.arr.RecoverIntent(); rerr != nil {
+		return err
+	}
+	return retry()
 }
 
 // stripOp runs fn for one data strip under the engine's exclusion
@@ -502,10 +528,13 @@ func (e *Engine) rangeOp(ctx context.Context, p []byte, off int64, write bool) (
 			}
 			var err error
 			if write {
-				err = e.stripOp(addr, true, func() error {
+				fn := func() error {
 					_, werr := e.arr.ConcurrentWriteAt(chunk, addr*int64(e.stripBytes)+int64(within))
 					return werr
-				})
+				}
+				if err = e.stripOp(addr, true, fn); err != nil {
+					err = e.resolveIntentConflict(err, func() error { return e.stripOp(addr, true, fn) })
+				}
 				e.stats.writes.Add(1)
 			} else {
 				err = e.stripOp(addr, false, func() error {
@@ -640,6 +669,15 @@ func (e *Engine) rebuildLoop(batch int64, done chan struct{}) {
 				} else {
 					err = aerr
 				}
+			}
+			// RebuildStep closes the write hole before decoding — it
+			// replays pending redo records of half-applied commits — and
+			// aborts the batch if a replay write is still unreachable.
+			// That is a wait, not a failure: retry at the next pace tick
+			// (the flapping node either returns or gets evicted, at which
+			// point its strips are skipped).
+			if errors.Is(err, store.ErrIntentReplay) {
+				continue
 			}
 			break
 		}
@@ -782,5 +820,32 @@ func (e *Engine) Close() error {
 	// Losing hedge branches still touch the array; drain their reapers
 	// before sealing.
 	e.hedgeWg.Wait()
-	return e.arr.SealMeta()
+	err := e.arr.SealMeta()
+	// Transport teardown last: the seal above writes superblocks through
+	// whatever device/blob transports the array rides on, so node clients
+	// (and their background probes/retries) must outlive it. Closers also
+	// make the goroutine-leak guard in cluster tests meaningful — a probe
+	// still in flight after Close returns is a bug.
+	e.closerMu.Lock()
+	closers := e.closers
+	e.closers = nil
+	e.closerMu.Unlock()
+	for _, c := range closers {
+		if cerr := c(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// OnClose registers fn to run at the tail of Close, after the worker
+// pool has drained and the metadata plane is sealed. The cluster layer
+// uses it to tear down node clients — closing their idle connections and
+// draining their background probe goroutines — once the last superblock
+// write has gone over the wire. Closers run in registration order; the
+// first error is returned from Close (a seal error wins).
+func (e *Engine) OnClose(fn func() error) {
+	e.closerMu.Lock()
+	e.closers = append(e.closers, fn)
+	e.closerMu.Unlock()
 }

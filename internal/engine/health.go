@@ -111,6 +111,10 @@ type DiskHealth struct {
 	Errors int64 `json:"errors"`
 	// TransientErrors counts the subset of Errors that were transient.
 	TransientErrors int64 `json:"transient_errors"`
+	// UnreachableErrors counts operations that failed because the path to
+	// the device (a storage node, a network link) was down. They do not
+	// count toward Errors or eviction — the device is presumed healthy.
+	UnreachableErrors int64 `json:"unreachable_errors"`
 	// RetriesAbsorbed counts transient faults the retry policy hid from
 	// the array (zero when no retry policy is configured).
 	RetriesAbsorbed int64 `json:"retries_absorbed"`
@@ -160,6 +164,7 @@ type HealthReport struct {
 // the fresh disk that replaced it.
 type diskCounters struct {
 	ops, errors, transient, corrupt, slow atomic.Int64
+	unreachable                           atomic.Int64
 	latencyNs                             atomic.Int64
 	evicted                               atomic.Bool
 	gen                                   atomic.Int64
@@ -288,6 +293,15 @@ func (m *monitor) observe(disk int, gen int64, dur time.Duration, err error) {
 		// and the corrupt counter give it visibility.
 		c.corrupt.Add(1)
 		return
+	case errors.Is(err, store.ErrUnreachable):
+		// The path to the device is down, not the device itself. Count it
+		// for visibility, but never toward eviction: evicting (and then
+		// rebuilding) a healthy disk because of a network blip would turn
+		// a transient partition into a multi-hour heal. The network layer
+		// escalates to ErrPermanent itself once its grace window elapses,
+		// and that error lands in the eviction branch below like any other.
+		c.unreachable.Add(1)
+		return
 	case store.IsTransient(err):
 		c.transient.Add(1)
 	}
@@ -306,6 +320,7 @@ func (m *monitor) adopt(disk int) {
 	c.gen.Add(1)
 	c.errors.Store(0)
 	c.transient.Store(0)
+	c.unreachable.Store(0)
 	c.evicted.Store(false)
 	// The fresh device starts with clean tail state too: latency history,
 	// slow fraction, and the quarantine escalation count all belonged to
@@ -447,15 +462,16 @@ func (e *Engine) Health() HealthReport {
 	for d := range rep.Disks {
 		c := &e.mon.disks[d]
 		h := DiskHealth{
-			Disk:            d,
-			State:           "healthy",
-			Ops:             c.ops.Load(),
-			Errors:          c.errors.Load(),
-			TransientErrors: c.transient.Load(),
-			RetriesAbsorbed: retries[d],
-			CorruptReads:    c.corrupt.Load(),
-			SlowOps:         c.slow.Load(),
-			Quarantines:     c.quarantines.Load(),
+			Disk:              d,
+			State:             "healthy",
+			Ops:               c.ops.Load(),
+			Errors:            c.errors.Load(),
+			TransientErrors:   c.transient.Load(),
+			UnreachableErrors: c.unreachable.Load(),
+			RetriesAbsorbed:   retries[d],
+			CorruptReads:      c.corrupt.Load(),
+			SlowOps:           c.slow.Load(),
+			Quarantines:       c.quarantines.Load(),
 		}
 		if h.Ops > 0 {
 			h.MeanLatencyUs = float64(c.latencyNs.Load()) / float64(h.Ops) / 1e3

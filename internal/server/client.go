@@ -227,7 +227,7 @@ func remoteError(status int, body string) error {
 		store.ErrStripOutOfRange, store.ErrNoSuchDisk, store.ErrShortBuffer,
 		store.ErrNegativeOffset, store.ErrBadGeometry, store.ErrNotFailed,
 		store.ErrNoReplacement, store.ErrTooManyFailures, store.ErrDiskFaulty,
-		store.ErrTransient, store.ErrPermanent, store.ErrOverloaded,
+		store.ErrUnreachable, store.ErrTransient, store.ErrPermanent, store.ErrOverloaded,
 		engine.ErrRebuildRunning, engine.ErrClosed,
 		object.ErrNoSuchBucket, object.ErrBucketExists, object.ErrBucketNotEmpty,
 		object.ErrNoSuchObject, object.ErrNoSuchUpload, object.ErrBadName,

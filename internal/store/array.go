@@ -652,6 +652,145 @@ func (a *Array) writeAtLocked(p []byte, off int64) (int, error) {
 	return total, nil
 }
 
+// readStripForUpdate collects an old-value snapshot for a read-modify-
+// write. Unlike the foreground read path it never serves a quarantined
+// disk's strip by decoding through a sibling stripe: a derived value
+// equals the media value only while every deriving stripe is consistent,
+// and during retry storms transiently half-committed stripes exist — a
+// delta computed from such a derived value would poison parity for good.
+// A live disk is read directly (an unreachable one aborts the write,
+// which the caller retries); only a genuinely failed disk's strip is
+// reconstructed, where stripes are kept consistent by replay-before-
+// rebuild.
+func (a *Array) readStripForUpdate(d int, devStrip int64, p []byte) error {
+	dev := a.liveDevice(d, devStrip)
+	if dev == nil {
+		return a.reconstructStrip(d, devStrip, p)
+	}
+	a.stats.readOps.Add(1)
+	err := dev.ReadStrip(devStrip, p)
+	if err == nil {
+		return nil
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		return err
+	}
+	a.stats.corruptStrips.Add(1)
+	if err := a.reconstructStrip(d, devStrip, p); err != nil {
+		return fmt.Errorf("store: read repair of strip (%d,%d): %w", d, devStrip, err)
+	}
+	a.stats.writeOps.Add(1)
+	a.stats.readRepairs.Add(1)
+	return dev.WriteStrip(devStrip, p)
+}
+
+// closureMembers walks the parity closure of a target data strip purely
+// structurally — the same breadth-first traversal the delta phase of a
+// read-modify-write performs, without touching any device. The result is
+// deterministic per target, which is what lets a retry recognise the redo
+// record its failed predecessor left behind: same target, same strip set.
+func (a *Array) closureMembers(target layout.Strip) (map[layout.Strip]bool, error) {
+	members := map[layout.Strip]bool{target: true}
+	frontier := []layout.Strip{target}
+	for depth := 0; len(frontier) > 0; depth++ {
+		if depth > 8 {
+			return nil, fmt.Errorf("store: parity closure deeper than 8 levels; cyclic scheme?")
+		}
+		var next []layout.Strip
+		for _, st := range frontier {
+			for _, si := range a.an.DataMemberStripes(st) {
+				stripe := a.sch.Stripes()[si]
+				for j := stripe.Data; j < len(stripe.Strips); j++ {
+					pst := stripe.Strips[j]
+					if !members[pst] {
+						members[pst] = true
+						next = append(next, pst)
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return members, nil
+}
+
+// resolvePendingClosures is the consistency barrier ahead of a
+// read-modify-write's snapshot. A commit that failed partway can leave
+// the closure half-applied on media — over a network transport a "failed"
+// write may in fact have landed (the ack was lost), so after the failure
+// some strips hold the new content and some the old. Snapshotting such
+// media computes deltas from a mix of bases: in the worst case the target
+// reads back its own ghost-landed value, the delta is zero, and the
+// commit would rewrite every stale parity strip with its stale value and
+// acknowledge — freezing the inconsistency and discarding the very redo
+// record that could repair it.
+//
+// So before reading anything, the write resolves the cycle's pending redo
+// records against its own (structurally derived) closure membership:
+//
+//   - A record whose strips all lie inside the closure is a failed earlier
+//     attempt of this same write (the closure of a target is deterministic
+//     and contains exactly one data strip — the target — so no other
+//     write's record can be a subset). It is replayed onto the live strips,
+//     restoring the media to the consistent recorded state, and cleared.
+//     The caller's striped locks cover the whole closure, so the replay
+//     races with nothing.
+//   - A record that merely overlaps the closure belongs to a different
+//     in-flight write; committing over it would break the invariant that a
+//     pending record is never older than an acknowledged overlapping
+//     commit (which is what makes replaying it at recovery, rebuild or
+//     node-return time unconditionally safe). The write refuses with
+//     ErrIntentConflict and the caller retries; the conflict clears once
+//     the record's own writer replays it.
+//   - Disjoint records are left alone.
+func (a *Array) resolvePendingClosures(closure ClosureLogger, cycle, slots int64, members map[layout.Strip]bool) error {
+	pending, err := closure.PendingClosures()
+	if err != nil {
+		return err
+	}
+	for _, pc := range pending {
+		if pc.Cycle != cycle || len(pc.Strips) == 0 {
+			continue
+		}
+		overlap, covered := false, true
+		for _, su := range pc.Strips {
+			if members[layout.Strip{Disk: su.Disk, Slot: su.Slot}] {
+				overlap = true
+			} else {
+				covered = false
+			}
+		}
+		if !overlap {
+			continue
+		}
+		if !covered {
+			return fmt.Errorf("%w: cycle %d", ErrIntentConflict, cycle)
+		}
+		for _, su := range pc.Strips {
+			if su.Disk < 0 || su.Disk >= len(a.devs) || su.Slot < 0 ||
+				int64(su.Slot) >= slots || len(su.Data) != a.stripBytes {
+				continue // stale record from a different geometry
+			}
+			ds := cycle*slots + int64(su.Slot)
+			dev := a.liveDevice(su.Disk, ds)
+			if dev == nil {
+				continue // failed disk: live stripes carry its content
+			}
+			a.stats.writeOps.Add(1)
+			if err := dev.WriteStrip(ds, su.Data); err != nil {
+				// Consistency not restored; keep the record and fail the op
+				// (the caller retries, as it would for the original failure).
+				return fmt.Errorf("%w: strip (%d,%d) of cycle %d: %v",
+					ErrIntentReplay, su.Disk, su.Slot, cycle, err)
+			}
+		}
+		if err := closure.ClearClosure(pc.Cycle, pc.Strips); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // writeStripRange applies a sub-strip write to logical data strip dataIdx
 // as a snapshot-then-commit read-modify-write: first the old values of the
 // data strip and its whole parity closure are collected (reconstructing
@@ -664,8 +803,19 @@ func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
 	cycle, slot := devStrip/slots, int(devStrip%slots)
 	target := layout.Strip{Disk: d, Slot: slot}
 
+	closure, redo := a.intent.(ClosureLogger)
+	if redo {
+		members, err := a.closureMembers(target)
+		if err != nil {
+			return err
+		}
+		if err := a.resolvePendingClosures(closure, cycle, slots, members); err != nil {
+			return err
+		}
+	}
+
 	oldData := make([]byte, a.stripBytes)
-	if err := a.readStrip(d, devStrip, oldData); err != nil {
+	if err := a.readStripForUpdate(d, devStrip, oldData); err != nil {
 		return err
 	}
 	newData := append([]byte(nil), oldData...)
@@ -719,7 +869,7 @@ func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
 						continue
 					}
 					oldParity[j] = make([]byte, a.stripBytes)
-					if err := a.readStrip(pst.Disk, cycle*slots+int64(pst.Slot), oldParity[j]); err != nil {
+					if err := a.readStripForUpdate(pst.Disk, cycle*slots+int64(pst.Slot), oldParity[j]); err != nil {
 						return err
 					}
 					newParity[j] = append([]byte(nil), oldParity[j]...)
@@ -747,9 +897,9 @@ func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
 	// a redo record carrying the full new closure content, which recovery
 	// replays verbatim — sound even when a disk has also failed, where
 	// recomputing parity from a half-written stripe would not be.
-	closure, redo := a.intent.(ClosureLogger)
+	var ups []StripUpdate
 	if redo {
-		ups := make([]StripUpdate, 0, len(updates))
+		ups = make([]StripUpdate, 0, len(updates))
 		for st, up := range updates {
 			ups = append(ups, StripUpdate{Disk: st.Disk, Slot: st.Slot, Data: up.new})
 		}
@@ -761,18 +911,43 @@ func (a *Array) writeStripRange(dataIdx int64, within int, data []byte) error {
 			return err
 		}
 	}
+	// The commit is best-effort across the whole closure: a strip write
+	// that errors does not abort the remaining writes. Aborting would
+	// leave the stripe half old, half new — and over a network device a
+	// "failed" write may in fact have landed (the ack was lost), so a
+	// later read-modify-write against that ghost would compute a zero
+	// parity delta and freeze parity stale forever. Writing the rest of
+	// the closure keeps the live strips mutually consistent with the new
+	// content; the op still fails, the caller re-sends, and the retry is
+	// an idempotent rewrite of the same closure. The intent record is
+	// deliberately left in place on error so recovery can replay it.
+	var commitErr error
+	skipped := 0
 	for st, up := range updates {
 		dev := a.liveDevice(st.Disk, cycle*slots+int64(st.Slot))
 		if dev == nil {
+			skipped++
+			// Failed strip: skip. Its delta still lands on every live
+			// parity in the closure (propagated breadth-first above), so
+			// reconstruction — degraded reads and the rebuild alike —
+			// recovers the post-write value from the live stripes.
 			continue
 		}
 		a.stats.writeOps.Add(1)
 		if err := dev.WriteStrip(cycle*slots+int64(st.Slot), up.new); err != nil {
-			return err
+			if commitErr == nil {
+				commitErr = err
+			}
 		}
 	}
+	if commitErr != nil {
+		return commitErr
+	}
 	if redo {
-		if err := closure.ClearClosure(cycle); err != nil {
+		// Scoped to this write's strip set: records of other in-flight
+		// writes on the cycle keep their repair content (resolve above
+		// guarantees none of them overlapped this closure).
+		if err := closure.ClearClosure(cycle, ups); err != nil {
 			return err
 		}
 	} else if a.intent != nil {

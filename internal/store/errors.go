@@ -1,6 +1,9 @@
 package store
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Sentinel errors of the data plane. Callers branch with errors.Is; the
 // network server maps them onto HTTP statuses. Every error returned by
@@ -48,6 +51,31 @@ var (
 	// and retry, exactly as for 503.
 	ErrOverloaded = errors.New("store: overloaded, request shed by admission control")
 )
+
+// ErrUnreachable reports a device whose backing transport — a storage
+// node, a network path — cannot currently be reached. It wraps
+// ErrTransient, so retry and backoff layers treat it like any other
+// transient fault, but the health monitor does not count it toward disk
+// eviction: the disk is not sick, the path to it is. The network device
+// layer decides when unreachability becomes permanent (its grace window
+// elapses and it starts returning ErrPermanent instead), and only then
+// does the evict→spare→rebuild heal path engage.
+var ErrUnreachable = fmt.Errorf("store: device unreachable: %w", ErrTransient)
+
+// ErrIntentConflict reports a read-modify-write that found a pending redo
+// record from a *different* write overlapping its parity closure. Acking
+// over such a record would let a later replay of it rewind this write's
+// committed strips, so the operation refuses instead. It wraps
+// ErrTransient: the conflict clears as soon as the record's own writer
+// retries (replaying its record) or a quiesced recovery replays it.
+var ErrIntentConflict = fmt.Errorf("store: overlapping parity closure pending: %w", ErrTransient)
+
+// ErrIntentReplay reports a failed replay of a pending redo record — the
+// array could not restore a half-committed closure to consistency because
+// a live strip it must rewrite is unreachable. The record stays pending;
+// the operation that needed consistency (a rebuild step, a recovery pass)
+// should be retried.
+var ErrIntentReplay = errors.New("store: pending closure replay failed")
 
 // IsTransient reports whether err is worth retrying at the same device —
 // the branch the retry policy and the health monitor take between backoff

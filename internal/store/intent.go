@@ -232,7 +232,11 @@ func (a *Array) SetIntentLog(log IntentLog) {
 // the live strips restores consistency regardless of which subset of the
 // original writes reached the media — and it is sound even while disks
 // are failed (strips on dead disks are simply skipped; the rebuild
-// reconstructs them from the now-consistent stripes).
+// reconstructs them from the now-consistent stripes). Replay can never
+// rewind an acknowledged write: a read-modify-write refuses to commit
+// while a record from a different write overlaps its closure
+// (ErrIntentConflict), so any record still pending has had no overlapping
+// commit acknowledged after it was recorded.
 //
 // With a plain IntentLog, recovery recomputes parity from data for every
 // pending cycle (outer layer first). That requires a healthy array: with
@@ -315,10 +319,11 @@ func (a *Array) replayClosures(closure ClosureLogger) (int, error) {
 			}
 			a.stats.writeOps.Add(1)
 			if err := dev.WriteStrip(devStrip, su.Data); err != nil {
-				return len(replayed), err
+				return len(replayed), fmt.Errorf("%w: strip (%d,%d) of cycle %d: %v",
+					ErrIntentReplay, su.Disk, su.Slot, pc.Cycle, err)
 			}
 		}
-		if err := closure.ClearClosure(pc.Cycle); err != nil {
+		if err := closure.ClearClosure(pc.Cycle, pc.Strips); err != nil {
 			return len(replayed), err
 		}
 		replayed[pc.Cycle] = true

@@ -111,9 +111,15 @@ type ClosureLogger interface {
 	// RecordClosure appends a redo record and makes it durable before
 	// returning.
 	RecordClosure(cycle int64, strips []StripUpdate) error
-	// ClearClosure marks the closure committed (lazily durable: replaying
-	// a committed closure is idempotent).
-	ClearClosure(cycle int64) error
+	// ClearClosure marks a closure committed (lazily durable: replaying a
+	// committed closure is idempotent). A non-empty strip set drops only
+	// the pending records for that cycle whose strip set matches exactly —
+	// the record of the acked write and of earlier failed attempts of the
+	// same write, which share its deterministic closure — leaving records
+	// of other in-flight writes on the cycle intact, since those still
+	// carry the repair content their own retries replay. A nil set keeps
+	// the legacy cycle-wide semantics.
+	ClearClosure(cycle int64, strips []StripUpdate) error
 	// PendingClosures lists redo records recorded but never cleared.
 	PendingClosures() ([]PendingClosure, error)
 }
@@ -294,11 +300,11 @@ func (j *MetaJournal) apply(payload []byte) error {
 		}
 		j.pending = append(j.pending, *pc)
 	case recClear:
-		if len(payload) != 1+8 {
-			return fmt.Errorf("%w: clear record length %d", ErrJournalCorrupt, len(payload))
+		cycle, ids, err := decodeClear(payload)
+		if err != nil {
+			return err
 		}
-		cycle := int64(le.Uint64(payload[1:]))
-		j.dropPending(cycle)
+		j.dropPending(cycle, ids)
 	case recTransition:
 		if len(payload) != 1+1+4+8 {
 			return fmt.Errorf("%w: transition record length %d", ErrJournalCorrupt, len(payload))
@@ -362,6 +368,46 @@ func decodeClosure(payload []byte, disks int) (*PendingClosure, error) {
 		return nil, fmt.Errorf("%w: closure record has %d trailing bytes", ErrJournalCorrupt, len(payload)-off)
 	}
 	return pc, nil
+}
+
+// encodeClear builds one clear-record payload: cycle plus the strip ids of
+// the closure being cleared (empty ids = cycle-wide legacy clear).
+func encodeClear(cycle int64, ids [][2]int) []byte {
+	payload := make([]byte, 1+8+2+8*len(ids))
+	payload[0] = recClear
+	le := binary.LittleEndian
+	le.PutUint64(payload[1:], uint64(cycle))
+	le.PutUint16(payload[9:], uint16(len(ids)))
+	off := 11
+	for _, id := range ids {
+		le.PutUint32(payload[off:], uint32(id[0]))
+		le.PutUint32(payload[off+4:], uint32(id[1]))
+		off += 8
+	}
+	return payload
+}
+
+// decodeClear parses one clear-record payload. The bare 9-byte form (no
+// strip-id list) is the legacy cycle-wide clear.
+func decodeClear(payload []byte) (cycle int64, ids [][2]int, err error) {
+	le := binary.LittleEndian
+	if len(payload) == 1+8 {
+		return int64(le.Uint64(payload[1:])), nil, nil
+	}
+	if len(payload) < 1+8+2 {
+		return 0, nil, fmt.Errorf("%w: clear record length %d", ErrJournalCorrupt, len(payload))
+	}
+	cycle = int64(le.Uint64(payload[1:]))
+	n := int(le.Uint16(payload[9:]))
+	if len(payload) != 1+8+2+8*n {
+		return 0, nil, fmt.Errorf("%w: clear record length %d for %d strips", ErrJournalCorrupt, len(payload), n)
+	}
+	off := 11
+	for i := 0; i < n; i++ {
+		ids = append(ids, [2]int{int(le.Uint32(payload[off:])), int(le.Uint32(payload[off+4:]))})
+		off += 8
+	}
+	return cycle, ids, nil
 }
 
 // encodeKV builds one KV record payload.
@@ -469,13 +515,41 @@ func (j *MetaJournal) KVRange(prefix string) (keys []string, values [][]byte) {
 	return keys, values
 }
 
-func (j *MetaJournal) dropPending(cycle int64) {
-	for i, pc := range j.pending {
-		if pc.Cycle == cycle {
-			j.pending = append(j.pending[:i], j.pending[i+1:]...)
-			return
+// dropPending removes pending closures for the cycle. With a strip-id
+// set, only records whose strip set matches exactly are dropped: the
+// acked write's own record and those of earlier failed attempts of the
+// same write (same target, hence the same deterministic closure). The
+// committed state supersedes those snapshots — keeping them would let a
+// later replay revert strips the commit already advanced — while records
+// of *other* writes on the cycle survive, still carrying the content
+// their own retries need to repair a half-applied commit. A nil set drops
+// everything on the cycle (legacy clears).
+func (j *MetaJournal) dropPending(cycle int64, ids [][2]int) {
+	kept := j.pending[:0]
+	for _, pc := range j.pending {
+		if pc.Cycle != cycle || (ids != nil && !sameStripSet(pc.Strips, ids)) {
+			kept = append(kept, pc)
 		}
 	}
+	j.pending = kept
+}
+
+// sameStripSet reports whether the record's strip locations are exactly
+// the given (disk, slot) set, order-insensitively.
+func sameStripSet(strips []StripUpdate, ids [][2]int) bool {
+	if len(strips) != len(ids) {
+		return false
+	}
+	set := make(map[[2]int]bool, len(ids))
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, su := range strips {
+		if !set[[2]int{su.Disk, su.Slot}] {
+			return false
+		}
+	}
+	return true
 }
 
 func (j *MetaJournal) addTransition(tr Transition) {
@@ -589,16 +663,20 @@ func (j *MetaJournal) RecordClosure(cycle int64, strips []StripUpdate) error {
 
 // ClearClosure implements ClosureLogger (lazily durable; replay of a
 // committed closure is idempotent).
-func (j *MetaJournal) ClearClosure(cycle int64) error {
+func (j *MetaJournal) ClearClosure(cycle int64, strips []StripUpdate) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	payload := make([]byte, 1+8)
-	payload[0] = recClear
-	binary.LittleEndian.PutUint64(payload[1:], uint64(cycle))
-	if err := j.appendFrame(payload, false); err != nil {
+	if len(strips) > 0xffff {
+		return fmt.Errorf("store: closure of %d strips too large", len(strips))
+	}
+	var ids [][2]int
+	for _, su := range strips {
+		ids = append(ids, [2]int{su.Disk, su.Slot})
+	}
+	if err := j.appendFrame(encodeClear(cycle, ids), false); err != nil {
 		return err
 	}
-	j.dropPending(cycle)
+	j.dropPending(cycle, ids)
 	return j.maybeCompact()
 }
 
@@ -732,8 +810,8 @@ func appendJournalFrame(buf, payload []byte) []byte {
 // MetaJournal is a drop-in IntentLog for legacy callers.
 func (j *MetaJournal) Record(cycle int64) error { return j.RecordClosure(cycle, nil) }
 
-// Clear implements IntentLog.
-func (j *MetaJournal) Clear(cycle int64) error { return j.ClearClosure(cycle) }
+// Clear implements IntentLog (cycle-wide, the legacy semantics).
+func (j *MetaJournal) Clear(cycle int64) error { return j.ClearClosure(cycle, nil) }
 
 // Pending implements IntentLog: the distinct cycles with pending redo
 // records.

@@ -52,7 +52,7 @@ func TestJournalReplaysState(t *testing.T) {
 	}
 
 	// Clearing the closure empties Pending after another reopen.
-	if err := j2.ClearClosure(1); err != nil {
+	if err := j2.ClearClosure(1, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := j2.Sync(); err != nil { // clears are lazily durable
@@ -61,6 +61,61 @@ func TestJournalReplaysState(t *testing.T) {
 	j3 := openTestJournal(t, b0, b1, 4)
 	if p, _ := j3.Pending(); len(p) != 0 {
 		t.Fatalf("pending after clear: %v", p)
+	}
+}
+
+// TestJournalScopedClear pins the strip-set clear semantics: clearing with
+// a strip set drops only records whose strip locations match exactly —
+// the acked write's own record and stacked records of its failed earlier
+// attempts — while records of other writes on the same cycle survive both
+// in memory and across a reopen (the clear frame carries the set).
+func TestJournalScopedClear(t *testing.T) {
+	b0, b1 := NewMemBlob(), NewMemBlob()
+	j := openTestJournal(t, b0, b1, 4)
+	own := []StripUpdate{
+		{Disk: 0, Slot: 1, Data: []byte("a1")},
+		{Disk: 2, Slot: 3, Data: []byte("p1")},
+	}
+	ownRetry := []StripUpdate{ // same closure, newer content
+		{Disk: 2, Slot: 3, Data: []byte("p2")},
+		{Disk: 0, Slot: 1, Data: []byte("a2")},
+	}
+	foreign := []StripUpdate{
+		{Disk: 1, Slot: 1, Data: []byte("b1")},
+		{Disk: 2, Slot: 3, Data: []byte("q1")},
+	}
+	for _, strips := range [][]StripUpdate{own, ownRetry, foreign} {
+		if err := j.RecordClosure(7, strips); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.ClearClosure(7, own); err != nil {
+		t.Fatal(err)
+	}
+	pcs, err := j.PendingClosures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 1 || !bytes.Equal(pcs[0].Strips[0].Data, []byte("b1")) {
+		t.Fatalf("after scoped clear: %+v", pcs)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	j2 := openTestJournal(t, b0, b1, 4)
+	pcs, err = j2.PendingClosures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcs) != 1 || !bytes.Equal(pcs[0].Strips[0].Data, []byte("b1")) {
+		t.Fatalf("after reopen: %+v", pcs)
+	}
+	// A nil set keeps the legacy cycle-wide semantics.
+	if err := j2.ClearClosure(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := j2.Pending(); len(p) != 0 {
+		t.Fatalf("pending after cycle-wide clear: %v", p)
 	}
 }
 
@@ -74,7 +129,7 @@ func TestJournalUnsyncedClearReplays(t *testing.T) {
 	if err := j.RecordClosure(0, []StripUpdate{{Disk: 0, Slot: 0, Data: []byte("x")}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := j.ClearClosure(0); err != nil { // appended, not synced
+	if err := j.ClearClosure(0, nil); err != nil { // appended, not synced
 		t.Fatal(err)
 	}
 	j2 := openTestJournal(t, cb0.Survivor(), cb1.Survivor(), 2)
@@ -133,7 +188,7 @@ func TestJournalCompaction(t *testing.T) {
 		if err := j.RecordClosure(i, nil); err != nil {
 			t.Fatal(err)
 		}
-		if err := j.ClearClosure(i); err != nil {
+		if err := j.ClearClosure(i, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -173,7 +228,7 @@ func TestJournalCompactionCrashKeepsOldRegion(t *testing.T) {
 		// point of the snapshot-then-header sequence.
 		err := j.RecordClosure(9, nil)
 		if err == nil {
-			err = j.ClearClosure(9)
+			err = j.ClearClosure(9, nil)
 		}
 		crashed := ctl.Crashed()
 		j2, jerr := OpenMetaJournal(cb0.Survivor(), cb1.Survivor(), 2)

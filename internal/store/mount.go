@@ -44,6 +44,31 @@ func (m *ArrayMeta) UUIDString() string {
 // Journal returns the metadata journal.
 func (m *ArrayMeta) Journal() *MetaJournal { return m.journal }
 
+// RebindSuperblock points disk's superblock slot at a new blob. A
+// cluster replacement needs this: when a storage node is lost for good,
+// the replacement devices for its disks live on surviving nodes, and the
+// per-disk superblock copy must move with the data or the next commit
+// would keep writing metadata into the dead node. The new blob receives
+// its first superblock at the next commit; until then the mount-time
+// consensus treats it like any other missing copy.
+func (m *ArrayMeta) RebindSuperblock(disk int, b Blob) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if disk < 0 || disk >= len(m.sbs) {
+		return fmt.Errorf("%w: disk %d of %d", ErrNoSuchDisk, disk, len(m.sbs))
+	}
+	if b == nil {
+		return fmt.Errorf("%w: nil superblock blob for disk %d", ErrBadGeometry, disk)
+	}
+	// Truncate so a previous tenant's higher-epoch superblock cannot
+	// shadow the copy the next commit writes.
+	if err := b.Truncate(0); err != nil {
+		return err
+	}
+	m.sbs[disk] = b
+	return nil
+}
+
 // Superblock returns a copy of the array-wide superblock template.
 func (m *ArrayMeta) Superblock() Superblock {
 	m.mu.Lock()

@@ -1,0 +1,85 @@
+package netdev
+
+import (
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// reportLatency attaches p50/p99 per-op latency to the benchmark result
+// alongside the ns/op mean, so BENCH_netdev.json captures tails.
+func reportLatency(b *testing.B, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(p(0.50), "p50-ms")
+	b.ReportMetric(p(0.99), "p99-ms")
+}
+
+func benchDevice(b *testing.B, stripBytes int) *NetDevice {
+	b.Helper()
+	n := NewMemNode("bench")
+	srv := httptest.NewServer(n.Handler())
+	b.Cleanup(srv.Close)
+	c := NewNodeClient(srv.URL, Options{Timeout: 10 * time.Second})
+	b.Cleanup(func() { c.Close() })
+	dev, err := c.CreateDevice("d0", 64, stripBytes)
+	if err != nil {
+		b.Fatalf("create: %v", err)
+	}
+	return dev
+}
+
+// BenchmarkNetdevWriteStrip measures one framed strip write over
+// loopback HTTP: encode, PUT, node-side verify, ack.
+func BenchmarkNetdevWriteStrip(b *testing.B) {
+	const stripBytes = 64 << 10
+	dev := benchDevice(b, stripBytes)
+	buf := make([]byte, stripBytes)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(stripBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := time.Now()
+		if err := dev.WriteStrip(int64(i%64), buf); err != nil {
+			b.Fatalf("write: %v", err)
+		}
+		lats = append(lats, time.Since(t))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}
+
+// BenchmarkNetdevReadStrip measures one framed strip read over loopback
+// HTTP: GET, frame decode, checksum verify, copy out.
+func BenchmarkNetdevReadStrip(b *testing.B) {
+	const stripBytes = 64 << 10
+	dev := benchDevice(b, stripBytes)
+	buf := make([]byte, stripBytes)
+	for i := int64(0); i < 64; i++ {
+		if err := dev.WriteStrip(i, buf); err != nil {
+			b.Fatalf("seed: %v", err)
+		}
+	}
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(stripBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := time.Now()
+		if err := dev.ReadStrip(int64(i%64), buf); err != nil {
+			b.Fatalf("read: %v", err)
+		}
+		lats = append(lats, time.Since(t))
+	}
+	b.StopTimer()
+	reportLatency(b, lats)
+}

@@ -1,0 +1,572 @@
+package netdev
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// ErrNodeLost reports a node whose unreachability outlived the grace
+// window: the client has declared it gone for good. It wraps
+// store.ErrPermanent, so the health monitor counts it toward eviction
+// and the evict→spare→rebuild heal path engages for the node's disks.
+var ErrNodeLost = fmt.Errorf("netdev: node lost: %w", store.ErrPermanent)
+
+// ErrWrongNode reports a node that answered with an unexpected identity:
+// the address points at a different node than the manifest says (a DHCP
+// lease moved, a port was reused). Treated as permanent — retrying the
+// same address cannot fix a mis-wired cluster map.
+var ErrWrongNode = fmt.Errorf("netdev: node identity mismatch: %w", store.ErrPermanent)
+
+// Options tunes a NodeClient. The zero value gets usable defaults.
+type Options struct {
+	// Timeout bounds each attempt (connect + request + response),
+	// default 2s.
+	Timeout time.Duration
+	// MaxAttempts bounds attempts per operation (default 3).
+	MaxAttempts int
+	// BaseDelay seeds the full-jitter backoff between attempts (default
+	// 2ms); MaxDelay caps it (default 100ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// BreakerThreshold opens the per-node circuit after this many
+	// consecutive attempt failures (default 5); while open, operations
+	// fail fast without touching the wire until BreakerCooldown (default
+	// 500ms) elapses and a half-open trial is allowed.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Grace is how long the node may stay unreachable before the client
+	// declares it lost (operations turn from store.ErrUnreachable into
+	// ErrNodeLost). Zero means never: the node is only ever transiently
+	// down. The window starts at the first failed operation after a
+	// period of health.
+	Grace time.Duration
+	// ProbeInterval is the background ping cadence while the node is
+	// down (default 250ms). The prober drives the down→up transition
+	// even when no foreground operations are flowing.
+	ProbeInterval time.Duration
+	// ExpectID, when set, makes the client verify the node's /ping
+	// identity and fail permanently on mismatch.
+	ExpectID string
+	// Seed fixes the backoff jitter stream for deterministic tests.
+	Seed int64
+	// Transport overrides the HTTP transport (fault injection hook).
+	Transport http.RoundTripper
+	// OnDown runs (in its own goroutine, at most once per down episode)
+	// when the node transitions reachable→unreachable; OnUp runs on the
+	// way back. Close drains both.
+	OnDown func()
+	OnUp   func()
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 2 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 100 * time.Millisecond
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	return o
+}
+
+// NodeClient is the coordinator's handle on one storage node: it owns
+// the retry/backoff/breaker machinery every NetDevice and NetBlob on
+// that node shares, plus the node's reachability state machine:
+//
+//	reachable --attempts exhausted--> down --grace elapses--> lost
+//	     ^---------probe succeeds--------'        (terminal)
+//
+// While down, operations fail with store.ErrUnreachable (transient: the
+// engine's monitor does not count it toward eviction, and the cluster
+// layer quarantines the node's disks so reads reconstruct around them).
+// Once lost, operations fail with ErrNodeLost (permanent: eviction and
+// heal). A background prober pings the node while it is down, so
+// recovery is detected even with no foreground traffic.
+type NodeClient struct {
+	base string
+	hc   *http.Client
+	opts Options
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	consec    int       // consecutive attempt failures (breaker input)
+	openUntil time.Time // breaker: fail fast until; zero = closed
+	halfOpen  bool      // one trial in flight after cooldown
+	down      bool
+	downSince time.Time
+	probing   bool
+
+	lost   atomic.Bool
+	closed atomic.Bool
+
+	// cbWg tracks OnDown/OnUp callback goroutines and probeWg the
+	// background prober; Close drains both so an engine shutdown leaves
+	// no transport goroutine behind.
+	cbWg      sync.WaitGroup
+	probeWg   sync.WaitGroup
+	probeStop chan struct{}
+
+	stats struct {
+		attempts, retries, breakerFastFails atomic.Int64
+		downs, ups                          atomic.Int64
+	}
+}
+
+// NewNodeClient builds a client for the node at base (e.g.
+// "http://127.0.0.1:7980").
+func NewNodeClient(base string, opts Options) *NodeClient {
+	opts = opts.withDefaults()
+	hc := &http.Client{Transport: opts.Transport}
+	return &NodeClient{
+		base:      strings.TrimRight(base, "/"),
+		hc:        hc,
+		opts:      opts,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		probeStop: make(chan struct{}),
+	}
+}
+
+// Base returns the node's base URL.
+func (c *NodeClient) Base() string { return c.base }
+
+// Down reports whether the node is currently considered unreachable.
+func (c *NodeClient) Down() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.down
+}
+
+// Lost reports whether the node has been declared lost for good.
+func (c *NodeClient) Lost() bool { return c.lost.Load() }
+
+// Close stops the background prober, waits for in-flight OnDown/OnUp
+// callbacks, and closes idle connections. Operations after Close return
+// store.ErrClosed.
+func (c *NodeClient) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	close(c.probeStop)
+	c.probeWg.Wait()
+	c.cbWg.Wait()
+	tr := c.hc.Transport
+	if tr == nil {
+		tr = http.DefaultTransport
+	}
+	if t, ok := tr.(interface{ CloseIdleConnections() }); ok {
+		t.CloseIdleConnections()
+	}
+	return nil
+}
+
+// attemptErr classifies one attempt's failure.
+type attemptErr struct {
+	err       error
+	retryable bool // wire-level: worth another attempt / counts toward breaker
+}
+
+// remoteErr reconstitutes the store sentinel from a coded node response.
+// The second result reports whether the failure is wire-retryable.
+func remoteErr(status int, code, body string) (error, bool) {
+	msg := strings.TrimSpace(body)
+	switch code {
+	case codeOutOfRange:
+		return fmt.Errorf("%w: %s", store.ErrStripOutOfRange, msg), false
+	case codeShortBuffer:
+		return fmt.Errorf("%w: %s", store.ErrShortBuffer, msg), false
+	case codeBadGeometry:
+		return fmt.Errorf("%w: %s", store.ErrBadGeometry, msg), false
+	case codeNotFound:
+		return fmt.Errorf("%w: %s", ErrNodeNotFound, msg), false
+	case codeClosed:
+		// The node-side device is closed (node shutting down): transient
+		// from the coordinator's perspective — a restart reopens it.
+		return fmt.Errorf("%w: %s", store.ErrTransient, msg), true
+	case codeBadFrame:
+		// The frame was damaged in flight; re-send.
+		return fmt.Errorf("%w: %s", ErrBadFrame, msg), true
+	case codePermanent:
+		// The node's local media is dying. This must NOT look like a
+		// network fault: it propagates as a permanent device error so
+		// the monitor evicts exactly that disk.
+		return fmt.Errorf("%w: %s", store.ErrPermanent, msg), false
+	case codeTransient:
+		return fmt.Errorf("%w: %s", store.ErrTransient, msg), true
+	default:
+		if status >= 500 {
+			return fmt.Errorf("%w: node status %d: %s", store.ErrTransient, status, msg), true
+		}
+		return fmt.Errorf("netdev: node status %d: %s", status, msg), false
+	}
+}
+
+// do runs op with retries, backoff, and the breaker. op performs one
+// HTTP attempt under ctx and returns nil, a terminal error (wrapped in
+// attemptErr with retryable=false), or a retryable one.
+func (c *NodeClient) do(op func(ctx context.Context) *attemptErr) error {
+	if c.closed.Load() {
+		return store.ErrClosed
+	}
+	if c.lost.Load() {
+		return ErrNodeLost
+	}
+	var last error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if c.closed.Load() {
+			return store.ErrClosed
+		}
+		if !c.allow() {
+			// Breaker open: fail fast. The episode classification below
+			// still applies — the node is down, maybe lost.
+			c.stats.breakerFastFails.Add(1)
+			last = fmt.Errorf("netdev: circuit open for %s", c.base)
+			break
+		}
+		if attempt > 0 {
+			c.stats.retries.Add(1)
+			time.Sleep(c.backoff(attempt))
+		}
+		c.stats.attempts.Add(1)
+		ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+		aerr := op(ctx)
+		cancel()
+		if aerr == nil {
+			c.recordSuccess()
+			return nil
+		}
+		if !aerr.retryable {
+			// The node answered and rejected the operation: the wire is
+			// fine. A permanent media error or a caller bug passes
+			// through unchanged.
+			c.recordSuccess()
+			return aerr.err
+		}
+		c.recordFailure()
+		last = aerr.err
+	}
+	return c.classifyDown(last)
+}
+
+// allow asks the breaker whether an attempt may go out.
+func (c *NodeClient) allow() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.openUntil.IsZero() {
+		return true
+	}
+	if time.Now().Before(c.openUntil) {
+		return false
+	}
+	if c.halfOpen {
+		return false // one trial at a time
+	}
+	c.halfOpen = true
+	return true
+}
+
+func (c *NodeClient) backoff(retry int) time.Duration {
+	d := c.opts.BaseDelay << uint(retry-1)
+	if d > c.opts.MaxDelay || d <= 0 {
+		d = c.opts.MaxDelay
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(d) + 1))
+	c.mu.Unlock()
+	return j
+}
+
+// recordSuccess closes the breaker and ends a down episode.
+func (c *NodeClient) recordSuccess() {
+	c.mu.Lock()
+	c.consec = 0
+	c.openUntil = time.Time{}
+	c.halfOpen = false
+	wasDown := c.down
+	c.down = false
+	c.mu.Unlock()
+	if wasDown {
+		c.stats.ups.Add(1)
+		c.fire(c.opts.OnUp)
+	}
+}
+
+// recordFailure counts one wire-level failure toward the breaker.
+func (c *NodeClient) recordFailure() {
+	c.mu.Lock()
+	c.consec++
+	if c.consec >= c.opts.BreakerThreshold {
+		c.openUntil = time.Now().Add(c.opts.BreakerCooldown)
+		c.halfOpen = false
+	}
+	c.mu.Unlock()
+}
+
+// classifyDown ends a failed operation: the node is (still) down. The
+// first failure of an episode stamps downSince and starts the prober;
+// once the grace window elapses the node is declared lost.
+func (c *NodeClient) classifyDown(cause error) error {
+	now := time.Now()
+	c.mu.Lock()
+	if !c.down {
+		c.down = true
+		c.downSince = now
+		c.stats.downs.Add(1)
+		if !c.probing && !c.closed.Load() {
+			c.probing = true
+			c.probeWg.Add(1)
+			go c.probeLoop()
+		}
+		c.mu.Unlock()
+		c.fire(c.opts.OnDown)
+		c.mu.Lock()
+	}
+	elapsed := now.Sub(c.downSince)
+	c.mu.Unlock()
+	if c.opts.Grace > 0 && elapsed >= c.opts.Grace {
+		c.markLost()
+		return fmt.Errorf("%w (down %v, cause: %v)", ErrNodeLost, elapsed.Round(time.Millisecond), cause)
+	}
+	return fmt.Errorf("%w: %s (%v)", store.ErrUnreachable, c.base, cause)
+}
+
+func (c *NodeClient) markLost() { c.lost.Store(true) }
+
+// fire runs a reachability callback in a tracked goroutine. Callbacks
+// must not run inline: markDown fires from inside device operations that
+// hold array locks, and the cluster layer's handlers (quarantine,
+// release) take them again.
+func (c *NodeClient) fire(fn func()) {
+	if fn == nil {
+		return
+	}
+	c.cbWg.Add(1)
+	go func() {
+		defer c.cbWg.Done()
+		fn()
+	}()
+}
+
+// probeLoop pings the node while it is down. A successful ping ends the
+// episode (recordSuccess fires OnUp); a grace expiry declares the node
+// lost and stops probing — there is nothing left to recover to, the
+// disks are being rebuilt elsewhere.
+func (c *NodeClient) probeLoop() {
+	defer c.probeWg.Done()
+	ticker := time.NewTicker(c.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.probeStop:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		down := c.down
+		since := c.downSince
+		c.mu.Unlock()
+		if !down {
+			c.mu.Lock()
+			c.probing = false
+			c.mu.Unlock()
+			return
+		}
+		if c.opts.Grace > 0 && time.Since(since) >= c.opts.Grace {
+			c.markLost()
+			c.mu.Lock()
+			c.probing = false
+			c.mu.Unlock()
+			return
+		}
+		if err := c.pingOnce(); err == nil {
+			c.recordSuccess()
+			c.mu.Lock()
+			c.probing = false
+			c.mu.Unlock()
+			return
+		}
+	}
+}
+
+// pingOnce performs a single identity-checked ping without retry
+// machinery (the prober is its own retry loop).
+func (c *NodeClient) pingOnce() error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/node/v1/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("netdev: ping status %d", resp.StatusCode)
+	}
+	var body struct {
+		Node string `json:"node"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err != nil {
+		return err
+	}
+	if c.opts.ExpectID != "" && body.Node != c.opts.ExpectID {
+		c.markLost()
+		return fmt.Errorf("%w: want %q, got %q", ErrWrongNode, c.opts.ExpectID, body.Node)
+	}
+	return nil
+}
+
+// Ping verifies the node answers (and, with ExpectID set, that it is
+// the right node), through the full retry/breaker machinery.
+func (c *NodeClient) Ping() error {
+	return c.do(func(ctx context.Context) *attemptErr {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/node/v1/ping", nil)
+		if err != nil {
+			return &attemptErr{err: err, retryable: false}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return c.responseErr(resp)
+		}
+		var body struct {
+			Node string `json:"node"`
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		if c.opts.ExpectID != "" && body.Node != c.opts.ExpectID {
+			c.markLost()
+			return &attemptErr{err: fmt.Errorf("%w: want %q, got %q", ErrWrongNode, c.opts.ExpectID, body.Node)}
+		}
+		return nil
+	})
+}
+
+// Stat fetches the node's inventory.
+func (c *NodeClient) Stat() (NodeStat, error) {
+	var st NodeStat
+	err := c.getJSON("/node/v1/stat", &st)
+	return st, err
+}
+
+// responseErr turns a non-2xx node response into a classified attempt
+// error.
+func (c *NodeClient) responseErr(resp *http.Response) *attemptErr {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	err, retryable := remoteErr(resp.StatusCode, resp.Header.Get(errHeader), string(body))
+	return &attemptErr{err: err, retryable: retryable}
+}
+
+// getJSON GETs path and decodes the JSON response.
+func (c *NodeClient) getJSON(path string, v any) error {
+	return c.do(func(ctx context.Context) *attemptErr {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+		if err != nil {
+			return &attemptErr{err: err}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return c.responseErr(resp)
+		}
+		if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v); err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		return nil
+	})
+}
+
+// postJSON POSTs a JSON body to path; out, when non-nil, receives the
+// decoded response.
+func (c *NodeClient) postJSON(path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	return c.do(func(ctx context.Context) *attemptErr {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return &attemptErr{err: err}
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNoContent {
+			return c.responseErr(resp)
+		}
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out); err != nil {
+				return &attemptErr{err: err, retryable: true}
+			}
+		}
+		return nil
+	})
+}
+
+// drain consumes and closes a response body so the connection can be
+// reused.
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}
+
+// ClientStats is a snapshot of the client's wire counters.
+type ClientStats struct {
+	Attempts         int64 `json:"attempts"`
+	Retries          int64 `json:"retries"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	Downs            int64 `json:"downs"`
+	Ups              int64 `json:"ups"`
+}
+
+// Stats returns the client's counters.
+func (c *NodeClient) Stats() ClientStats {
+	return ClientStats{
+		Attempts:         c.stats.attempts.Load(),
+		Retries:          c.stats.retries.Load(),
+		BreakerFastFails: c.stats.breakerFastFails.Load(),
+		Downs:            c.stats.downs.Load(),
+		Ups:              c.stats.ups.Load(),
+	}
+}

@@ -1,0 +1,46 @@
+package netdev
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzFrameDecode drives the strip-transport codec with arbitrary
+// bytes: whatever arrives — truncated, oversized, bit-flipped, or
+// hostile — the decoder must either reject it or return a frame that
+// re-encodes to the identical wire bytes (no mutation survives decode
+// silently). This is the same media-facing-decoder discipline as
+// FuzzSuperblockDecode and FuzzJournalReplay, pointed at the network.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(EncodeFrame(OpRead, 0, nil), 4096)
+	f.Add(EncodeFrame(OpWrite, 7, []byte("some strip payload")), 4096)
+	f.Add(EncodeFrame(OpRead, 1<<40, make([]byte, 512)), 512)
+	f.Add([]byte{}, 0)
+	f.Add([]byte("oSTP"), 16)
+	f.Add(bytes.Repeat([]byte{0xFF}, FrameHeaderLen), 64)
+	// Truncated and padded variants of a valid frame.
+	good := EncodeFrame(OpWrite, 3, bytes.Repeat([]byte{0xAB}, 128))
+	f.Add(good[:FrameHeaderLen], 128)
+	f.Add(good[:len(good)-1], 128)
+	f.Add(append(append([]byte(nil), good...), 0x00), 128)
+
+	f.Fuzz(func(t *testing.T, data []byte, maxPayload int) {
+		if maxPayload < -1 || maxPayload > 1<<20 {
+			maxPayload = 1 << 20
+		}
+		fr, err := DecodeFrame(data, maxPayload)
+		if err != nil {
+			return
+		}
+		// Accepted: the frame must re-encode to exactly the input bytes.
+		out := EncodeFrame(fr.Op, fr.Strip, fr.Payload)
+		// The op byte and reserved fields round-trip by construction, so
+		// any divergence means the decoder accepted a malformed frame.
+		if !bytes.Equal(out, data) {
+			t.Fatalf("accepted frame does not round-trip: in %d bytes, out %d bytes", len(data), len(out))
+		}
+		if maxPayload >= 0 && len(fr.Payload) > maxPayload {
+			t.Fatalf("decoder accepted %d payload bytes past bound %d", len(fr.Payload), maxPayload)
+		}
+	})
+}

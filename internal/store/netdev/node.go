@@ -1,0 +1,578 @@
+package netdev
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// Error codes carried in the X-Oiraid-Err response header. The client
+// switches on the code — not on status text — to reconstitute the store
+// sentinel on its side of the wire, so the error taxonomy survives the
+// network hop.
+const (
+	errHeader = "X-Oiraid-Err"
+
+	codeOutOfRange  = "out-of-range"
+	codeShortBuffer = "short-buffer"
+	codeClosed      = "closed"
+	codeBadGeometry = "bad-geometry"
+	codeBadFrame    = "bad-frame"
+	codeNotFound    = "not-found"
+	codeTransient   = "transient"
+	codePermanent   = "permanent"
+	codeIO          = "io"
+)
+
+// crcHeader carries the CRC-32C of a blob read/write body; eofHeader
+// marks a blob read that ran off the end of the blob (os.File ReadAt
+// semantics: prefix + EOF).
+const (
+	crcHeader = "X-Oiraid-Crc"
+	eofHeader = "X-Oiraid-Eof"
+)
+
+// ErrNodeNotFound reports a device or blob name the node does not serve.
+var ErrNodeNotFound = errors.New("netdev: no such device or blob on node")
+
+// DeviceStat is one exported device's geometry, as served by /stat.
+type DeviceStat struct {
+	Strips     int64 `json:"strips"`
+	StripBytes int   `json:"strip_bytes"`
+}
+
+// NodeStat is the storage node's inventory, served by GET /node/v1/stat.
+type NodeStat struct {
+	Node    string                `json:"node"`
+	Devices map[string]DeviceStat `json:"devices"`
+	Blobs   map[string]int64      `json:"blobs"`
+}
+
+// Node exports a set of named strip devices and metadata blobs over
+// HTTP. It is the server half of the network plane: a coordinator's
+// NetDevice/NetBlob clients drive it. The zero tricks rule applies —
+// every handler validates before touching media, and strip payloads are
+// refused unless their frame checksum verifies, so a torn request can
+// never place damaged bytes on a disk.
+type Node struct {
+	id  string
+	dir string // non-empty for directory-backed nodes
+
+	mu    sync.RWMutex
+	devs  map[string]store.Device
+	geo   map[string]DeviceStat
+	blobs map[string]store.Blob
+
+	newDev  func(name string, strips int64, stripBytes int) (store.Device, error)
+	newBlob func(name string) (store.Blob, error)
+}
+
+// NewMemNode builds a memory-backed storage node (tests, benchmarks).
+// Devices and blobs created through the API live until the node is
+// garbage collected, so closing and re-serving the same Node models a
+// node restart that keeps its media.
+func NewMemNode(id string) *Node {
+	n := &Node{
+		id:    id,
+		devs:  map[string]store.Device{},
+		geo:   map[string]DeviceStat{},
+		blobs: map[string]store.Blob{},
+	}
+	n.newDev = func(_ string, strips int64, stripBytes int) (store.Device, error) {
+		return store.NewMemDevice(strips, stripBytes)
+	}
+	n.newBlob = func(string) (store.Blob, error) { return store.NewMemBlob(), nil }
+	return n
+}
+
+// NewDirNode builds (or reopens) a directory-backed storage node: each
+// device is an image file, each blob a flat file, and a node.json
+// manifest records device geometry so a restart reopens everything
+// as-is.
+func NewDirNode(id, dir string) (*Node, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	n := &Node{
+		id:    id,
+		dir:   dir,
+		devs:  map[string]store.Device{},
+		geo:   map[string]DeviceStat{},
+		blobs: map[string]store.Blob{},
+	}
+	n.newDev = func(name string, strips int64, stripBytes int) (store.Device, error) {
+		return store.NewFileDevice(filepath.Join(dir, name+".img"), strips, stripBytes)
+	}
+	n.newBlob = func(name string) (store.Blob, error) {
+		return store.CreateFileBlob(filepath.Join(dir, name+".blob"))
+	}
+	if err := n.loadManifest(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// nodeManifest is the persisted inventory of a directory-backed node.
+type nodeManifest struct {
+	Devices map[string]DeviceStat `json:"devices"`
+	Blobs   []string              `json:"blobs"`
+}
+
+func (n *Node) manifestPath() string { return filepath.Join(n.dir, "node.json") }
+
+func (n *Node) loadManifest() error {
+	raw, err := os.ReadFile(n.manifestPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var m nodeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("netdev: node manifest %s: %w", n.manifestPath(), err)
+	}
+	for name, g := range m.Devices {
+		dev, err := store.OpenFileDevice(filepath.Join(n.dir, name+".img"), g.Strips, g.StripBytes)
+		if err != nil {
+			return fmt.Errorf("netdev: reopen device %s: %w", name, err)
+		}
+		n.devs[name] = dev
+		n.geo[name] = g
+	}
+	for _, name := range m.Blobs {
+		b, err := store.OpenFileBlob(filepath.Join(n.dir, name+".blob"))
+		if err != nil {
+			return fmt.Errorf("netdev: reopen blob %s: %w", name, err)
+		}
+		n.blobs[name] = b
+	}
+	return nil
+}
+
+// saveManifest persists the inventory atomically (write + rename +
+// directory sync), called with n.mu held.
+func (n *Node) saveManifest() error {
+	if n.dir == "" {
+		return nil
+	}
+	m := nodeManifest{Devices: n.geo, Blobs: make([]string, 0, len(n.blobs))}
+	for name := range n.blobs {
+		m.Blobs = append(m.Blobs, name)
+	}
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := n.manifestPath() + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, n.manifestPath()); err != nil {
+		return err
+	}
+	return store.SyncDir(n.dir)
+}
+
+// ID returns the node identity echoed by /ping.
+func (n *Node) ID() string { return n.id }
+
+// Close closes every device and blob the node serves.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var first error
+	for _, d := range n.devs {
+		if err := d.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, b := range n.blobs {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AddDevice registers an existing device under name (test hook: lets a
+// FaultDevice-wrapped device stand behind the network plane).
+func (n *Node) AddDevice(name string, dev store.Device) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.devs[name] = dev
+	n.geo[name] = DeviceStat{Strips: dev.Strips(), StripBytes: dev.StripBytes()}
+}
+
+// AddBlob registers an existing blob under name.
+func (n *Node) AddBlob(name string, b store.Blob) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blobs[name] = b
+}
+
+func (n *Node) device(name string) (store.Device, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	d, ok := n.devs[name]
+	return d, ok
+}
+
+func (n *Node) blob(name string) (store.Blob, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	b, ok := n.blobs[name]
+	return b, ok
+}
+
+// Handler returns the node's HTTP surface, mounted under /node/v1/.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /node/v1/ping", n.handlePing)
+	mux.HandleFunc("GET /node/v1/stat", n.handleStat)
+	mux.HandleFunc("POST /node/v1/devices/{dev}", n.handleCreateDevice)
+	mux.HandleFunc("GET /node/v1/devices/{dev}/strips/{idx}", n.handleReadStrip)
+	mux.HandleFunc("PUT /node/v1/devices/{dev}/strips/{idx}", n.handleWriteStrip)
+	mux.HandleFunc("POST /node/v1/blobs/{name}", n.handleCreateBlob)
+	mux.HandleFunc("GET /node/v1/blobs/{name}", n.handleReadBlob)
+	mux.HandleFunc("PUT /node/v1/blobs/{name}", n.handleWriteBlob)
+	mux.HandleFunc("GET /node/v1/blobs/{name}/stat", n.handleStatBlob)
+	mux.HandleFunc("POST /node/v1/blobs/{name}/sync", n.handleSyncBlob)
+	mux.HandleFunc("POST /node/v1/blobs/{name}/truncate", n.handleTruncateBlob)
+	return mux
+}
+
+// fail writes a coded error response: the X-Oiraid-Err header carries
+// the taxonomy code the client reconstitutes a sentinel from, the body
+// a human-readable message.
+func fail(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set(errHeader, code)
+	http.Error(w, err.Error(), status)
+}
+
+// failErr maps a store error onto a coded response.
+func failErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrStripOutOfRange):
+		fail(w, http.StatusRequestedRangeNotSatisfiable, codeOutOfRange, err)
+	case errors.Is(err, store.ErrShortBuffer):
+		fail(w, http.StatusBadRequest, codeShortBuffer, err)
+	case errors.Is(err, store.ErrClosed):
+		fail(w, http.StatusServiceUnavailable, codeClosed, err)
+	case errors.Is(err, store.ErrBadGeometry), errors.Is(err, store.ErrNegativeOffset):
+		fail(w, http.StatusBadRequest, codeBadGeometry, err)
+	case errors.Is(err, store.ErrPermanent):
+		// The node's local media is failing: say so distinctly, because
+		// the coordinator must count this against the disk (eviction),
+		// unlike a network fault which it must not.
+		fail(w, http.StatusInternalServerError, codePermanent, err)
+	case store.IsTransient(err):
+		fail(w, http.StatusServiceUnavailable, codeTransient, err)
+	default:
+		fail(w, http.StatusInternalServerError, codeIO, err)
+	}
+}
+
+func (n *Node) handlePing(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]string{"node": n.id})
+}
+
+func (n *Node) handleStat(w http.ResponseWriter, r *http.Request) {
+	n.mu.RLock()
+	st := NodeStat{Node: n.id, Devices: map[string]DeviceStat{}, Blobs: map[string]int64{}}
+	for name, g := range n.geo {
+		st.Devices[name] = g
+	}
+	blobs := make(map[string]store.Blob, len(n.blobs))
+	for name, b := range n.blobs {
+		blobs[name] = b
+	}
+	n.mu.RUnlock()
+	for name, b := range blobs {
+		size, err := b.Size()
+		if err != nil {
+			size = -1
+		}
+		st.Blobs[name] = size
+	}
+	writeJSON(w, st)
+}
+
+// createDeviceReq is the body of POST /node/v1/devices/{dev}.
+type createDeviceReq struct {
+	Strips     int64 `json:"strips"`
+	StripBytes int   `json:"strip_bytes"`
+}
+
+func (n *Node) handleCreateDevice(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("dev")
+	if !validName(name) {
+		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad device name %q", name))
+		return
+	}
+	var req createDeviceReq
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&req); err != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, err)
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if g, ok := n.geo[name]; ok {
+		// Idempotent when the geometry matches: a coordinator retrying a
+		// create (its ack was lost) must not error out.
+		if g.Strips == req.Strips && g.StripBytes == req.StripBytes {
+			writeJSON(w, g)
+			return
+		}
+		fail(w, http.StatusConflict, codeBadGeometry,
+			fmt.Errorf("netdev: device %s exists with %dx%d, requested %dx%d",
+				name, g.Strips, g.StripBytes, req.Strips, req.StripBytes))
+		return
+	}
+	dev, err := n.newDev(name, req.Strips, req.StripBytes)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	n.devs[name] = dev
+	n.geo[name] = DeviceStat{Strips: req.Strips, StripBytes: req.StripBytes}
+	if err := n.saveManifest(); err != nil {
+		failErr(w, err)
+		return
+	}
+	writeJSON(w, n.geo[name])
+}
+
+func (n *Node) handleReadStrip(w http.ResponseWriter, r *http.Request) {
+	dev, ok := n.device(r.PathValue("dev"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: device %s", ErrNodeNotFound, r.PathValue("dev")))
+		return
+	}
+	idx, err := strconv.ParseInt(r.PathValue("idx"), 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeOutOfRange, err)
+		return
+	}
+	buf := make([]byte, dev.StripBytes())
+	if err := dev.ReadStrip(idx, buf); err != nil {
+		failErr(w, err)
+		return
+	}
+	frame := EncodeFrame(OpRead, idx, buf)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.Write(frame)
+}
+
+func (n *Node) handleWriteStrip(w http.ResponseWriter, r *http.Request) {
+	dev, ok := n.device(r.PathValue("dev"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: device %s", ErrNodeNotFound, r.PathValue("dev")))
+		return
+	}
+	idx, err := strconv.ParseInt(r.PathValue("idx"), 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeOutOfRange, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, int64(FrameHeaderLen+dev.StripBytes())+1))
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadFrame, fmt.Errorf("%w: %v", ErrBadFrame, err))
+		return
+	}
+	fr, err := DecodeFrame(body, dev.StripBytes())
+	if err != nil {
+		// The frame did not survive the wire (or the sender is broken
+		// in a way the checksum catches). Refuse: damaged bytes must not
+		// reach media. The client treats bad-frame as transient and
+		// re-sends.
+		fail(w, http.StatusBadRequest, codeBadFrame, err)
+		return
+	}
+	if fr.Op != OpWrite {
+		fail(w, http.StatusBadRequest, codeBadFrame, fmt.Errorf("%w: op %d on write", ErrBadFrame, fr.Op))
+		return
+	}
+	if fr.Strip != idx {
+		// URL and frame disagree about the target strip: a routing bug
+		// or a mixed-up retry. Refusing keeps a misdirected write from
+		// silently landing on the wrong strip.
+		fail(w, http.StatusBadRequest, codeBadFrame, fmt.Errorf("%w: frame strip %d, url strip %d", ErrBadFrame, fr.Strip, idx))
+		return
+	}
+	if len(fr.Payload) != dev.StripBytes() {
+		fail(w, http.StatusBadRequest, codeShortBuffer,
+			fmt.Errorf("%w: %d payload bytes, strip is %d", store.ErrShortBuffer, len(fr.Payload), dev.StripBytes()))
+		return
+	}
+	if err := dev.WriteStrip(idx, fr.Payload); err != nil {
+		failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleCreateBlob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if !validName(name) {
+		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad blob name %q", name))
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.blobs[name]; ok {
+		w.WriteHeader(http.StatusNoContent) // idempotent
+		return
+	}
+	b, err := n.newBlob(name)
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	n.blobs[name] = b
+	if err := n.saveManifest(); err != nil {
+		failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleReadBlob(w http.ResponseWriter, r *http.Request) {
+	b, ok := n.blob(r.PathValue("name"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
+		return
+	}
+	off, err := strconv.ParseInt(r.URL.Query().Get("off"), 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, err)
+		return
+	}
+	length, err := strconv.Atoi(r.URL.Query().Get("len"))
+	if err != nil || length < 0 || length > 64<<20 {
+		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad blob read length"))
+		return
+	}
+	buf := make([]byte, length)
+	nr, rerr := b.ReadAt(buf, off)
+	if rerr != nil && rerr != io.EOF {
+		failErr(w, rerr)
+		return
+	}
+	buf = buf[:nr]
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(crcHeader, blobCRC(buf))
+	if rerr == io.EOF {
+		w.Header().Set(eofHeader, "1")
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+func (n *Node) handleWriteBlob(w http.ResponseWriter, r *http.Request) {
+	b, ok := n.blob(r.PathValue("name"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
+		return
+	}
+	off, err := strconv.ParseInt(r.URL.Query().Get("off"), 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20+1))
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadFrame, fmt.Errorf("%w: %v", ErrBadFrame, err))
+		return
+	}
+	// Metadata bytes get the same no-damaged-bytes-on-media guarantee as
+	// strip frames: the declared checksum must match what arrived.
+	if want := r.Header.Get(crcHeader); want != "" && want != blobCRC(body) {
+		fail(w, http.StatusBadRequest, codeBadFrame,
+			fmt.Errorf("%w: blob body crc %s, header says %s", ErrBadFrame, blobCRC(body), want))
+		return
+	}
+	nw, werr := b.WriteAt(body, off)
+	if werr != nil {
+		failErr(w, werr)
+		return
+	}
+	writeJSON(w, map[string]int{"written": nw})
+}
+
+func (n *Node) handleStatBlob(w http.ResponseWriter, r *http.Request) {
+	b, ok := n.blob(r.PathValue("name"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
+		return
+	}
+	size, err := b.Size()
+	if err != nil {
+		failErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]int64{"size": size})
+}
+
+func (n *Node) handleSyncBlob(w http.ResponseWriter, r *http.Request) {
+	b, ok := n.blob(r.PathValue("name"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
+		return
+	}
+	if err := b.Sync(); err != nil {
+		failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (n *Node) handleTruncateBlob(w http.ResponseWriter, r *http.Request) {
+	b, ok := n.blob(r.PathValue("name"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
+		return
+	}
+	size, err := strconv.ParseInt(r.URL.Query().Get("size"), 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, err)
+		return
+	}
+	if err := b.Truncate(size); err != nil {
+		failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// validName bounds exported names to one path segment of portable
+// characters, so names map safely onto files and URL paths.
+func validName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(name, ".")
+}

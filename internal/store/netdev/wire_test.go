@@ -1,0 +1,97 @@
+package netdev
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	b := EncodeFrame(OpWrite, 42, payload)
+	if len(b) != FrameHeaderLen+len(payload) {
+		t.Fatalf("frame length %d, want %d", len(b), FrameHeaderLen+len(payload))
+	}
+	fr, err := DecodeFrame(b, len(payload))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if fr.Op != OpWrite || fr.Strip != 42 || len(fr.Payload) != len(payload) {
+		t.Fatalf("frame = op %d strip %d len %d", fr.Op, fr.Strip, len(fr.Payload))
+	}
+	for i := range payload {
+		if fr.Payload[i] != payload[i] {
+			t.Fatalf("payload byte %d differs", i)
+		}
+	}
+}
+
+func TestFrameRoundTripEmpty(t *testing.T) {
+	b := EncodeFrame(OpRead, 0, nil)
+	fr, err := DecodeFrame(b, 0)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if len(fr.Payload) != 0 {
+		t.Fatalf("payload %d bytes", len(fr.Payload))
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	good := EncodeFrame(OpRead, 7, []byte("hello strip payload"))
+	cases := map[string]func() []byte{
+		"short header": func() []byte { return good[:FrameHeaderLen-1] },
+		"truncated body": func() []byte {
+			return good[:len(good)-3]
+		},
+		"oversized body": func() []byte {
+			return append(append([]byte(nil), good...), 0xFF)
+		},
+		"bad magic": func() []byte {
+			b := append([]byte(nil), good...)
+			b[0] ^= 0xFF
+			return b
+		},
+		"bad version": func() []byte {
+			b := append([]byte(nil), good...)
+			b[4] = 99
+			return b
+		},
+		"reserved bits set": func() []byte {
+			b := append([]byte(nil), good...)
+			b[6] = 1
+			return b
+		},
+		"crc mismatch": func() []byte {
+			b := append([]byte(nil), good...)
+			b[FrameHeaderLen] ^= 0x01
+			return b
+		},
+		"length lies": func() []byte {
+			b := append([]byte(nil), good...)
+			binary.BigEndian.PutUint32(b[16:20], uint32(len(good))) // > actual body
+			return b
+		},
+	}
+	for name, make := range cases {
+		if _, err := DecodeFrame(make(), 1<<20); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
+func TestFrameDecodeBoundsPayload(t *testing.T) {
+	b := EncodeFrame(OpRead, 0, make([]byte, 100))
+	if _, err := DecodeFrame(b, 99); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("oversized vs bound: err = %v, want ErrBadFrame", err)
+	}
+	if _, err := DecodeFrame(b, 100); err != nil {
+		t.Fatalf("exact bound: %v", err)
+	}
+	if _, err := DecodeFrame(b, -1); err != nil {
+		t.Fatalf("unbounded: %v", err)
+	}
+}

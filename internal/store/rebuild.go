@@ -30,6 +30,12 @@ func (a *Array) ReplaceDisk(d int, dev Device) error {
 		dev = NewDurableChecksummedDevice(dev, d, nil, a.meta.Journal())
 	}
 	a.replaced[d] = dev
+	// A fresh device is not the disk that earned the quarantine: clear
+	// any read-avoid mark left from before the eviction so reads use the
+	// replacement directly once its cycles rebuild.
+	if a.readAvoid != nil {
+		a.readAvoid[d] = false
+	}
 	if a.meta != nil {
 		return a.meta.commitAdopt(d, a.failedListLocked())
 	}
@@ -99,6 +105,21 @@ func (a *Array) RebuildStep(batch int64) (done bool, err error) {
 	for _, d := range failed {
 		if a.replaced[d] == nil {
 			return false, fmt.Errorf("%w: disk %d", ErrNoReplacement, d)
+		}
+	}
+	// Close the write hole under the same lock as the reconstruction: a
+	// foreground commit that failed partway (a node down mid-write) leaves
+	// some strips new and some old, and decoding a failed disk through
+	// such a stripe would fabricate content. The pending redo records
+	// carry the full consistent closure; replaying them here — atomically
+	// with the batch, so no new half-commit can slip between replay and
+	// decode — makes every live stripe self-consistent first. A replay
+	// write that itself fails (its node still unreachable) aborts the
+	// batch with ErrIntentReplay and the rebuild loop retries; once the
+	// node is evicted its strips are skipped and the batch proceeds.
+	if closure, ok := a.intent.(ClosureLogger); ok {
+		if _, err := a.replayClosures(closure); err != nil {
+			return false, err
 		}
 	}
 	if a.rebuildPlan == nil {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster clean
+.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster failover clean
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,16 @@ cluster:
 	$(GO) test -race -count=1 ./internal/store/netdev/... ./internal/cluster/...
 	$(GO) test -race -count=1 -run 'Cluster|NodeSpecs|Unreachable' ./cmd/oiraidd/... ./cmd/oiraidctl/...
 
+# Coordinator fail-over suite under the race detector: the node-side
+# lease/fencing/generation protocol, the seeded coordinator-kill and
+# partition chaos sweep with the acked-write oracle + split-brain check,
+# quorum-only recovery, goroutine-leak guard, and the oiraidd
+# standby/oiraidctl -fallback end-to-end paths.
+failover:
+	$(GO) test -race -count=1 -run 'Meta|Failover|Standby|HA|Fallback' \
+		./internal/store/netdev/... ./internal/cluster/... ./cmd/oiraidd/... ./cmd/oiraidctl/...
+	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s ./internal/cluster/
+
 # Machine-readable benchmark report: the erasure/rebuild micro- and
 # experiment benchmarks plus the object PUT/GET path (MB/s, p50/p99
 # latency, allocs/op) land in BENCH_object.json via cmd/benchjson;
@@ -81,6 +91,8 @@ bench:
 	( $(GO) test -bench Netdev -benchtime 200x -benchmem -run '^$$' ./internal/store/netdev/ && \
 	  $(GO) test -bench Cluster -benchtime 50x -benchmem -run '^$$' ./internal/cluster/ ) \
 		| $(GO) run ./cmd/benchjson -out BENCH_netdev.json
+	$(GO) test -bench Failover -benchtime 20x -benchmem -run '^$$' ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_failover.json
 
 clean:
 	$(GO) clean ./...

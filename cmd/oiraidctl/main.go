@@ -20,12 +20,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -65,7 +67,8 @@ func main() {
 		length = fs.Int64("len", 0, "bytes to read")
 		diskID = fs.Int("disk", -1, "disk id")
 		failIn = fs.String("fail", "", "comma-separated disk ids")
-		remote = fs.String("remote", "", "oiraidd base URL; run the command against a server instead of -dir")
+		remote   = fs.String("remote", "", "oiraidd base URL; run the command against a server instead of -dir")
+		fallback = fs.String("fallback", "", "standby coordinator URL; retried once when -remote is unreachable")
 		count  = fs.Int("count", 1, "spares to register (spare command)")
 		repair = fs.Bool("repair", false, "fsck: reconstruct damaged strips from redundancy")
 
@@ -111,11 +114,23 @@ func main() {
 		// request (and its retry loop) instead of orphaning it.
 		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
-		if isObjectCmd(cmd) {
-			err = remoteObjectCmd(ctx, server.NewClient(*remote), cmd, *bucket, *key, *prefix, *maxKeys, os.Stdin, os.Stdout)
-		} else {
-			err = remoteCmd(ctx, server.NewClient(*remote), cmd, *off, *length, *diskID, *count, *repair, qu, os.Stdin, os.Stdout)
+		// Buffer stdin up front for body-carrying commands so a fallback
+		// retry replays the same bytes instead of a drained pipe.
+		var body []byte
+		if cmd == "write" || cmd == "put" {
+			if body, err = io.ReadAll(os.Stdin); err != nil {
+				fmt.Fprintln(os.Stderr, "oiraidctl:", err)
+				os.Exit(1)
+			}
 		}
+		run := func(base string) error {
+			in := io.Reader(bytes.NewReader(body))
+			if isObjectCmd(cmd) {
+				return remoteObjectCmd(ctx, server.NewClient(base), cmd, *bucket, *key, *prefix, *maxKeys, in, os.Stdout)
+			}
+			return remoteCmd(ctx, server.NewClient(base), cmd, *off, *length, *diskID, *count, *repair, qu, in, os.Stdout)
+		}
+		err = remoteWithFallback(ctx, *remote, *fallback, run)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "oiraidctl:", renderErr(err))
 			os.Exit(exitCode(err))
@@ -166,13 +181,37 @@ func main() {
 	}
 }
 
+// remoteWithFallback runs a remote command against the primary
+// coordinator and, when that fails with a connectivity error (dead
+// coordinator, open circuit breaker) and a fallback address is
+// configured, retries once against the fallback — a standby may have
+// taken over there. Exactly one retry: a cluster where both
+// coordinators are gone still exits 3. Array faults (exit 1) never
+// fail over; a second coordinator would report the same fault.
+func remoteWithFallback(ctx context.Context, primary, fallback string, run func(base string) error) error {
+	err := run(primary)
+	if fallback != "" && unreachable(err) && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "oiraidctl: %s unreachable, retrying against fallback %s\n", primary, fallback)
+		err = run(fallback)
+	}
+	return err
+}
+
 // unreachable reports a connectivity failure rather than an array fault:
 // the CLI-side circuit breaker refusing calls to a dead coordinator, or
 // the coordinator reporting a storage node unreachable mid-operation.
 // Scripts can tell "node down, retry later" (exit 3) apart from real
 // failures (exit 1) without parsing error text.
 func unreachable(err error) bool {
-	return errors.Is(err, server.ErrCircuitOpen) || errors.Is(err, store.ErrUnreachable)
+	if errors.Is(err, server.ErrCircuitOpen) || errors.Is(err, store.ErrUnreachable) {
+		return true
+	}
+	// A transport-level failure reaching the coordinator itself (refused,
+	// reset, DNS, dial timeout) is the same class: nothing wrong with the
+	// array, just nobody answering at that address. This is also what a
+	// dead leader looks like to -fallback before any breaker trips.
+	var ue *url.Error
+	return errors.As(err, &ue)
 }
 
 func exitCode(err error) int {
@@ -214,7 +253,9 @@ quarantine -disk N makes reads reconstruct around a slow disk while
 writes still land on it, and release -disk N lifts that; qos reads the
 live pacing knobs, or sets the ones passed via -rebuild-rate,
 -min-rebuild-rate, -scrub-interval, -scrub-batch, -latency-target, and
--admit-wait (-1 leaves a knob unchanged).`)
+-admit-wait (-1 leaves a knob unchanged). When the coordinator runs with
+a standby (oiraidd -standby), -fallback URL retries the command once
+against the standby if -remote is unreachable.`)
 }
 
 func manifestPath(dir string) string { return filepath.Join(dir, "oiraid.json") }
@@ -239,7 +280,9 @@ func saveManifest(dir string, m *manifest) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(manifestPath(dir), append(raw, '\n'), 0o644)
+	// Write-temp + fsync + rename: a crash mid-save must never leave a
+	// truncated manifest where a good one stood.
+	return store.AtomicWriteFile(manifestPath(dir), append(raw, '\n'), 0o644)
 }
 
 // openArray assembles the array from dir. Directories carrying on-media

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -389,6 +390,87 @@ func TestUnreachableExit(t *testing.T) {
 	plain := errors.New("disk on fire")
 	if exitCode(plain) != 1 || strings.Contains(renderErr(plain), "unreachable") {
 		t.Fatalf("generic error mis-rendered: %d %q", exitCode(plain), renderErr(plain))
+	}
+}
+
+// TestFallbackRetry pins the -fallback contract: a connectivity failure
+// against the primary coordinator is retried exactly once against the
+// fallback address (where a standby may have taken over); array faults
+// and a missing fallback never retry.
+func TestFallbackRetry(t *testing.T) {
+	g, err := oiraid.NewGeometry(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arr, err := oiraid.NewMemArray(g, 1, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := oiraid.NewEngine(arr, oiraid.EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := oiraid.NewServer(eng, oiraid.ServerOptions{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		eng.Close()
+	})
+
+	// A port that was just released: connection refused, no server.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := "http://" + l.Addr().String()
+	l.Close()
+
+	runCounting := func(calls *[]string, cmd string, diskID int) func(string) error {
+		return func(base string) error {
+			*calls = append(*calls, base)
+			c := server.NewClientWithOptions(base, server.ClientOptions{MaxRetries: -1})
+			return remoteCmd(context.Background(), c, cmd, 0, 0, diskID, 1, false, oiraid.QoSUpdate{}, nil, io.Discard)
+		}
+	}
+
+	// Dead primary, live fallback: one retry, command succeeds.
+	var calls []string
+	if err := remoteWithFallback(context.Background(), dead, ts.URL, runCounting(&calls, "status", -1)); err != nil {
+		t.Fatalf("fallback retry: %v", err)
+	}
+	if len(calls) != 2 || calls[0] != dead || calls[1] != ts.URL {
+		t.Fatalf("calls = %v, want [primary fallback]", calls)
+	}
+
+	// No fallback configured: the connectivity error propagates as exit 3.
+	calls = nil
+	err = remoteWithFallback(context.Background(), dead, "", runCounting(&calls, "status", -1))
+	if err == nil || !unreachable(err) || exitCode(err) != 3 {
+		t.Fatalf("dead primary without fallback: err=%v exit=%d", err, exitCode(err))
+	}
+	if len(calls) != 1 {
+		t.Fatalf("calls = %v, want just the primary", calls)
+	}
+
+	// An array fault (no such disk) is not a connectivity failure: the
+	// fallback must not be consulted — it would report the same fault.
+	calls = nil
+	err = remoteWithFallback(context.Background(), ts.URL, dead, runCounting(&calls, "fail", 99))
+	if err == nil || unreachable(err) || exitCode(err) != 1 {
+		t.Fatalf("array fault: err=%v exit=%d", err, exitCode(err))
+	}
+	if len(calls) != 1 {
+		t.Fatalf("array fault consulted the fallback: %v", calls)
+	}
+
+	// Both coordinators gone: two attempts, still exit 3.
+	calls = nil
+	err = remoteWithFallback(context.Background(), dead, dead, runCounting(&calls, "status", -1))
+	if err == nil || !unreachable(err) || exitCode(err) != 3 {
+		t.Fatalf("both dead: err=%v exit=%d", err, exitCode(err))
+	}
+	if len(calls) != 2 {
+		t.Fatalf("calls = %v, want exactly two attempts", calls)
 	}
 }
 

@@ -44,6 +44,12 @@ type clusterConfig struct {
 	nodes      string        // coordinator: "id=url,id=url,..."
 	grace      time.Duration // unreachable → lost promotion window
 	netTimeout time.Duration // per-attempt deadline for node operations
+
+	// HA coordinator knobs (see DESIGN.md §14).
+	coordID       string        // HA identity; empty runs the classic un-replicated coordinator
+	standby       bool          // watch the lease and take over when the leader dies
+	leaseRenew    time.Duration // lease renewal / standby poll interval
+	failoverAfter time.Duration // heartbeat stall that triggers takeover
 }
 
 // parseNodeSpecs parses the -nodes flag ("id=url,id=url,...").
@@ -112,20 +118,19 @@ func runNode(cfg config, ccfg clusterConfig) error {
 	}
 }
 
-// buildClusterServer assembles coordinator mode: cluster mount → engine →
-// strip/object API. Split from runCoordinator so the end-to-end test can
-// boot the identical stack on a loopback listener.
-func buildClusterServer(cfg config, ccfg clusterConfig) (*server.Server, *cluster.Cluster, error) {
+// coordinatorOptions derives the cluster options shared by the leader
+// and standby coordinator modes.
+func coordinatorOptions(cfg config, ccfg clusterConfig) (cluster.Options, error) {
 	specs, err := parseNodeSpecs(ccfg.nodes)
 	if err != nil {
-		return nil, nil, err
+		return cluster.Options{}, err
 	}
 	if cfg.dir != "" {
 		if err := os.MkdirAll(cfg.dir, 0o755); err != nil {
-			return nil, nil, err
+			return cluster.Options{}, err
 		}
 	}
-	copts := cluster.Options{
+	return cluster.Options{
 		Dir:   cfg.dir,
 		Nodes: specs,
 		Client: netdev.Options{
@@ -133,24 +138,46 @@ func buildClusterServer(cfg config, ccfg clusterConfig) (*server.Server, *cluste
 			MaxAttempts: cfg.retries,
 			Grace:       ccfg.grace,
 		},
-		Engine: engineOpts(cfg),
-		Format: &cluster.FormatSpec{Disks: cfg.disks, Cycles: cfg.cycles, StripBytes: cfg.strip},
-	}
-	c, err := cluster.Open(copts)
-	if err != nil {
-		return nil, nil, err
-	}
+		Engine:     engineOpts(cfg),
+		Format:     &cluster.FormatSpec{Disks: cfg.disks, Cycles: cfg.cycles, StripBytes: cfg.strip},
+		Holder:     ccfg.coordID,
+		LeaseRenew: ccfg.leaseRenew,
+	}, nil
+}
+
+// assembleClusterServer fronts a mounted cluster with the strip/object
+// API.
+func assembleClusterServer(cfg config, c *cluster.Cluster) (*server.Server, error) {
 	objs, err := object.New(c.Eng, object.Options{})
 	if err != nil {
 		c.Close()
-		return nil, nil, fmt.Errorf("object plane: %w", err)
+		return nil, fmt.Errorf("object plane: %w", err)
 	}
 	return server.New(c.Eng, server.Options{
 		RequestTimeout: cfg.timeout,
 		RebuildBatch:   cfg.batch,
 		OpTimeout:      cfg.opTimeout,
 		Objects:        objs,
-	}), c, nil
+	}), nil
+}
+
+// buildClusterServer assembles coordinator mode: cluster mount → engine →
+// strip/object API. Split from runCoordinator so the end-to-end test can
+// boot the identical stack on a loopback listener.
+func buildClusterServer(cfg config, ccfg clusterConfig) (*server.Server, *cluster.Cluster, error) {
+	copts, err := coordinatorOptions(cfg, ccfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	c, err := cluster.Open(copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv, err := assembleClusterServer(cfg, c)
+	if err != nil {
+		return nil, nil, err
+	}
+	return srv, c, nil
 }
 
 // engineOpts derives engine options from the shared flag set. It leaves
@@ -200,9 +227,61 @@ func runCoordinator(cfg config, ccfg clusterConfig) error {
 		return err
 	}
 	m := c.ManifestSnapshot()
-	log.Printf("oiraidd: coordinator serving %d disks across %d nodes on http://%s",
-		len(m.Disks), len(m.Nodes), l.Addr())
+	if ccfg.coordID != "" {
+		log.Printf("oiraidd: coordinator %q (epoch %d) serving %d disks across %d nodes on http://%s",
+			ccfg.coordID, c.Epoch(), len(m.Disks), len(m.Nodes), l.Addr())
+	} else {
+		log.Printf("oiraidd: coordinator serving %d disks across %d nodes on http://%s",
+			len(m.Disks), len(m.Nodes), l.Addr())
+	}
+	return serveCluster(srv, l)
+}
 
+// runStandby watches the cluster's lease heartbeat and becomes the
+// coordinator when the leader dies: fenced takeover at a higher epoch,
+// metadata reassembled from the node quorum, then the same API surface
+// as a primary coordinator.
+func runStandby(cfg config, ccfg clusterConfig) error {
+	copts, err := coordinatorOptions(cfg, ccfg)
+	if err != nil {
+		return err
+	}
+	// A standby never formats: it only ever takes over an array that a
+	// leader has already established on the quorum — otherwise a
+	// never-started cluster would be "taken over" into a fresh format.
+	copts.Format = nil
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	log.Printf("oiraidd: standby %q watching the lease (takeover after %v of heartbeat silence)",
+		ccfg.coordID, ccfg.failoverAfter)
+	c, err := cluster.Standby(ctx, copts, cluster.StandbyOptions{
+		Poll:          ccfg.leaseRenew,
+		FailoverAfter: ccfg.failoverAfter,
+	})
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("oiraidd: standby %q shutting down without taking over", ccfg.coordID)
+			return nil
+		}
+		return err
+	}
+	srv, err := assembleClusterServer(cfg, c)
+	if err != nil {
+		return err
+	}
+	l, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	log.Printf("oiraidd: standby %q took over at epoch %d, serving on http://%s",
+		ccfg.coordID, c.Epoch(), l.Addr())
+	return serveCluster(srv, l)
+}
+
+// serveCluster runs a coordinator server until SIGINT/SIGTERM.
+func serveCluster(srv *server.Server, l net.Listener) error {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)

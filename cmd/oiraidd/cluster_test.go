@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/oiraid/oiraid/internal/cluster"
 	"github.com/oiraid/oiraid/internal/server"
 	"github.com/oiraid/oiraid/internal/store"
 )
@@ -140,6 +142,180 @@ func TestClusterEndToEnd(t *testing.T) {
 	// mount sees an unclean shutdown and replays). Anything else is a bug.
 	if err := shutdown(); err != nil && !store.IsTransient(err) {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestClusterStandbyTakeover drives the HA pair the -coord-id/-standby
+// flags assemble: a leader coordinator serving writes, a standby
+// watching the lease, leader death, and the standby taking over at a
+// higher epoch with every acked strip intact — all through the public
+// HTTP API, against the same storage nodes.
+func TestClusterStandbyTakeover(t *testing.T) {
+	const strip = 512
+	specs := ""
+	for i, id := range []string{"alpha", "beta", "gamma"} {
+		url, _ := bootStorageNode(t, id, t.TempDir())
+		if i > 0 {
+			specs += ","
+		}
+		specs += fmt.Sprintf("%s=%s", id, url)
+	}
+	baseCfg := config{
+		disks: 9, cycles: 2, strip: strip,
+		batch: 1, timeout: 10 * time.Second, retries: 3,
+	}
+	baseCcfg := clusterConfig{
+		nodes:      specs,
+		grace:      30 * time.Second,
+		netTimeout: 2 * time.Second,
+		leaseRenew: 25 * time.Millisecond,
+	}
+
+	// Leader: the stack `oiraidd -nodes ... -coord-id coord-a` builds.
+	cfgA, ccfgA := baseCfg, baseCcfg
+	cfgA.dir = t.TempDir()
+	ccfgA.coordID = "coord-a"
+	srvA, cA, err := buildClusterServer(cfgA, ccfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errcA := make(chan error, 1)
+	go func() { errcA <- srvA.Serve(lA) }()
+
+	cl := server.NewClient("http://" + lA.Addr().String())
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	want := make(map[int64][]byte)
+	for addr := int64(0); addr < st.Strips; addr += 5 {
+		p := make([]byte, strip)
+		rng.Read(p)
+		if err := cl.PutStrip(addr, p); err != nil {
+			t.Fatalf("put strip %d: %v", addr, err)
+		}
+		want[addr] = p
+	}
+
+	// Standby: the stack `oiraidd -standby -coord-id coord-b` builds —
+	// coordinatorOptions minus the format spec, then cluster.Standby.
+	cfgB, ccfgB := baseCfg, baseCcfg
+	cfgB.dir = t.TempDir()
+	ccfgB.coordID = "coord-b"
+	coptsB, err := coordinatorOptions(cfgB, ccfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coptsB.Format = nil
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	type takeover struct {
+		c   *cluster.Cluster
+		err error
+	}
+	tookOver := make(chan takeover, 1)
+	go func() {
+		c, err := cluster.Standby(ctx, coptsB, cluster.StandbyOptions{
+			Poll:          20 * time.Millisecond,
+			FailoverAfter: 300 * time.Millisecond,
+		})
+		tookOver <- takeover{c, err}
+	}()
+
+	// Kill the leader: stop serving and tear the coordinator down (its
+	// renewal loop dies with it, as it would with the process).
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	if err := srvA.Shutdown(sctx); err != nil {
+		t.Fatalf("leader shutdown: %v", err)
+	}
+	if err := <-errcA; err != http.ErrServerClosed {
+		t.Fatalf("leader serve: %v", err)
+	}
+	cA.Close()
+
+	to := <-tookOver
+	if to.err != nil {
+		t.Fatalf("standby takeover: %v", to.err)
+	}
+	cB := to.c
+	if cB.Epoch() < 2 {
+		t.Fatalf("successor epoch %d, want ≥ 2 (above the leader's)", cB.Epoch())
+	}
+
+	// The successor fronts the same API surface; every strip the leader
+	// acked reads back bit-identical, and new writes land.
+	srvB, err := assembleClusterServer(cfgB, cB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errcB := make(chan error, 1)
+	go func() { errcB <- srvB.Serve(lB) }()
+	clB := server.NewClient("http://" + lB.Addr().String())
+	for addr, p := range want {
+		got, err := clB.GetStrip(addr)
+		if err != nil {
+			t.Fatalf("get strip %d after takeover: %v", addr, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("strip %d differs after takeover", addr)
+		}
+	}
+	p := make([]byte, strip)
+	rng.Read(p)
+	if err := clB.PutStrip(1, p); err != nil {
+		t.Fatalf("write through successor: %v", err)
+	}
+	sctxB, scancelB := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancelB()
+	if err := srvB.Shutdown(sctxB); err != nil {
+		t.Fatalf("successor shutdown: %v", err)
+	}
+	if err := <-errcB; err != http.ErrServerClosed {
+		t.Fatalf("successor serve: %v", err)
+	}
+}
+
+// TestStandbyShutdownBeforeTakeover pins the clean-exit path of
+// runStandby: a standby interrupted while the leader is healthy stops
+// without taking over and without error.
+func TestStandbyShutdownBeforeTakeover(t *testing.T) {
+	specs := ""
+	for i, id := range []string{"alpha", "beta", "gamma"} {
+		url, _ := bootStorageNode(t, id, t.TempDir())
+		if i > 0 {
+			specs += ","
+		}
+		specs += fmt.Sprintf("%s=%s", id, url)
+	}
+	cfg := config{disks: 9, cycles: 2, strip: 512, dir: t.TempDir(),
+		batch: 1, timeout: 5 * time.Second, retries: 2}
+	ccfg := clusterConfig{nodes: specs, grace: 30 * time.Second,
+		netTimeout: time.Second, coordID: "coord-b", leaseRenew: 20 * time.Millisecond}
+	copts, err := coordinatorOptions(cfg, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copts.Format = nil
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	_, err = cluster.Standby(ctx, copts, cluster.StandbyOptions{
+		Poll: 20 * time.Millisecond, FailoverAfter: time.Hour,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted standby: %v, want context.Canceled", err)
 	}
 }
 

@@ -281,14 +281,24 @@ func main() {
 	flag.StringVar(&ccfg.nodes, "nodes", "", "coordinator mode: comma-separated id=url storage nodes")
 	flag.DurationVar(&ccfg.grace, "grace", 15*time.Second, "window before an unreachable node counts as lost (heal engages)")
 	flag.DurationVar(&ccfg.netTimeout, "net-timeout", 5*time.Second, "per-attempt deadline for storage-node operations")
+	flag.StringVar(&ccfg.coordID, "coord-id", "", "HA coordinator identity: replicate metadata to a node quorum under a fenced lease (empty: classic coordinator)")
+	flag.BoolVar(&ccfg.standby, "standby", false, "run as a standby coordinator: watch the lease, take over when the leader dies (needs -coord-id and -nodes)")
+	flag.DurationVar(&ccfg.leaseRenew, "lease-renew", 250*time.Millisecond, "lease renewal interval (leader) and heartbeat poll interval (standby)")
+	flag.DurationVar(&ccfg.failoverAfter, "failover-after", 2*time.Second, "heartbeat silence before a standby takes over")
 	flag.Parse()
 
 	var err error
 	switch {
 	case ccfg.node && ccfg.nodes != "":
 		err = fmt.Errorf("-node and -nodes are mutually exclusive")
+	case ccfg.standby && ccfg.nodes == "":
+		err = fmt.Errorf("-standby requires -nodes")
+	case ccfg.standby && ccfg.coordID == "":
+		err = fmt.Errorf("-standby requires -coord-id")
 	case ccfg.node:
 		err = runNode(cfg, ccfg)
+	case ccfg.standby:
+		err = runStandby(cfg, ccfg)
 	case ccfg.nodes != "":
 		err = runCoordinator(cfg, ccfg)
 	default:

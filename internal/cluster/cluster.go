@@ -34,6 +34,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/oiraid/oiraid/internal/bibd"
 	"github.com/oiraid/oiraid/internal/core"
@@ -67,6 +68,48 @@ type Manifest struct {
 	Disks      []Placement `json:"disks"`
 	Cycles     int64       `json:"cycles"`
 	StripBytes int         `json:"strip_bytes"`
+	// Epoch records the fencing epoch of the coordinator that wrote
+	// this manifest (0 outside HA mode) — an audit trail for fsck and
+	// takeover debugging, not an input to recovery.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// ParseManifest decodes and sanity-checks a manifest image. Recovery
+// reads replicas that may be torn mid-save, so structural validation is
+// what separates "the last acked manifest" from "half a JSON object".
+func ParseManifest(raw []byte) (Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("cluster: manifest: %w", err)
+	}
+	if len(m.Nodes) == 0 {
+		return Manifest{}, errors.New("cluster: manifest has no nodes")
+	}
+	if len(m.Disks) == 0 {
+		return Manifest{}, errors.New("cluster: manifest has no disks")
+	}
+	if m.Cycles <= 0 || m.StripBytes <= 0 {
+		return Manifest{}, fmt.Errorf("cluster: manifest geometry %d cycles × %d strip bytes", m.Cycles, m.StripBytes)
+	}
+	ids := map[string]bool{}
+	for _, n := range m.Nodes {
+		if n.ID == "" {
+			return Manifest{}, errors.New("cluster: manifest node with empty ID")
+		}
+		if ids[n.ID] {
+			return Manifest{}, fmt.Errorf("cluster: duplicate node %q", n.ID)
+		}
+		ids[n.ID] = true
+	}
+	for d, p := range m.Disks {
+		if !ids[p.Node] {
+			return Manifest{}, fmt.Errorf("cluster: disk %d placed on unknown node %q", d, p.Node)
+		}
+		if p.Device == "" || p.Super == "" {
+			return Manifest{}, fmt.Errorf("cluster: disk %d missing device or superblock name", d)
+		}
+	}
+	return m, nil
 }
 
 // FormatSpec sizes a new cluster array.
@@ -98,6 +141,18 @@ type Options struct {
 	// Format, when set and no cluster state exists yet, formats a new
 	// array of this size across the nodes.
 	Format *FormatSpec
+	// Holder, when non-empty, runs the coordinator in HA mode under
+	// this identity: it acquires a fenced lease from a node quorum at
+	// open (deposing any previous coordinator), replicates every
+	// manifest commit and metadata-journal append to a majority of
+	// nodes before acking, and renews the lease so a standby can
+	// detect its death. Empty keeps the classic single-coordinator
+	// behavior. HA mode requires Nodes (the manifest itself lives
+	// behind the quorum, so the node list must come from config).
+	Holder string
+	// LeaseRenew is the lease renewal interval in HA mode
+	// (default 100ms).
+	LeaseRenew time.Duration
 }
 
 // Cluster is a mounted multi-node array: the engine plus the node
@@ -114,18 +169,45 @@ type Cluster struct {
 	order   []string                      // node IDs in manifest order
 
 	replaceSeq atomic.Int64 // suffix for replacement device names
+
+	// HA mode (nil/zero in classic mode).
+	rep        *replicator
+	manGen     uint64 // manifest blob generation, guarded by mu
+	leaseEvery time.Duration
+	renewStop  chan struct{}
+	stopRenew  sync.Once
+	renewWg    sync.WaitGroup
 }
 
 // Open mounts (or formats) the cluster array and starts the engine.
+// With Options.Holder set this is also the takeover path: acquire a
+// fenced lease at a fresh epoch, reassemble the metadata plane from the
+// node quorum, and resume — a standby calls exactly this.
 func Open(opts Options) (*Cluster, error) {
+	ha := opts.Holder != ""
 	c := &Cluster{dir: opts.Dir, clients: map[string]*netdev.NodeClient{}}
+	if ha {
+		if len(opts.Nodes) == 0 {
+			return nil, errors.New("cluster: HA mode requires the node list")
+		}
+		c.leaseEvery = opts.LeaseRenew
+		if c.leaseEvery <= 0 {
+			c.leaseEvery = defaultLeaseRenew
+		}
+		c.renewStop = make(chan struct{})
+	}
 
-	// Manifest: from disk when present, else built fresh from Format.
+	// Local manifest: a bootstrap cache. In HA mode the quorum copy
+	// recovered below overrides it; classic mode trusts it outright.
 	loaded, err := c.loadManifest()
 	if err != nil {
 		return nil, err
 	}
-	if !loaded {
+	nodeList := opts.Nodes
+	if !ha && loaded {
+		nodeList = c.manifest.Nodes
+	}
+	if !loaded && !ha {
 		if opts.Format == nil {
 			return nil, errors.New("cluster: no manifest and no format spec")
 		}
@@ -134,12 +216,12 @@ func Open(opts Options) (*Cluster, error) {
 		}
 		c.manifest = buildManifest(opts.Nodes, *opts.Format)
 	}
-	man := c.manifest
 
 	// One client per node. The engine does not exist yet, so the
 	// reachability hooks go through an atomic pointer filled in below.
 	var engPtr atomic.Pointer[engine.Engine]
-	for i, n := range man.Nodes {
+	fence := &netdev.FenceToken{}
+	for i, n := range nodeList {
 		n := n
 		copts := opts.Client
 		copts.ExpectID = n.ID
@@ -149,7 +231,11 @@ func Open(opts Options) (*Cluster, error) {
 		}
 		copts.OnDown = func() { c.nodeDown(engPtr.Load(), n.ID) }
 		copts.OnUp = func() { c.nodeUp(engPtr.Load(), n.ID) }
-		c.clients[n.ID] = netdev.NewNodeClient(n.URL, copts)
+		cl := netdev.NewNodeClient(n.URL, copts)
+		if ha {
+			cl.SetFence(fence)
+		}
+		c.clients[n.ID] = cl
 		c.order = append(c.order, n.ID)
 	}
 	closeClients := func() {
@@ -157,6 +243,38 @@ func Open(opts Options) (*Cluster, error) {
 			cl.Close()
 		}
 	}
+
+	// HA: fenced takeover — lease first (deposing any rival), then the
+	// metadata plane from the quorum. The journal blobs come back
+	// quorum-wrapped, so every append below is majority-durable before
+	// it acks.
+	var j0, j1 store.Blob
+	if ha {
+		c.rep = &replicator{holder: opts.Holder, fence: fence, order: c.order, clients: c.clients}
+		var haveManifest bool
+		j0, j1, haveManifest, err = c.takeover(loaded)
+		if err != nil {
+			closeClients()
+			return nil, err
+		}
+		if !haveManifest {
+			if opts.Format == nil {
+				closeClients()
+				j0.Close()
+				j1.Close()
+				return nil, errors.New("cluster: no manifest anywhere and no format spec")
+			}
+			c.manifest = buildManifest(opts.Nodes, *opts.Format)
+		}
+		loaded = haveManifest
+		if err := nodesMatch(c.manifest.Nodes, opts.Nodes); err != nil {
+			closeClients()
+			j0.Close()
+			j1.Close()
+			return nil, err
+		}
+	}
+	man := c.manifest
 
 	// Geometry: disks count from the manifest placements.
 	an, err := analyzerFor(len(man.Disks))
@@ -192,22 +310,23 @@ func Open(opts Options) (*Cluster, error) {
 		}
 	}
 
-	// The metadata journal is coordinator-local state: tying it to a
-	// node would couple every metadata commit to that node's
-	// availability, and the journal is the coordinator's own write-ahead
-	// record, not array media.
-	var j0, j1 store.Blob
-	if c.dir != "" {
-		if j0, err = store.CreateFileBlob(filepath.Join(c.dir, "meta0.journal")); err != nil {
-			closeClients()
-			return nil, err
+	// Classic mode: the metadata journal is coordinator-local state —
+	// the coordinator's own write-ahead record, not array media. (HA
+	// mode replaced this above with quorum-replicated blobs, where the
+	// local file is only the read cache.)
+	if !ha {
+		if c.dir != "" {
+			if j0, err = store.CreateFileBlob(filepath.Join(c.dir, "meta0.journal")); err != nil {
+				closeClients()
+				return nil, err
+			}
+			if j1, err = store.CreateFileBlob(filepath.Join(c.dir, "meta1.journal")); err != nil {
+				closeClients()
+				return nil, err
+			}
+		} else {
+			j0, j1 = store.NewMemBlob(), store.NewMemBlob()
 		}
-		if j1, err = store.CreateFileBlob(filepath.Join(c.dir, "meta1.journal")); err != nil {
-			closeClients()
-			return nil, err
-		}
-	} else {
-		j0, j1 = store.NewMemBlob(), store.NewMemBlob()
 	}
 
 	var mnt *store.Mount
@@ -250,11 +369,17 @@ func Open(opts Options) (*Cluster, error) {
 	// Replacement names must not collide across coordinator restarts:
 	// continue from the count of non-original placements.
 	c.replaceSeq.Store(int64(replacementCount(man)))
-	if !loaded {
+	// Persist the manifest when it is new — and always in HA mode,
+	// which stamps the new epoch and reseeds the quorum copy.
+	if !loaded || ha {
 		if err := c.saveManifest(); err != nil {
 			eng.Close()
 			return nil, err
 		}
+	}
+	if ha {
+		c.renewWg.Add(1)
+		go c.renewLoop()
 	}
 	// A node that was already unreachable at mount shows up as failed
 	// disks (the mount detected their superblocks missing); the engine
@@ -263,8 +388,16 @@ func Open(opts Options) (*Cluster, error) {
 }
 
 // Close shuts the engine down (which seals metadata, then closes the
-// node clients via the OnClose hook).
-func (c *Cluster) Close() error { return c.Eng.Close() }
+// node clients via the OnClose hook). In HA mode the lease renewal
+// loop stops first — the seal's journal appends still replicate, and
+// no renewal goroutine may outlive Close.
+func (c *Cluster) Close() error {
+	if c.renewStop != nil {
+		c.stopRenew.Do(func() { close(c.renewStop) })
+		c.renewWg.Wait()
+	}
+	return c.Eng.Close()
+}
 
 // Client returns the node client for id (tests, CLI surfacing).
 func (c *Cluster) Client(id string) *netdev.NodeClient {
@@ -399,9 +532,11 @@ func (c *Cluster) loadManifest() (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if err := json.Unmarshal(raw, &c.manifest); err != nil {
-		return false, fmt.Errorf("cluster: manifest %s: %w", c.manifestPath(), err)
+	m, err := ParseManifest(raw)
+	if err != nil {
+		return false, fmt.Errorf("%s: %w", c.manifestPath(), err)
 	}
+	c.manifest = m
 	return true, nil
 }
 
@@ -411,24 +546,43 @@ func (c *Cluster) saveManifest() error {
 	return c.saveManifestLocked()
 }
 
-// saveManifestLocked persists the manifest atomically; volatile
-// clusters (no dir) keep it in memory only.
+// saveManifestLocked persists the manifest: atomically and durably to
+// the local directory (tmp is fsynced before the rename, the directory
+// after — a crash can never leave a torn or vanishing manifest), and in
+// HA mode replicated to a node quorum at a fresh blob generation before
+// the commit is acknowledged. Volatile classic clusters (no dir) keep
+// it in memory only.
 func (c *Cluster) saveManifestLocked() error {
-	if c.dir == "" {
+	if c.rep != nil {
+		c.manifest.Epoch = c.rep.fence.Epoch()
+	}
+	if c.dir == "" && c.rep == nil {
 		return nil
 	}
 	raw, err := json.MarshalIndent(c.manifest, "", "  ")
 	if err != nil {
 		return err
 	}
-	tmp := c.manifestPath() + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return err
+	if c.dir != "" {
+		if err := store.AtomicWriteFile(c.manifestPath(), raw, 0o644); err != nil {
+			return err
+		}
 	}
-	if err := os.Rename(tmp, c.manifestPath()); err != nil {
-		return err
+	if c.rep != nil {
+		// Full rewrite under a bumped generation: the gen wipe replaces
+		// the old image on every replica that hears about it, and the
+		// quorum requirement makes the save recoverable by the next
+		// coordinator.
+		c.manGen++
+		gen, epoch := c.manGen, c.rep.fence.Epoch()
+		return c.rep.fanout(func(cl *netdev.NodeClient) error {
+			if err := cl.MetaWriteAt(metaBlobManifest, raw, 0, epoch, gen); err != nil {
+				return err
+			}
+			return cl.MetaSync(metaBlobManifest, epoch, gen)
+		})
 	}
-	return store.SyncDir(c.dir)
+	return nil
 }
 
 // buildManifest places disk d on node d mod N. For the canonical 9-disk

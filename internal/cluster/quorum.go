@@ -1,0 +1,409 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/oiraid/oiraid/internal/store"
+	"github.com/oiraid/oiraid/internal/store/netdev"
+)
+
+// Names of the coordinator metadata blobs replicated onto the nodes.
+// Together they are the whole metadata plane: the cluster map plus both
+// metadata-journal regions.
+const (
+	metaBlobManifest = "manifest"
+	metaBlobJournal0 = "meta0"
+	metaBlobJournal1 = "meta1"
+)
+
+// replicator fans coordinator metadata writes out to the storage nodes
+// and requires a majority before reporting success. It is the shared
+// half of every quorumBlob: one fencing epoch, one deposed latch.
+type replicator struct {
+	holder  string
+	fence   *netdev.FenceToken
+	order   []string
+	clients map[string]*netdev.NodeClient
+	deposed atomic.Bool
+}
+
+func (r *replicator) quorum() int { return len(r.order)/2 + 1 }
+
+// fanout runs op against every node concurrently and demands a quorum
+// of successes. A stale-epoch verdict from any node latches the deposed
+// flag and wins over every other error: the coordinator must stand
+// down, not retry.
+func (r *replicator) fanout(op func(*netdev.NodeClient) error) error {
+	errs := make([]error, len(r.order))
+	var wg sync.WaitGroup
+	for i, id := range r.order {
+		wg.Add(1)
+		go func(i int, cl *netdev.NodeClient) {
+			defer wg.Done()
+			errs[i] = op(cl)
+		}(i, r.clients[id])
+	}
+	wg.Wait()
+
+	ok := 0
+	var firstErr error
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, store.ErrStaleEpoch):
+			r.deposed.Store(true)
+			return fmt.Errorf("cluster: deposed by node %s: %w", r.order[i], err)
+		case firstErr == nil:
+			firstErr = fmt.Errorf("node %s: %w", r.order[i], err)
+		}
+	}
+	if ok < r.quorum() {
+		return fmt.Errorf("cluster: metadata quorum lost (%d/%d acks, need %d): %w: %v",
+			ok, len(r.order), r.quorum(), store.ErrUnreachable, firstErr)
+	}
+	return nil
+}
+
+// Deposed reports whether any node has fenced this coordinator off.
+func (r *replicator) Deposed() bool { return r.deposed.Load() }
+
+// quorumBlob is a store.Blob whose writes are durable only once a
+// majority of storage nodes hold them: the local blob is a cache for
+// reads and replay, the node copies are the authoritative record a
+// standby reassembles at takeover.
+//
+// The write contract is shaped for the metadata journal's acked-frontier
+// discipline: when the local write lands but the quorum does not,
+// WriteAt still returns n == len(p) alongside the error — the frame has
+// claimed its offsets (so no two replicas can ever hold different
+// frames at one offset) and the journal re-sends the unacked suffix in
+// front of its next append.
+type quorumBlob struct {
+	name  string
+	local store.Blob
+	rep   *replicator
+	gen   atomic.Uint64
+}
+
+func newQuorumBlob(name string, local store.Blob, rep *replicator, gen uint64) *quorumBlob {
+	b := &quorumBlob{name: name, local: local, rep: rep}
+	b.gen.Store(gen)
+	return b
+}
+
+func (b *quorumBlob) ReadAt(p []byte, off int64) (int, error) { return b.local.ReadAt(p, off) }
+func (b *quorumBlob) Size() (int64, error)                    { return b.local.Size() }
+func (b *quorumBlob) Close() error                            { return b.local.Close() }
+
+func (b *quorumBlob) WriteAt(p []byte, off int64) (int, error) {
+	n, err := b.local.WriteAt(p, off)
+	if err != nil || n != len(p) {
+		return n, err
+	}
+	gen := b.gen.Load()
+	err = b.rep.fanout(func(cl *netdev.NodeClient) error {
+		return cl.MetaWriteAt(b.name, p, off, b.rep.fence.Epoch(), gen)
+	})
+	return len(p), err
+}
+
+func (b *quorumBlob) Sync() error {
+	if err := b.local.Sync(); err != nil {
+		return err
+	}
+	gen := b.gen.Load()
+	return b.rep.fanout(func(cl *netdev.NodeClient) error {
+		return cl.MetaSync(b.name, b.rep.fence.Epoch(), gen)
+	})
+}
+
+// Truncate opens a new generation: the gen bump is what guarantees any
+// replica that missed it gets wiped before accepting bytes of the new
+// stream, so stale frames from the old stream can never leak into a
+// takeover merge.
+func (b *quorumBlob) Truncate(size int64) error {
+	gen := b.gen.Add(1)
+	if err := b.local.Truncate(size); err != nil {
+		return err
+	}
+	return b.rep.fanout(func(cl *netdev.NodeClient) error {
+		return cl.MetaTruncate(b.name, size, b.rep.fence.Epoch(), gen)
+	})
+}
+
+// takeover is the fenced leadership acquisition + metadata recovery
+// that runs inside Open when Holder is set:
+//
+//  1. Survey a quorum of nodes for the highest promised epoch and claim
+//     the next one — every node that grants it will from now on reject
+//     the previous coordinator's writes (data plane included).
+//  2. Reassemble the manifest and both metadata-journal regions from
+//     the replicas a quorum holds: newest generation wins, torn tails
+//     and per-replica holes are tolerated by the frame-level merge.
+//  3. Reseed the merged images back out at a fresh generation, so the
+//     new reign starts from a converged majority-held state.
+//
+// Returns the two journal regions as quorum-replicated blobs ready for
+// MountArray, and whether a manifest was found (on the quorum, or —
+// upgrade path — in the local cache when the quorum has never held
+// one).
+func (c *Cluster) takeover(loaded bool) (j0, j1 store.Blob, haveManifest bool, err error) {
+	rep := c.rep
+
+	// 1. Epoch survey + lease.
+	states := make([]*netdev.MetaState, len(rep.order))
+	var wg sync.WaitGroup
+	for i, id := range rep.order {
+		wg.Add(1)
+		go func(i int, cl *netdev.NodeClient) {
+			defer wg.Done()
+			if st, err := cl.FetchMetaState(); err == nil {
+				states[i] = &st
+			}
+		}(i, rep.clients[id])
+	}
+	wg.Wait()
+	responsive := 0
+	var maxEpoch uint64
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		responsive++
+		if st.Epoch > maxEpoch {
+			maxEpoch = st.Epoch
+		}
+	}
+	if responsive < rep.quorum() {
+		return nil, nil, false, fmt.Errorf(
+			"cluster: takeover needs a node quorum, only %d/%d answered: %w",
+			responsive, len(rep.order), store.ErrUnreachable)
+	}
+	epoch := maxEpoch + 1
+	rep.fence.Advance(epoch)
+	grants := make([]bool, len(rep.order))
+	for i, id := range rep.order {
+		wg.Add(1)
+		go func(i int, cl *netdev.NodeClient) {
+			defer wg.Done()
+			grants[i] = cl.AcquireLease(epoch, rep.holder) == nil
+		}(i, rep.clients[id])
+	}
+	wg.Wait()
+	granted := 0
+	for _, ok := range grants {
+		if ok {
+			granted++
+		}
+	}
+	if granted < rep.quorum() {
+		// A rival claimed a higher epoch between survey and acquire, or
+		// the quorum slipped away. Either way this reign never starts.
+		return nil, nil, false, fmt.Errorf(
+			"cluster: lease epoch %d granted by %d/%d nodes, need %d: %w",
+			epoch, granted, len(rep.order), rep.quorum(), store.ErrStaleEpoch)
+	}
+
+	// 2+3. Manifest, then both journal regions.
+	manReps := fetchReplicas(rep, metaBlobManifest)
+	if m, _, ok := recoverManifest(manReps); ok {
+		c.manifest = m
+		haveManifest = true
+	} else {
+		haveManifest = loaded
+	}
+	c.manGen = maxGen(manReps)
+
+	if j0, err = c.recoverRegion(metaBlobJournal0, "meta0.journal"); err != nil {
+		return nil, nil, false, err
+	}
+	if j1, err = c.recoverRegion(metaBlobJournal1, "meta1.journal"); err != nil {
+		j0.Close()
+		return nil, nil, false, err
+	}
+	return j0, j1, haveManifest, nil
+}
+
+// recoverRegion rebuilds one journal-region blob from the quorum and
+// hands it back quorum-wrapped. A virgin quorum (no node has ever held
+// the blob) seeds from the local cache file instead — the upgrade path
+// for a pre-HA coordinator directory.
+func (c *Cluster) recoverRegion(name, file string) (store.Blob, error) {
+	reps := fetchReplicas(c.rep, name)
+	data := recoverJournalRegion(reps)
+	var local store.Blob
+	var err error
+	if c.dir != "" {
+		if local, err = store.CreateFileBlob(filepath.Join(c.dir, file)); err != nil {
+			return nil, err
+		}
+	} else {
+		local = store.NewMemBlob()
+	}
+	if data == nil && len(reps) == 0 {
+		if data, err = readAllBlob(local); err != nil {
+			local.Close()
+			return nil, err
+		}
+	}
+	gen := maxGen(reps) + 1
+	if err := reseed(c.rep, name, local, data, gen); err != nil {
+		local.Close()
+		return nil, err
+	}
+	return newQuorumBlob(name, local, c.rep, gen), nil
+}
+
+// nodesMatch checks a recovered manifest against the configured node
+// list: same IDs or the config points at the wrong cluster.
+func nodesMatch(man, conf []NodeSpec) error {
+	if len(man) != len(conf) {
+		return fmt.Errorf("cluster: manifest lists %d nodes, config %d", len(man), len(conf))
+	}
+	ids := map[string]bool{}
+	for _, n := range conf {
+		ids[n.ID] = true
+	}
+	for _, n := range man {
+		if !ids[n.ID] {
+			return fmt.Errorf("cluster: manifest node %q not in configured node list", n.ID)
+		}
+	}
+	return nil
+}
+
+func readAllBlob(b store.Blob) ([]byte, error) {
+	size, err := b.Size()
+	if err != nil || size == 0 {
+		return nil, err
+	}
+	buf := make([]byte, size)
+	n, err := b.ReadAt(buf, 0)
+	if err != nil && n != len(buf) {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// metaReplica is one node's copy of a metadata blob.
+type metaReplica struct {
+	node string
+	gen  uint64
+	data []byte
+}
+
+// fetchReplicas collects every responsive node's copy of blob name.
+// Nodes that do not hold the blob (or cannot be reached) are simply
+// absent from the result — quorum accounting happens in the callers.
+func fetchReplicas(rep *replicator, name string) []metaReplica {
+	out := make([]metaReplica, len(rep.order))
+	var wg sync.WaitGroup
+	for i, id := range rep.order {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			data, gen, err := rep.clients[id].ReadMetaBlob(name)
+			if err != nil {
+				out[i] = metaReplica{}
+				return
+			}
+			out[i] = metaReplica{node: id, gen: gen, data: data}
+		}(i, id)
+	}
+	wg.Wait()
+	var got []metaReplica
+	for _, r := range out {
+		if r.node != "" {
+			got = append(got, r)
+		}
+	}
+	return got
+}
+
+// maxGen returns the highest generation among the replicas (0 if none).
+func maxGen(reps []metaReplica) uint64 {
+	var g uint64
+	for _, r := range reps {
+		if r.gen > g {
+			g = r.gen
+		}
+	}
+	return g
+}
+
+// recoverJournalRegion reassembles one journal-region blob from its
+// replicas. Only the newest generation is eligible: a quorum-acked
+// truncation (compaction open, poison clear) is itself part of history,
+// and reaching below it could resurrect a failed compaction snapshot
+// that was never acknowledged — the exact split-brain the generation
+// bump exists to kill. Within the newest generation the frame-level
+// merge tolerates torn tails and per-replica holes (store.
+// MergeJournalReplicas); a region that does not merge contributes
+// nothing, which is safe because every acknowledged append reached a
+// majority at that generation.
+func recoverJournalRegion(reps []metaReplica) []byte {
+	top := maxGen(reps)
+	var streams [][]byte
+	for _, r := range reps {
+		if r.gen == top {
+			streams = append(streams, r.data)
+		}
+	}
+	if merged, ok := store.MergeJournalReplicas(streams); ok {
+		return merged
+	}
+	return nil
+}
+
+// recoverManifest picks the newest parseable manifest among the
+// replicas: generations descending, so a torn (never-acknowledged) save
+// at the top generation falls back to the last acknowledged one — which
+// a majority holds by construction, and a quorum read intersects.
+func recoverManifest(reps []metaReplica) (Manifest, []byte, bool) {
+	for gen := maxGen(reps); gen > 0; gen-- {
+		for _, r := range reps {
+			if r.gen != gen {
+				continue
+			}
+			if m, err := ParseManifest(r.data); err == nil {
+				return m, r.data, true
+			}
+		}
+	}
+	return Manifest{}, nil, false
+}
+
+// reseed pushes recovered bytes back out as a fresh generation on a
+// quorum of nodes (and into the local cache blob), so the new
+// coordinator starts from a converged, majority-held image instead of
+// the scattered per-replica states it merged from.
+func reseed(rep *replicator, name string, local store.Blob, data []byte, gen uint64) error {
+	if err := local.Truncate(0); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if n, err := local.WriteAt(data, 0); err != nil || n != len(data) {
+			return fmt.Errorf("cluster: reseed local %s: %w", name, err)
+		}
+	}
+	if err := local.Sync(); err != nil {
+		return err
+	}
+	epoch := rep.fence.Epoch()
+	return rep.fanout(func(cl *netdev.NodeClient) error {
+		if err := cl.MetaTruncate(name, 0, epoch, gen); err != nil {
+			return err
+		}
+		if len(data) > 0 {
+			if err := cl.MetaWriteAt(name, data, 0, epoch, gen); err != nil {
+				return err
+			}
+		}
+		return cl.MetaSync(name, epoch, gen)
+	})
+}

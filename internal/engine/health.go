@@ -288,6 +288,12 @@ func (m *monitor) observe(disk int, gen int64, dur time.Duration, err error) {
 		errors.Is(err, store.ErrStripOutOfRange),
 		errors.Is(err, store.ErrShortBuffer):
 		return
+	case errors.Is(err, store.ErrStaleEpoch):
+		// The write was fenced off by a newer coordinator epoch: this
+		// coordinator has been deposed. The disk is healthy — evicting it
+		// here would have the dying leader shred its (correct) view of
+		// the array on the way out.
+		return
 	case errors.Is(err, store.ErrCorrupt):
 		// Latent sector error: the array's read repair heals it; scrub
 		// and the corrupt counter give it visibility.

@@ -780,7 +780,9 @@ func (a *Array) resolvePendingClosures(closure ClosureLogger, cycle, slots int64
 			if err := dev.WriteStrip(ds, su.Data); err != nil {
 				// Consistency not restored; keep the record and fail the op
 				// (the caller retries, as it would for the original failure).
-				return fmt.Errorf("%w: strip (%d,%d) of cycle %d: %v",
+				// The cause stays in the chain: a replay refused by a fencing
+				// epoch (ErrStaleEpoch) must not masquerade as a disk fault.
+				return fmt.Errorf("%w: strip (%d,%d) of cycle %d: %w",
 					ErrIntentReplay, su.Disk, su.Slot, cycle, err)
 			}
 		}

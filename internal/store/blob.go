@@ -62,6 +62,46 @@ func OpenFileBlob(path string) (*FileBlob, error) {
 	return &FileBlob{f: f}, nil
 }
 
+// AtomicWriteFile replaces path with data so that after a crash the file
+// holds either the old content or the new, never a torn mix. The full
+// sequence matters: write a temp file, fsync the temp file (rename makes
+// the *name* point at the inode, not the inode's pages durable), rename
+// over path, then fsync the directory so the rename itself survives.
+// Skipping the temp-file fsync is the classic bug: the rename can reach
+// media before the data does, leaving an empty or garbage file under the
+// final name.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: atomic write %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
 // SyncDir fsyncs a directory, making recent entry creations and removals
 // inside it durable. POSIX requires this extra step after creating a
 // file: fsyncing the file alone does not persist its directory entry.

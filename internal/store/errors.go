@@ -70,6 +70,16 @@ var ErrUnreachable = fmt.Errorf("store: device unreachable: %w", ErrTransient)
 // retries (replaying its record) or a quiesced recovery replays it.
 var ErrIntentConflict = fmt.Errorf("store: overlapping parity closure pending: %w", ErrTransient)
 
+// ErrStaleEpoch reports a metadata or data-plane write fenced off by the
+// storage nodes because it carried a fencing epoch older than the one a
+// newer coordinator acquired. It deliberately wraps neither ErrTransient
+// nor ErrPermanent: the media is healthy and the path is up — the writer
+// has been deposed. Retrying cannot help (the epoch only moves forward),
+// and counting it as a disk fault would evict healthy disks on the old
+// leader, so retry loops and the health monitor must treat it as a
+// terminal verdict on the writer, not on the device.
+var ErrStaleEpoch = errors.New("store: write fenced off by a newer coordinator epoch")
+
 // ErrIntentReplay reports a failed replay of a pending redo record — the
 // array could not restore a half-committed closure to consistency because
 // a live strip it must rewrite is unreachable. The record stays pending;

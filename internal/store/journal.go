@@ -38,6 +38,13 @@ const (
 	recClear      byte = 3 // closure committed to devices
 	recTransition byte = 4 // state transition (evict/adopt/rebuild-complete)
 	recKV         byte = 5 // object-plane key/value record (put or tombstone)
+	// recSnapEnd seals a region's snapshot prefix. Written at region
+	// initialisation and as the last frame of every compaction snapshot,
+	// it lets a quorum merge distinguish a complete snapshot from the
+	// partial content of a compaction that failed mid-way on a minority
+	// of replicas: a region with a valid header but no seal anywhere in
+	// its stream is not eligible as a recovery source.
+	recSnapEnd byte = 6
 )
 
 const (
@@ -147,7 +154,10 @@ type MetaJournal struct {
 	active    int
 	epoch     uint64
 	off       int64 // append offset in the active region
+	acked     int64 // offset up to which every append was accepted by the blob
 	appended  int64 // bytes appended since open/compaction
+	hasSeal   bool  // replayed stream contained a recSnapEnd frame
+	poisoned  bool  // a compaction failed mid-way; inactive region needs a wipe
 	compactAt int64
 	disks     int
 	sums      []map[int64]uint32
@@ -194,8 +204,17 @@ func OpenMetaJournal(b0, b1 Blob, disks int) (*MetaJournal, error) {
 		}
 	}
 	if !nonEmpty {
-		// Fresh journal: initialise region 0 at epoch 1.
-		j.active, j.epoch, j.off = 0, 1, journalHeaderLen
+		// Fresh journal: initialise region 0 at epoch 1. The seal frame
+		// goes in before the header (header-last, like compaction) so a
+		// headered region always carries a complete snapshot prefix.
+		seal := appendJournalFrame(nil, []byte{recSnapEnd})
+		j.active, j.epoch = 0, 1
+		j.off = journalHeaderLen + int64(len(seal))
+		j.acked = j.off
+		j.hasSeal = true
+		if _, err := j.blobs[0].WriteAt(seal, journalHeaderLen); err != nil {
+			return nil, err
+		}
 		if _, err := j.blobs[0].WriteAt(journalHeader(1), 0); err != nil {
 			return nil, err
 		}
@@ -218,6 +237,15 @@ func OpenMetaJournal(b0, b1 Blob, disks int) (*MetaJournal, error) {
 	j.active, j.epoch = best, bestEpoch
 	if err := j.replay(contents[best]); err != nil {
 		return nil, err
+	}
+	if !j.hasSeal {
+		// Pre-seal stream (an upgraded journal): seal it now, so every
+		// journal that has been opened once is a valid quorum-merge
+		// source from here on.
+		if err := j.appendFrame([]byte{recSnapEnd}, true); err != nil {
+			return nil, err
+		}
+		j.hasSeal = true
 	}
 	return j, nil
 }
@@ -275,6 +303,7 @@ func (j *MetaJournal) replay(data []byte) error {
 		off += 8 + n
 	}
 	j.off = int64(off)
+	j.acked = j.off
 	return nil
 }
 
@@ -328,6 +357,11 @@ func (j *MetaJournal) apply(payload []byte) error {
 		} else {
 			j.kv[key] = value
 		}
+	case recSnapEnd:
+		if len(payload) != 1 {
+			return fmt.Errorf("%w: seal record length %d", ErrJournalCorrupt, len(payload))
+		}
+		j.hasSeal = true
 	default:
 		return fmt.Errorf("%w: unknown record type %d", ErrJournalCorrupt, payload[0])
 	}
@@ -561,24 +595,70 @@ func (j *MetaJournal) addTransition(tr Transition) {
 
 // appendFrame writes one frame to the active region; sync forces it (and
 // everything appended before it) durable before returning.
+//
+// Replicated-blob discipline: when the region blob is quorum-replicated,
+// a write can land on the local cache (full count) yet fail to reach a
+// node majority. Reusing the same offset for the *next* frame would put
+// two different CRC-valid frames at one offset on different replicas,
+// making a later quorum merge ambiguous. So a frame that was written
+// locally always claims its offset — j.off advances even on error — and
+// j.acked trails at the last offset every replica write accepted. Each
+// subsequent append re-sends the unacknowledged suffix [acked, off)
+// verbatim ahead of the new frame, so replicas converge on a single byte
+// stream and any replica acknowledging a frame holds everything since
+// the acknowledged frontier.
 func (j *MetaJournal) appendFrame(payload []byte, sync bool) error {
 	if j.closed {
 		return ErrClosed
 	}
-	frame := make([]byte, 8+len(payload))
-	le := binary.LittleEndian
-	le.PutUint32(frame, uint32(len(payload)))
-	le.PutUint32(frame[4:], crc32.Checksum(payload, castagnoli))
-	copy(frame[8:], payload)
-	b := j.blobs[j.active]
-	if _, err := b.WriteAt(frame, j.off); err != nil {
+	if err := j.clearPoison(); err != nil {
 		return err
 	}
-	j.off += int64(len(frame))
-	j.appended += int64(len(frame))
+	frame := appendJournalFrame(nil, payload)
+	b := j.blobs[j.active]
+	start := j.off
+	buf := frame
+	if j.acked < j.off {
+		resend := make([]byte, j.off-j.acked)
+		if _, err := b.ReadAt(resend, j.acked); err != nil {
+			return err
+		}
+		start = j.acked
+		buf = append(resend, frame...)
+	}
+	n, err := b.WriteAt(buf, start)
+	if n == len(buf) {
+		j.off += int64(len(frame))
+		j.appended += int64(len(frame))
+	}
+	if err != nil {
+		return err
+	}
+	j.acked = j.off
 	if sync {
 		return b.Sync()
 	}
+	return nil
+}
+
+// clearPoison wipes the inactive region after a failed compaction. Until
+// the wipe is accepted by the blob (for a quorum-replicated region: by a
+// node majority), no further frames are appended — a minority replica
+// could be holding a complete-looking snapshot from the failed attempt,
+// and appends the snapshot does not contain must not be acknowledged
+// while a takeover might choose it.
+func (j *MetaJournal) clearPoison() error {
+	if !j.poisoned {
+		return nil
+	}
+	b := j.blobs[1-j.active]
+	if err := b.Truncate(0); err != nil {
+		return err
+	}
+	if err := b.Sync(); err != nil {
+		return err
+	}
+	j.poisoned = false
 	return nil
 }
 
@@ -742,9 +822,16 @@ func (j *MetaJournal) maybeCompact() error {
 	if j.appended < j.compactAt || len(j.pending) > 0 {
 		return nil
 	}
+	if j.poisoned {
+		// A previous attempt failed; compaction stays disabled until the
+		// inactive region is verifiably wiped. Appends handle the wipe —
+		// don't turn an optional compaction into a hard failure here.
+		return nil
+	}
 	inactive := 1 - j.active
 	b := j.blobs[inactive]
 	if err := b.Truncate(0); err != nil {
+		j.poisoned = true
 		return err
 	}
 	le := binary.LittleEndian
@@ -775,25 +862,30 @@ func (j *MetaJournal) maybeCompact() error {
 	for _, k := range kvKeys {
 		buf = appendJournalFrame(buf, encodeKV(k, j.kv[k], false))
 	}
-	if len(buf) > 0 {
-		if _, err := b.WriteAt(buf, journalHeaderLen); err != nil {
-			return err
-		}
-	} else if err := b.Truncate(journalHeaderLen); err != nil {
+	// Seal the snapshot: a merge refuses a headered region without it, so
+	// a compaction torn between content and header on a replica minority
+	// can never masquerade as a complete recovery source.
+	buf = appendJournalFrame(buf, []byte{recSnapEnd})
+	if _, err := b.WriteAt(buf, journalHeaderLen); err != nil {
+		j.poisoned = true
 		return err
 	}
 	if err := b.Sync(); err != nil {
+		j.poisoned = true
 		return err
 	}
 	if _, err := b.WriteAt(journalHeader(j.epoch+1), 0); err != nil {
+		j.poisoned = true
 		return err
 	}
 	if err := b.Sync(); err != nil {
+		j.poisoned = true
 		return err
 	}
 	j.active = inactive
 	j.epoch++
 	j.off = journalHeaderLen + int64(len(buf))
+	j.acked = j.off
 	j.appended = 0
 	return nil
 }
@@ -804,6 +896,67 @@ func appendJournalFrame(buf, payload []byte) []byte {
 	le.PutUint32(hdr, uint32(len(payload)))
 	le.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
 	return append(append(buf, hdr...), payload...)
+}
+
+// MergeJournalReplicas reassembles one journal region from replicas of
+// the same byte stream, each possibly torn or holed (a replica that was
+// unreachable for some writes holds zeros where the missed bytes would
+// be, and a valid suffix beyond them). The writer's append discipline
+// guarantees at most one frame value per offset across replicas, so the
+// merge walks offsets and accepts a CRC-valid frame from any replica at
+// each step; as long as every acknowledged frame reached a majority and
+// the replicas span a majority, every acknowledged frame is present in
+// at least one of them and the walk bridges any single replica's holes.
+//
+// The second return is false when the region is not an eligible recovery
+// source: no replica has a valid header, or the merged stream carries no
+// snapshot seal — the signature of a compaction that died between
+// writing its content and its header, which may look complete on a
+// minority replica but must lose to the still-active sibling region.
+func MergeJournalReplicas(replicas [][]byte) ([]byte, bool) {
+	var hdr []byte
+	var hdrEpoch uint64
+	for _, r := range replicas {
+		if e, ok := parseJournalHeader(r); ok && (hdr == nil || e > hdrEpoch) {
+			hdr = append([]byte(nil), r[:journalHeaderLen]...)
+			hdrEpoch = e
+		}
+	}
+	if hdr == nil {
+		return nil, false
+	}
+	merged := hdr
+	le := binary.LittleEndian
+	off := journalHeaderLen
+	sealed := false
+walk:
+	for {
+		for _, r := range replicas {
+			if off+8 > len(r) {
+				continue
+			}
+			n := int(le.Uint32(r[off:]))
+			crc := le.Uint32(r[off+4:])
+			if n <= 0 || n > journalMaxPayload || off+8+n > len(r) {
+				continue
+			}
+			payload := r[off+8 : off+8+n]
+			if crc32.Checksum(payload, castagnoli) != crc {
+				continue
+			}
+			merged = append(merged, r[off:off+8+n]...)
+			if payload[0] == recSnapEnd {
+				sealed = true
+			}
+			off += 8 + n
+			continue walk
+		}
+		break
+	}
+	if !sealed {
+		return nil, false
+	}
+	return merged, true
 }
 
 // Record implements IntentLog as a redo record with no strips, so the

@@ -131,6 +131,10 @@ type NodeClient struct {
 	probeWg   sync.WaitGroup
 	probeStop chan struct{}
 
+	// fence, when set, stamps every mutating request with the
+	// coordinator's fencing epoch (see SetFence).
+	fence atomic.Pointer[FenceToken]
+
 	stats struct {
 		attempts, retries, breakerFastFails atomic.Int64
 		downs, ups                          atomic.Int64
@@ -217,6 +221,14 @@ func remoteErr(status int, code, body string) (error, bool) {
 		return fmt.Errorf("%w: %s", store.ErrPermanent, msg), false
 	case codeTransient:
 		return fmt.Errorf("%w: %s", store.ErrTransient, msg), true
+	case codeStaleEpoch:
+		// The node has promised a newer coordinator epoch: this client
+		// has been deposed. Never retried — fencing is final.
+		return fmt.Errorf("%w: %s", store.ErrStaleEpoch, msg), false
+	case codeStaleGen:
+		// Same verdict at blob granularity: a newer coordinator has
+		// already truncated this metadata blob into a new stream.
+		return fmt.Errorf("%w: %s", ErrStaleGen, msg), false
 	default:
 		if status >= 500 {
 			return fmt.Errorf("%w: node status %d: %s", store.ErrTransient, status, msg), true

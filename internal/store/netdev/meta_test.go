@@ -1,0 +1,243 @@
+package netdev
+
+import (
+	"bytes"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+func metaTestClient(t *testing.T, n *Node) *NodeClient {
+	t.Helper()
+	srv := httptest.NewServer(n.Handler())
+	t.Cleanup(srv.Close)
+	c := NewNodeClient(srv.URL, Options{Timeout: 5 * time.Second, MaxAttempts: 2})
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestMetaLeaseFencing drives the Paxos-style promise rule: a node
+// grants strictly increasing epochs, re-grants the same epoch+holder
+// idempotently, rejects anything at or below its promise, and renewals
+// from a deposed holder fail with the stale-epoch sentinel.
+func TestMetaLeaseFencing(t *testing.T) {
+	c := metaTestClient(t, NewMemNode("n0"))
+
+	if err := c.AcquireLease(3, "coordA"); err != nil {
+		t.Fatalf("acquire epoch 3: %v", err)
+	}
+	// Idempotent re-ask (lost-ack replay) succeeds.
+	if err := c.AcquireLease(3, "coordA"); err != nil {
+		t.Fatalf("re-acquire epoch 3: %v", err)
+	}
+	// Same epoch, different holder: rejected.
+	if err := c.AcquireLease(3, "coordB"); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("epoch-3 steal: want ErrStaleEpoch, got %v", err)
+	}
+	// Lower epoch: rejected.
+	if err := c.AcquireLease(2, "coordB"); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("epoch-2 acquire: want ErrStaleEpoch, got %v", err)
+	}
+	if err := c.RenewLease(3, "coordA"); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+
+	// Takeover: a higher epoch always wins.
+	if err := c.AcquireLease(4, "coordB"); err != nil {
+		t.Fatalf("takeover epoch 4: %v", err)
+	}
+	// The deposed holder's renewal now fails non-retryably.
+	if err := c.RenewLease(3, "coordA"); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale renew: want ErrStaleEpoch, got %v", err)
+	}
+
+	st, err := c.FetchMetaState()
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if st.Epoch != 4 || st.Holder != "coordB" {
+		t.Fatalf("state = epoch %d holder %q, want 4/coordB", st.Epoch, st.Holder)
+	}
+	if st.RenewSeq == 0 {
+		t.Fatalf("renew seq never advanced")
+	}
+}
+
+// TestMetaBlobGenWipe checks the generation rule that makes replica
+// merging sound: a write at a newer gen truncates the blob first (no
+// bytes from an older stream can survive), and writes at an older gen
+// are rejected with ErrStaleGen.
+func TestMetaBlobGenWipe(t *testing.T) {
+	c := metaTestClient(t, NewMemNode("n0"))
+
+	old := []byte("old-stream-content-that-must-die")
+	if err := c.MetaWriteAt("journal", old, 0, 1, 1); err != nil {
+		t.Fatalf("gen-1 write: %v", err)
+	}
+	if err := c.MetaSync("journal", 1, 1); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+
+	// A gen-2 write at a nonzero offset arrives at a replica that never
+	// saw gen 2 open: the node must wipe before applying.
+	tail := []byte("new")
+	if err := c.MetaWriteAt("journal", tail, 8, 1, 2); err != nil {
+		t.Fatalf("gen-2 write: %v", err)
+	}
+	got, gen, err := c.ReadMetaBlob("journal")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if gen != 2 {
+		t.Fatalf("gen = %d, want 2", gen)
+	}
+	want := append(make([]byte, 8), tail...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("blob = %q, want zeros+%q — old stream leaked through a gen bump", got, tail)
+	}
+
+	// Stale-gen writes are rejected and wrap both sentinels.
+	err = c.MetaWriteAt("journal", old, 0, 1, 1)
+	if !errors.Is(err, ErrStaleGen) || !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("gen-1 rewrite: want ErrStaleGen (wrapping ErrStaleEpoch), got %v", err)
+	}
+
+	// Truncate at a new gen opens an empty stream.
+	if err := c.MetaTruncate("journal", 0, 1, 3); err != nil {
+		t.Fatalf("truncate gen 3: %v", err)
+	}
+	got, gen, err = c.ReadMetaBlob("journal")
+	if err != nil {
+		t.Fatalf("read after truncate: %v", err)
+	}
+	if gen != 3 || len(got) != 0 {
+		t.Fatalf("after gen-3 truncate: gen %d, %d bytes; want 3, 0", gen, len(got))
+	}
+}
+
+// TestMetaEpochFencesDataPlane proves the point of fencing: once a node
+// promises a newer epoch, a deposed coordinator's strip and blob writes
+// bounce with ErrStaleEpoch, while an unfenced (legacy) client and all
+// reads keep working.
+func TestMetaEpochFencesDataPlane(t *testing.T) {
+	n := NewMemNode("n0")
+	cOld := metaTestClient(t, n)
+
+	fence := &FenceToken{}
+	fence.Advance(1)
+	cOld.SetFence(fence)
+
+	dev, err := cOld.CreateDevice("d0", 8, 512)
+	if err != nil {
+		t.Fatalf("create device: %v", err)
+	}
+	strip := bytes.Repeat([]byte{0xAB}, 512)
+	if err := dev.WriteStrip(0, strip); err != nil {
+		t.Fatalf("fenced write at current epoch: %v", err)
+	}
+	blob, err := cOld.CreateBlob("meta")
+	if err != nil {
+		t.Fatalf("create blob: %v", err)
+	}
+	if _, err := blob.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatalf("blob write: %v", err)
+	}
+
+	// A new coordinator takes over at epoch 2.
+	if err := cOld.AcquireLease(2, "coordB"); err != nil {
+		t.Fatalf("takeover: %v", err)
+	}
+
+	// The old coordinator (still stamping epoch 1) is now fenced off
+	// from every mutation...
+	if err := dev.WriteStrip(1, strip); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale strip write: want ErrStaleEpoch, got %v", err)
+	}
+	if _, err := blob.WriteAt([]byte("x"), 0); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale blob write: want ErrStaleEpoch, got %v", err)
+	}
+	if err := blob.Sync(); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale blob sync: want ErrStaleEpoch, got %v", err)
+	}
+	if err := blob.Truncate(0); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale blob truncate: want ErrStaleEpoch, got %v", err)
+	}
+	if _, err := cOld.CreateDevice("d1", 8, 512); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale create device: want ErrStaleEpoch, got %v", err)
+	}
+
+	// ...but reads still work (a deposed coordinator can drain in-flight
+	// reconstruction reads safely).
+	got := make([]byte, 512)
+	if err := dev.ReadStrip(0, got); err != nil || !bytes.Equal(got, strip) {
+		t.Fatalf("read after deposition: %v", err)
+	}
+
+	// Once the token catches up to the new epoch, writes flow again.
+	fence.Advance(2)
+	if err := dev.WriteStrip(1, strip); err != nil {
+		t.Fatalf("write at adopted epoch: %v", err)
+	}
+	// Advance is monotonic: a stale Advance cannot lower the epoch.
+	fence.Advance(1)
+	if got := fence.Epoch(); got != 2 {
+		t.Fatalf("fence epoch = %d after stale Advance, want 2", got)
+	}
+}
+
+// TestMetaStatePersists restarts a dir-backed node and checks the
+// promise (epoch, holder) and blob generations survive, so a rebooted
+// node cannot be tricked into accepting a pre-takeover epoch.
+func TestMetaStatePersists(t *testing.T) {
+	dir := t.TempDir()
+	n, err := NewDirNode("n0", dir)
+	if err != nil {
+		t.Fatalf("new node: %v", err)
+	}
+	c := metaTestClient(t, n)
+	if err := c.AcquireLease(7, "coordA"); err != nil {
+		t.Fatalf("acquire: %v", err)
+	}
+	payload := []byte("durable-meta")
+	if err := c.MetaWriteAt("manifest", payload, 0, 7, 4); err != nil {
+		t.Fatalf("meta write: %v", err)
+	}
+	if err := c.MetaSync("manifest", 7, 4); err != nil {
+		t.Fatalf("meta sync: %v", err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	n2, err := NewDirNode("n0", dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer n2.Close()
+	c2 := metaTestClient(t, n2)
+	st, err := c2.FetchMetaState()
+	if err != nil {
+		t.Fatalf("state: %v", err)
+	}
+	if st.Epoch != 7 {
+		t.Fatalf("epoch %d survived restart, want 7", st.Epoch)
+	}
+	if bs, ok := st.Blobs["manifest"]; !ok || bs.Gen != 4 {
+		t.Fatalf("manifest blob stat = %+v, want gen 4", st.Blobs)
+	}
+	if err := c2.AcquireLease(6, "coordB"); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("pre-promise epoch after restart: want ErrStaleEpoch, got %v", err)
+	}
+	got, gen, err := c2.ReadMetaBlob("manifest")
+	if err != nil || gen != 4 || !bytes.Equal(got, payload) {
+		t.Fatalf("read after restart: %q gen %d err %v", got, gen, err)
+	}
+	// The state file itself is the atomic-rename artifact.
+	if _, err := filepath.Glob(filepath.Join(dir, "meta.state")); err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+}

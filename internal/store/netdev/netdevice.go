@@ -53,7 +53,7 @@ func (c *NodeClient) Device(name string, strips int64, stripBytes int) *NetDevic
 // it.
 func (c *NodeClient) CreateDevice(name string, strips int64, stripBytes int) (*NetDevice, error) {
 	var g DeviceStat
-	err := c.postJSON("/node/v1/devices/"+url.PathEscape(name),
+	err := c.postJSON(c.withFence("/node/v1/devices/"+url.PathEscape(name)),
 		createDeviceReq{Strips: strips, StripBytes: stripBytes}, &g)
 	if err != nil {
 		return nil, err
@@ -134,7 +134,7 @@ func (d *NetDevice) WriteStrip(idx int64, p []byte) error {
 	}
 	frame := EncodeFrame(OpWrite, idx, p)
 	return d.c.do(func(ctx context.Context) *attemptErr {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, d.stripURL(idx), bytes.NewReader(frame))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, d.c.withFence(d.stripURL(idx)), bytes.NewReader(frame))
 		if err != nil {
 			return &attemptErr{err: err}
 		}
@@ -183,7 +183,7 @@ func (c *NodeClient) OpenBlob(name string) (*NetBlob, error) {
 
 // CreateBlob creates (idempotently) a blob on the node and binds to it.
 func (c *NodeClient) CreateBlob(name string) (*NetBlob, error) {
-	if err := c.postJSON("/node/v1/blobs/"+url.PathEscape(name), nil, nil); err != nil {
+	if err := c.postJSON(c.withFence("/node/v1/blobs/"+url.PathEscape(name)), nil, nil); err != nil {
 		return nil, err
 	}
 	return &NetBlob{c: c, name: name}, nil
@@ -260,7 +260,7 @@ func (b *NetBlob) WriteAt(p []byte, off int64) (int, error) {
 	crc := blobCRC(p)
 	var written int
 	err := b.c.do(func(ctx context.Context) *attemptErr {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.url("", "off="+strconv.FormatInt(off, 10)), bytes.NewReader(p))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.c.withFence(b.url("", "off="+strconv.FormatInt(off, 10))), bytes.NewReader(p))
 		if err != nil {
 			return &attemptErr{err: err}
 		}
@@ -296,7 +296,7 @@ func (b *NetBlob) WriteAt(p []byte, off int64) (int, error) {
 // Sync implements store.Blob: the node fsyncs the backing file before
 // acknowledging, preserving the written→durable barrier across the wire.
 func (b *NetBlob) Sync() error {
-	return b.c.postJSON("/node/v1/blobs/"+url.PathEscape(b.name)+"/sync", nil, nil)
+	return b.c.postJSON(b.c.withFence("/node/v1/blobs/"+url.PathEscape(b.name)+"/sync"), nil, nil)
 }
 
 // Size implements store.Blob.
@@ -312,7 +312,7 @@ func (b *NetBlob) Size() (int64, error) {
 
 // Truncate implements store.Blob.
 func (b *NetBlob) Truncate(size int64) error {
-	return b.c.postJSON("/node/v1/blobs/"+url.PathEscape(b.name)+"/truncate?size="+strconv.FormatInt(size, 10), nil, nil)
+	return b.c.postJSON(b.c.withFence("/node/v1/blobs/"+url.PathEscape(b.name)+"/truncate?size="+strconv.FormatInt(size, 10)), nil, nil)
 }
 
 // Close implements store.Blob; the node-side blob stays open.

@@ -31,6 +31,14 @@ const (
 	codeTransient   = "transient"
 	codePermanent   = "permanent"
 	codeIO          = "io"
+	// codeStaleEpoch rejects a write stamped with a fencing epoch older
+	// than the one this node has promised to honour: the writer has been
+	// deposed by a newer coordinator. Non-retryable by design.
+	codeStaleEpoch = "stale-epoch"
+	// codeStaleGen rejects a metadata-blob write stamped with a blob
+	// generation older than the node's: the writer missed a truncation
+	// and its bytes belong to a destroyed stream.
+	codeStaleGen = "stale-gen"
 )
 
 // crcHeader carries the CRC-32C of a blob read/write body; eofHeader
@@ -74,6 +82,18 @@ type Node struct {
 
 	newDev  func(name string, strips int64, stripBytes int) (store.Device, error)
 	newBlob func(name string) (store.Blob, error)
+
+	// Replicated-metadata surface: the fencing promise (epoch + holder),
+	// the lease-renewal liveness counter, and the generation-tracked
+	// metadata blobs a coordinator quorum-replicates its manifest and
+	// journal regions into. Guarded by metaMu (not mu: data-plane fence
+	// checks must not contend with inventory scans).
+	metaMu    sync.Mutex
+	epoch     uint64
+	holder    string
+	renewSeq  uint64
+	metaGens  map[string]uint64
+	metaBlobs map[string]store.Blob
 }
 
 // NewMemNode builds a memory-backed storage node (tests, benchmarks).
@@ -82,10 +102,12 @@ type Node struct {
 // node restart that keeps its media.
 func NewMemNode(id string) *Node {
 	n := &Node{
-		id:    id,
-		devs:  map[string]store.Device{},
-		geo:   map[string]DeviceStat{},
-		blobs: map[string]store.Blob{},
+		id:        id,
+		devs:      map[string]store.Device{},
+		geo:       map[string]DeviceStat{},
+		blobs:     map[string]store.Blob{},
+		metaGens:  map[string]uint64{},
+		metaBlobs: map[string]store.Blob{},
 	}
 	n.newDev = func(_ string, strips int64, stripBytes int) (store.Device, error) {
 		return store.NewMemDevice(strips, stripBytes)
@@ -103,11 +125,13 @@ func NewDirNode(id, dir string) (*Node, error) {
 		return nil, err
 	}
 	n := &Node{
-		id:    id,
-		dir:   dir,
-		devs:  map[string]store.Device{},
-		geo:   map[string]DeviceStat{},
-		blobs: map[string]store.Blob{},
+		id:        id,
+		dir:       dir,
+		devs:      map[string]store.Device{},
+		geo:       map[string]DeviceStat{},
+		blobs:     map[string]store.Blob{},
+		metaGens:  map[string]uint64{},
+		metaBlobs: map[string]store.Blob{},
 	}
 	n.newDev = func(name string, strips int64, stripBytes int) (store.Device, error) {
 		return store.NewFileDevice(filepath.Join(dir, name+".img"), strips, stripBytes)
@@ -116,6 +140,9 @@ func NewDirNode(id, dir string) (*Node, error) {
 		return store.CreateFileBlob(filepath.Join(dir, name+".blob"))
 	}
 	if err := n.loadManifest(); err != nil {
+		return nil, err
+	}
+	if err := n.loadMetaState(); err != nil {
 		return nil, err
 	}
 	return n, nil
@@ -201,6 +228,13 @@ func (n *Node) Close() error {
 			first = err
 		}
 	}
+	n.metaMu.Lock()
+	for _, b := range n.metaBlobs {
+		if err := b.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	n.metaMu.Unlock()
 	return first
 }
 
@@ -248,6 +282,12 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /node/v1/blobs/{name}/stat", n.handleStatBlob)
 	mux.HandleFunc("POST /node/v1/blobs/{name}/sync", n.handleSyncBlob)
 	mux.HandleFunc("POST /node/v1/blobs/{name}/truncate", n.handleTruncateBlob)
+	mux.HandleFunc("GET /node/v1/meta/state", n.handleMetaState)
+	mux.HandleFunc("POST /node/v1/meta/lease", n.handleMetaLease)
+	mux.HandleFunc("GET /node/v1/meta/blobs/{name}", n.handleMetaRead)
+	mux.HandleFunc("PUT /node/v1/meta/blobs/{name}", n.handleMetaWrite)
+	mux.HandleFunc("POST /node/v1/meta/blobs/{name}/sync", n.handleMetaSync)
+	mux.HandleFunc("POST /node/v1/meta/blobs/{name}/truncate", n.handleMetaTruncate)
 	return mux
 }
 
@@ -314,6 +354,9 @@ type createDeviceReq struct {
 }
 
 func (n *Node) handleCreateDevice(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
 	name := r.PathValue("dev")
 	if !validName(name) {
 		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad device name %q", name))
@@ -375,6 +418,9 @@ func (n *Node) handleReadStrip(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleWriteStrip(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
 	dev, ok := n.device(r.PathValue("dev"))
 	if !ok {
 		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: device %s", ErrNodeNotFound, r.PathValue("dev")))
@@ -423,6 +469,9 @@ func (n *Node) handleWriteStrip(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleCreateBlob(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
 	name := r.PathValue("name")
 	if !validName(name) {
 		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad blob name %q", name))
@@ -480,6 +529,9 @@ func (n *Node) handleReadBlob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleWriteBlob(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
 	b, ok := n.blob(r.PathValue("name"))
 	if !ok {
 		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
@@ -525,6 +577,9 @@ func (n *Node) handleStatBlob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleSyncBlob(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
 	b, ok := n.blob(r.PathValue("name"))
 	if !ok {
 		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))
@@ -538,6 +593,9 @@ func (n *Node) handleSyncBlob(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleTruncateBlob(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
 	b, ok := n.blob(r.PathValue("name"))
 	if !ok {
 		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: blob %s", ErrNodeNotFound, r.PathValue("name")))

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster failover clean
+.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster failover migrate clean
 
 build:
 	$(GO) build ./...
@@ -93,6 +93,19 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_netdev.json
 	$(GO) test -bench Failover -benchtime 20x -benchmem -run '^$$' ./internal/cluster/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_failover.json
+	$(GO) test -bench Migrate -benchtime 20x -benchmem -run '^$$' ./internal/cluster/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_migrate.json
+	@for f in BENCH_object.json BENCH_netdev.json BENCH_failover.json BENCH_migrate.json; do \
+		test -s $$f || { echo "bench: missing $$f" >&2; exit 1; }; \
+	done
+
+# Membership-plane suite under the race detector: node add/drain/rejoin,
+# the ranged bulk-copy wire surface and its fencing, the mid-migration
+# partition chaos sweep with the acked-write oracle + clean fsck, and
+# resume across both a coordinator remount and a fenced HA takeover.
+migrate:
+	$(GO) test -race -count=1 -run 'Migrat|AddNode|Drain|Rejoin|Membership|Range' \
+		./internal/store/netdev/... ./internal/cluster/...
 
 clean:
 	$(GO) clean ./...

@@ -57,6 +57,18 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	args := os.Args[2:]
+	// `node <add|drain|rejoin|status|migrations>` carries a subverb
+	// before the flags.
+	nodeSub := ""
+	if cmd == "node" {
+		if len(args) == 0 {
+			usage()
+			os.Exit(2)
+		}
+		nodeSub = args[0]
+		args = args[1:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	var (
 		dir    = fs.String("dir", "", "array directory")
@@ -72,6 +84,10 @@ func main() {
 		count  = fs.Int("count", 1, "spares to register (spare command)")
 		repair = fs.Bool("repair", false, "fsck: reconstruct damaged strips from redundancy")
 
+		// node-plane flags (node add/drain/rejoin).
+		nodeID  = fs.String("id", "", "node commands: node ID")
+		nodeURL = fs.String("url", "", "node commands: node base URL (add; optional for rejoin)")
+
 		// Object-plane flags (mb/put/get/rm/ls/stat).
 		bucket  = fs.String("bucket", "", "object commands: bucket name")
 		key     = fs.String("key", "", "object commands: object key")
@@ -86,7 +102,7 @@ func main() {
 		qosTarget = fs.Duration("latency-target", -1, "qos: foreground-latency target (0: no adaptation, -1: unchanged)")
 		qosWait   = fs.Duration("admit-wait", -1, "qos: admission wait budget before shedding (-1: unchanged)")
 	)
-	fs.Parse(os.Args[2:])
+	fs.Parse(args)
 
 	var qu oiraid.QoSUpdate
 	if *qosRate >= 0 {
@@ -128,6 +144,9 @@ func main() {
 			if isObjectCmd(cmd) {
 				return remoteObjectCmd(ctx, server.NewClient(base), cmd, *bucket, *key, *prefix, *maxKeys, in, os.Stdout)
 			}
+			if cmd == "node" {
+				return remoteNodeCmd(ctx, server.NewClient(base), nodeSub, *nodeID, *nodeURL, os.Stdout)
+			}
 			return remoteCmd(ctx, server.NewClient(base), cmd, *off, *length, *diskID, *count, *repair, qu, in, os.Stdout)
 		}
 		err = remoteWithFallback(ctx, *remote, *fallback, run)
@@ -147,6 +166,8 @@ func main() {
 		return
 	}
 	switch cmd {
+	case "node":
+		err = fmt.Errorf("node commands need -remote (they talk to a cluster coordinator)")
 	case "create":
 		err = create(*dir, *disks, *cycles, *strip)
 	case "status":
@@ -235,6 +256,14 @@ func usage() {
   analyze [-fail 0,1] < layout   validate a custom layout JSON and report its properties
   fsck    [-repair]              verify durable checksums and both parity layers;
                                  -repair reconstructs damaged strips from redundancy
+
+Node membership commands (cluster coordinators only; need -remote URL):
+  node add    -id n4 -url http://…  join a storage node and rebalance onto it
+  node drain  -id n2                migrate every disk off a node, then remove it
+  node rejoin -id n2 [-url http://…] bring a known node back (zero movement
+                                    inside the grace window; delta-only after)
+  node status                       membership, reachability, per-node disks
+  node migrations                   in-flight strip migrations with progress
 
 Object commands (work with -remote URL or a durable -dir array):
   mb   -bucket b                 create a bucket
@@ -797,6 +826,79 @@ func remoteCmd(ctx context.Context, c *server.Client, cmd string, off, length in
 		return remoteQoS(ctx, c, qu, out)
 	default:
 		return fmt.Errorf("command %q is not available with -remote", cmd)
+	}
+}
+
+// remoteNodeCmd drives the coordinator's membership plane: online node
+// add/drain/rejoin plus status and migration views.
+func remoteNodeCmd(ctx context.Context, c *server.Client, sub, id, url string, out io.Writer) error {
+	switch sub {
+	case "status":
+		nodes, err := c.NodesCtx(ctx)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			fmt.Fprintf(out, "node %-10s %-9s disks %v  %s\n", n.ID, n.State, n.Disks, n.URL)
+		}
+		migs, err := c.MigrationsCtx(ctx)
+		if err != nil {
+			return err
+		}
+		for _, m := range migs {
+			fmt.Fprintf(out, "migrating disk %d: %s -> %s (%d/%d cycles)\n",
+				m.Disk, m.From, m.To, m.Cursor, m.Cycles)
+		}
+		return nil
+	case "migrations":
+		migs, err := c.MigrationsCtx(ctx)
+		if err != nil {
+			return err
+		}
+		if len(migs) == 0 {
+			fmt.Fprintln(out, "no migrations in flight")
+			return nil
+		}
+		for _, m := range migs {
+			fmt.Fprintf(out, "disk %d: %s -> %s (%d/%d cycles)\n", m.Disk, m.From, m.To, m.Cursor, m.Cycles)
+		}
+		return nil
+	case "add":
+		if id == "" || url == "" {
+			return fmt.Errorf("node add needs -id and -url")
+		}
+		rep, err := c.NodeAddCtx(ctx, id, url)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "node %s joined; migrated disks %v\n", id, rep.Moved)
+		return nil
+	case "drain":
+		if id == "" {
+			return fmt.Errorf("node drain needs -id")
+		}
+		rep, err := c.NodeDrainCtx(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "node %s drained and removed; migrated disks %v\n", id, rep.Moved)
+		return nil
+	case "rejoin":
+		if id == "" {
+			return fmt.Errorf("node rejoin needs -id")
+		}
+		rep, err := c.NodeRejoinCtx(ctx, id, url)
+		if err != nil {
+			return err
+		}
+		if len(rep.Moved) == 0 {
+			fmt.Fprintf(out, "node %s rejoined with zero movement (inside grace window)\n", id)
+		} else {
+			fmt.Fprintf(out, "node %s rejoined; migrated disks %v back\n", id, rep.Moved)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown node subcommand %q (add|drain|rejoin|status|migrations)", sub)
 	}
 }
 

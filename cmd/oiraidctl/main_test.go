@@ -463,7 +463,9 @@ func TestFallbackRetry(t *testing.T) {
 		t.Fatalf("array fault consulted the fallback: %v", calls)
 	}
 
-	// Both coordinators gone: two attempts, still exit 3.
+	// Both coordinators gone: two attempts, still exit 3, and the
+	// rendered message carries the retry-later taxonomy — scripts key
+	// off the exit code, operators off this line.
 	calls = nil
 	err = remoteWithFallback(context.Background(), dead, dead, runCounting(&calls, "status", -1))
 	if err == nil || !unreachable(err) || exitCode(err) != 3 {
@@ -471,6 +473,9 @@ func TestFallbackRetry(t *testing.T) {
 	}
 	if len(calls) != 2 {
 		t.Fatalf("calls = %v, want exactly two attempts", calls)
+	}
+	if !strings.Contains(renderErr(err), "node unreachable") {
+		t.Fatalf("renderErr(%v) = %q, want the node-unreachable taxonomy", err, renderErr(err))
 	}
 }
 

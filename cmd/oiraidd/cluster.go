@@ -158,6 +158,7 @@ func assembleClusterServer(cfg config, c *cluster.Cluster) (*server.Server, erro
 		RebuildBatch:   cfg.batch,
 		OpTimeout:      cfg.opTimeout,
 		Objects:        objs,
+		Membership:     c,
 	}), nil
 }
 

@@ -104,6 +104,62 @@ func BenchmarkClusterReadStrip(b *testing.B) {
 	reportLatency(b, lats)
 }
 
+// BenchmarkMigrateDisk measures membership-plane strip migration: one
+// disk ping-pongs between two nodes through the full fenced pipeline —
+// record commit, mirrored bulk copy, cursor commits, manifest flip,
+// source reclaim — while a foreground reader samples latency under the
+// migration load. bytes/op is the disk's full payload; p50/p99 are the
+// foreground read latencies during the moves.
+func BenchmarkMigrateDisk(b *testing.B) {
+	c, _ := benchCluster(b)
+	p := make([]byte, 4096)
+	rand.New(rand.NewSource(4)).Read(p)
+	strips := c.Eng.Strips()
+	for s := int64(0); s < strips; s++ {
+		if err := c.Eng.WriteStrip(s, p); err != nil {
+			b.Fatalf("seed write: %v", err)
+		}
+	}
+	diskBytes := c.Eng.Array().Cycles() * int64(c.Eng.Array().Analyzer().SlotsPerDisk()) * 4096
+
+	stop := make(chan struct{})
+	done := make(chan []time.Duration, 1)
+	go func() {
+		var lats []time.Duration
+		s := int64(0)
+		for {
+			select {
+			case <-stop:
+				done <- lats
+				return
+			default:
+			}
+			t0 := time.Now()
+			if _, err := c.Eng.ReadStrip(s % strips); err == nil {
+				lats = append(lats, time.Since(t0))
+			}
+			s++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	// Disk 0 starts on alpha; ping-pong it to beta and back.
+	targets := [2]string{"beta", "alpha"}
+	b.SetBytes(diskBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.memberMu.Lock()
+		err := c.migrateDisk(0, targets[i%2])
+		c.memberMu.Unlock()
+		if err != nil {
+			b.Fatalf("migrate %d: %v", i, err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	reportLatency(b, <-done)
+}
+
 // BenchmarkClusterDegradedRead measures a reconstruct-read with one
 // node dark: the read fans out to the surviving nodes and decodes the
 // strip from parity — the cost a partition adds to the read path once

@@ -153,6 +153,10 @@ type Options struct {
 	// LeaseRenew is the lease renewal interval in HA mode
 	// (default 100ms).
 	LeaseRenew time.Duration
+
+	// onMigrateResume, when set (tests), observes every migration record
+	// the resume path picks up, before the migration continues.
+	onMigrateResume func(MigrationRecord)
 }
 
 // Cluster is a mounted multi-node array: the engine plus the node
@@ -162,13 +166,40 @@ type Cluster struct {
 	Mount *store.Mount
 
 	dir      string
-	mu       sync.Mutex // guards manifest + persisted file
+	mu       sync.Mutex // guards manifest + persisted file + clients/order
 	manifest Manifest
 
 	clients map[string]*netdev.NodeClient // node ID → client
 	order   []string                      // node IDs in manifest order
+	// retired holds clients for nodes that left the membership (drain)
+	// or were replaced by a fresh client (rejoin after lost): they stay
+	// open until Close — in HA mode the replicator may still count them
+	// as metadata voters for the rest of the reign.
+	retired []*netdev.NodeClient
 
 	replaceSeq atomic.Int64 // suffix for replacement device names
+
+	// Client-template state for building clients after Open (AddNode,
+	// RejoinNode): the option template, the per-node transport hook, the
+	// shared fence (HA only, nil otherwise), and the seed counter that
+	// keeps jitter streams de-correlated across clients.
+	copts     netdev.Options
+	transport func(NodeSpec) http.RoundTripper
+	fence     *netdev.FenceToken
+	nodeSeq   atomic.Int64
+	engPtr    atomic.Pointer[engine.Engine]
+
+	// Membership/migration state. memberMu serialises membership
+	// operations (one migration plan at a time); draining marks nodes
+	// that must not receive new placements while their disks move off.
+	memberMu sync.Mutex
+	draining map[string]bool // guarded by mu
+	migStop  chan struct{}
+	stopMig  sync.Once
+	migWg    sync.WaitGroup
+	// onMigrateResume, when set (tests), observes every migration record
+	// picked up by the resume path before it continues.
+	onMigrateResume func(MigrationRecord)
 
 	// HA mode (nil/zero in classic mode).
 	rep        *replicator
@@ -219,22 +250,19 @@ func Open(opts Options) (*Cluster, error) {
 
 	// One client per node. The engine does not exist yet, so the
 	// reachability hooks go through an atomic pointer filled in below.
-	var engPtr atomic.Pointer[engine.Engine]
+	// The template state is kept on the Cluster so membership changes
+	// can build identically-configured clients after Open.
+	c.copts = opts.Client
+	c.transport = opts.Transport
+	c.draining = map[string]bool{}
+	c.migStop = make(chan struct{})
+	c.onMigrateResume = opts.onMigrateResume
 	fence := &netdev.FenceToken{}
-	for i, n := range nodeList {
-		n := n
-		copts := opts.Client
-		copts.ExpectID = n.ID
-		copts.Seed = opts.Client.Seed + int64(i)*7919
-		if opts.Transport != nil {
-			copts.Transport = opts.Transport(n)
-		}
-		copts.OnDown = func() { c.nodeDown(engPtr.Load(), n.ID) }
-		copts.OnUp = func() { c.nodeUp(engPtr.Load(), n.ID) }
-		cl := netdev.NewNodeClient(n.URL, copts)
-		if ha {
-			cl.SetFence(fence)
-		}
+	if ha {
+		c.fence = fence
+	}
+	for _, n := range nodeList {
+		cl := c.newClientLocked(n)
 		c.clients[n.ID] = cl
 		c.order = append(c.order, n.ID)
 	}
@@ -250,7 +278,15 @@ func Open(opts Options) (*Cluster, error) {
 	// it acks.
 	var j0, j1 store.Blob
 	if ha {
-		c.rep = &replicator{holder: opts.Holder, fence: fence, order: c.order, clients: c.clients}
+		// The replicator gets its own snapshot of the membership: the
+		// metadata voter set is fixed for the reign even if AddNode or
+		// DrainNode changes the data-plane node list afterwards.
+		repClients := make(map[string]*netdev.NodeClient, len(c.clients))
+		for id, cl := range c.clients {
+			repClients[id] = cl
+		}
+		c.rep = &replicator{holder: opts.Holder, fence: fence,
+			order: append([]string(nil), c.order...), clients: repClients}
 		var haveManifest bool
 		j0, j1, haveManifest, err = c.takeover(loaded)
 		if err != nil {
@@ -350,14 +386,23 @@ func Open(opts Options) (*Cluster, error) {
 		closeClients()
 		return nil, err
 	}
-	engPtr.Store(eng)
+	c.engPtr.Store(eng)
 	// Node clients close at the very end of engine shutdown: the seal
 	// writes superblocks through them, and the drain guarantees no
-	// probe/callback goroutine outlives Close.
+	// probe/callback goroutine outlives Close. Retired clients (nodes
+	// drained or replaced after a rejoin) close here too — they may have
+	// stayed metadata voters for the reign.
 	eng.OnClose(func() error {
-		var first error
+		c.mu.Lock()
+		cls := make([]*netdev.NodeClient, 0, len(c.clients)+len(c.retired))
 		for _, id := range c.order {
-			if err := c.clients[id].Close(); err != nil && first == nil {
+			cls = append(cls, c.clients[id])
+		}
+		cls = append(cls, c.retired...)
+		c.mu.Unlock()
+		var first error
+		for _, cl := range cls {
+			if err := cl.Close(); err != nil && first == nil {
 				first = err
 			}
 		}
@@ -381,10 +426,34 @@ func Open(opts Options) (*Cluster, error) {
 		c.renewWg.Add(1)
 		go c.renewLoop()
 	}
+	// Resume any migration a previous coordinator (or a previous run of
+	// this one) left mid-flight: the records are quorum-committed KV
+	// entries, so the successor picks up from the last committed range.
+	c.resumeMigrations()
 	// A node that was already unreachable at mount shows up as failed
 	// disks (the mount detected their superblocks missing); the engine
 	// heals them like any other failure once ops start flowing.
 	return c, nil
+}
+
+// newClientLocked builds a node client from the stored template. Safe
+// before the Cluster is published (Open) or with c.mu held.
+func (c *Cluster) newClientLocked(n NodeSpec) *netdev.NodeClient {
+	idx := c.nodeSeq.Add(1) - 1
+	copts := c.copts
+	copts.ExpectID = n.ID
+	copts.Seed = c.copts.Seed + idx*7919
+	if c.transport != nil {
+		copts.Transport = c.transport(n)
+	}
+	id := n.ID
+	copts.OnDown = func() { c.nodeDown(c.engPtr.Load(), id) }
+	copts.OnUp = func() { c.nodeUp(c.engPtr.Load(), id) }
+	cl := netdev.NewNodeClient(n.URL, copts)
+	if c.fence != nil {
+		cl.SetFence(c.fence)
+	}
+	return cl
 }
 
 // Close shuts the engine down (which seals metadata, then closes the
@@ -392,6 +461,11 @@ func Open(opts Options) (*Cluster, error) {
 // loop stops first — the seal's journal appends still replicate, and
 // no renewal goroutine may outlive Close.
 func (c *Cluster) Close() error {
+	// Migrations first: their copy loops pace on migStop, so they park
+	// their records (quorum-committed cursor) and exit promptly; the next
+	// open resumes them.
+	c.stopMig.Do(func() { close(c.migStop) })
+	c.migWg.Wait()
 	if c.renewStop != nil {
 		c.stopRenew.Do(func() { close(c.renewStop) })
 		c.renewWg.Wait()
@@ -401,6 +475,8 @@ func (c *Cluster) Close() error {
 
 // Client returns the node client for id (tests, CLI surfacing).
 func (c *Cluster) Client(id string) *netdev.NodeClient {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.clients[id]
 }
 
@@ -476,13 +552,14 @@ func (c *Cluster) provisionReplacement(d int) (store.Device, error) {
 	best := ""
 	for _, id := range c.order {
 		cl := c.clients[id]
-		if cl.Lost() || cl.Down() {
+		if cl.Lost() || cl.Down() || c.draining[id] {
 			continue
 		}
 		if best == "" || load[id] < load[best] {
 			best = id
 		}
 	}
+	cl := c.clients[best]
 	c.mu.Unlock()
 	if best == "" {
 		return nil, fmt.Errorf("%w: no reachable node for replacement of disk %d", store.ErrUnreachable, d)
@@ -491,7 +568,6 @@ func (c *Cluster) provisionReplacement(d int) (store.Device, error) {
 	seq := c.replaceSeq.Add(1)
 	devName := fmt.Sprintf("disk%02d-r%d", d, seq)
 	sbName := fmt.Sprintf("sb%02d-r%d", d, seq)
-	cl := c.clients[best]
 	an := c.Mount.Array.Analyzer()
 	strips := c.Mount.Array.Cycles() * int64(an.SlotsPerDisk())
 	dev, err := cl.CreateDevice(devName, strips, c.Mount.Array.StripBytes())

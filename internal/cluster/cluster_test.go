@@ -66,7 +66,14 @@ func (tc *testCluster) options(seed int64) Options {
 				QuarantineProbeOK: 2,
 			},
 		},
-		Transport: func(n NodeSpec) http.RoundTripper { return tc.faults[n.ID] },
+		Transport: func(n NodeSpec) http.RoundTripper {
+			// A typed nil in the interface would panic in RoundTrip; nodes
+			// without a registered fault transport get the default one.
+			if f := tc.faults[n.ID]; f != nil {
+				return f
+			}
+			return nil
+		},
 		Format:    &FormatSpec{Disks: 9, Cycles: 2, StripBytes: 512},
 	}
 }

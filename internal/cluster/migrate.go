@@ -1,0 +1,788 @@
+// Membership plane: online node add/drain/rejoin, each built on one
+// primitive — a resumable, fenced strip migration that moves a healthy
+// disk to a new node while the array stays online.
+//
+// The migration state machine:
+//
+//  1. Commit a MigrationRecord (src, dst, cursor=0) through the quorum
+//     metadata plane. From here on the move survives coordinator death:
+//     whoever mounts next finds the record and resumes.
+//  2. Install a store.MirrorDevice on the disk: foreground writes land
+//     on both placements, reads stay on the source, destination
+//     failures go to a dirty set instead of the health monitor.
+//  3. Copy cycle by cycle, paced by the engine's QoS bucket (the same
+//     budget rebuilds run under, so foreground p99 stays bounded). Each
+//     cycle is copied under the engine's cycle lock (a consistent
+//     snapshot), shipped as one fenced bulk write, and then the cursor
+//     is committed to the quorum — the resume point.
+//  4. Flip under the exclusive mode lock: re-copy dirty strips (no
+//     foreground writer can race now), clone the superblock to the
+//     destination (both placements stay mountable at the same epoch —
+//     a crash on either side of the commit mounts a healthy array),
+//     commit the manifest, swap the engine device.
+//  5. Reclaim the source and delete the record — in that order, so a
+//     crash in between leaves a record whose finalize path re-runs the
+//     (idempotent) reclaim.
+//
+// Every destination write and every metadata commit carries the
+// coordinator's epoch: a deposed coordinator's migration parks itself
+// with ErrStaleEpoch and the successor resumes from the last committed
+// cursor, exactly like any other fenced write path.
+
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/oiraid/oiraid/internal/engine"
+	"github.com/oiraid/oiraid/internal/store"
+	"github.com/oiraid/oiraid/internal/store/netdev"
+)
+
+// migrateKeyPrefix namespaces migration records in the metadata
+// journal's KV space; one record per disk in flight.
+const migrateKeyPrefix = "migrate/"
+
+func migrateKey(d int) string { return fmt.Sprintf("%s%02d", migrateKeyPrefix, d) }
+
+// migrateRetryEvery is the wait between copy retries while the source
+// or destination node is transiently unreachable.
+const migrateRetryEvery = 50 * time.Millisecond
+
+// MigrationRecord is the per-disk migration state committed through the
+// quorum metadata plane. Cursor counts the layout cycles whose copy is
+// complete and acknowledged; a successor resumes from there.
+type MigrationRecord struct {
+	Disk   int       `json:"disk"`
+	Src    Placement `json:"src"`
+	Dst    Placement `json:"dst"`
+	Cursor int64     `json:"cursor"`
+}
+
+// MigrationStatus is the externally visible view of one in-flight
+// migration, read straight from the committed records.
+type MigrationStatus struct {
+	Disk   int    `json:"disk"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Cursor int64  `json:"cursor"`
+	Cycles int64  `json:"cycles"`
+}
+
+// MoveReport summarises a membership operation: which disks moved.
+type MoveReport struct {
+	Moved []int `json:"moved"`
+}
+
+// NodeInfo is one row of NodeStatus.
+type NodeInfo struct {
+	ID    string `json:"id"`
+	URL   string `json:"url"`
+	State string `json:"state"` // ok | down | lost | draining
+	Disks []int  `json:"disks"`
+}
+
+// errMigrationParked reports a migration that stopped without being
+// abandoned: its record stays committed and the next open resumes it.
+var errMigrationParked = errors.New("cluster: migration parked, will resume at next open")
+
+// AddNode joins a new storage node to the cluster and rebalances:
+// disks migrate from the most-loaded nodes until the spread is ≤ 1.
+func (c *Cluster) AddNode(spec NodeSpec) (MoveReport, error) {
+	if spec.ID == "" || spec.URL == "" {
+		return MoveReport{}, errors.New("cluster: add node needs an id and a url")
+	}
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+
+	c.mu.Lock()
+	if _, ok := c.clients[spec.ID]; ok {
+		c.mu.Unlock()
+		return MoveReport{}, fmt.Errorf("cluster: node %q is already a member", spec.ID)
+	}
+	cl := c.newClientLocked(spec)
+	c.mu.Unlock()
+
+	// The node must answer (and identify itself — ExpectID) before it
+	// can hold data.
+	if err := cl.Ping(); err != nil {
+		cl.Close()
+		return MoveReport{}, fmt.Errorf("cluster: add node %s: %w", spec.ID, err)
+	}
+
+	c.mu.Lock()
+	c.manifest.Nodes = append(c.manifest.Nodes, spec)
+	c.clients[spec.ID] = cl
+	c.order = append(c.order, spec.ID)
+	err := c.saveManifestLocked()
+	if err != nil {
+		c.manifest.Nodes = c.manifest.Nodes[:len(c.manifest.Nodes)-1]
+		delete(c.clients, spec.ID)
+		c.order = c.order[:len(c.order)-1]
+	}
+	c.mu.Unlock()
+	if err != nil {
+		cl.Close()
+		return MoveReport{}, err
+	}
+	return c.rebalance()
+}
+
+// DrainNode migrates every disk off the node and removes it from the
+// membership. The node must be reachable: draining reads its strips
+// (a dead node's disks move through the heal path, not a drain).
+func (c *Cluster) DrainNode(id string) (MoveReport, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+
+	c.mu.Lock()
+	cl, ok := c.clients[id]
+	if !ok {
+		c.mu.Unlock()
+		return MoveReport{}, fmt.Errorf("cluster: unknown node %q", id)
+	}
+	if len(c.order) < 2 {
+		c.mu.Unlock()
+		return MoveReport{}, errors.New("cluster: cannot drain the last node")
+	}
+	c.draining[id] = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.draining, id)
+		c.mu.Unlock()
+	}()
+	if cl.Lost() || cl.Down() {
+		return MoveReport{}, fmt.Errorf("cluster: drain %s: node unreachable (heal, not drain, moves a dead node's disks)", id)
+	}
+
+	var rep MoveReport
+	for {
+		disks := c.DisksOn(id)
+		if len(disks) == 0 {
+			break
+		}
+		dst, err := c.leastLoadedEligible(id)
+		if err != nil {
+			return rep, err
+		}
+		if err := c.migrateDisk(disks[0], dst); err != nil {
+			return rep, err
+		}
+		rep.Moved = append(rep.Moved, disks[0])
+	}
+
+	// Remove from the membership. The client retires instead of closing:
+	// in HA mode it may still be a metadata voter for the reign.
+	c.mu.Lock()
+	for i, n := range c.manifest.Nodes {
+		if n.ID == id {
+			c.manifest.Nodes = append(c.manifest.Nodes[:i], c.manifest.Nodes[i+1:]...)
+			break
+		}
+	}
+	for i, o := range c.order {
+		if o == id {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	delete(c.clients, id)
+	c.retired = append(c.retired, cl)
+	err := c.saveManifestLocked()
+	c.mu.Unlock()
+	return rep, err
+}
+
+// RejoinNode brings a known node back. Inside the grace window the
+// client recovers on its own and the node's disks were only
+// quarantined — zero strips move. After the grace window (the node was
+// declared lost and its disks healed elsewhere) the latched-dead client
+// is replaced with a fresh one, stale media on the node is scrubbed,
+// and rebalancing migrates the delta back — paced, like any migration.
+func (c *Cluster) RejoinNode(spec NodeSpec) (MoveReport, error) {
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+
+	c.mu.Lock()
+	old, ok := c.clients[spec.ID]
+	if !ok {
+		c.mu.Unlock()
+		return MoveReport{}, fmt.Errorf("cluster: unknown node %q (AddNode joins new nodes)", spec.ID)
+	}
+	if spec.URL == "" {
+		for _, n := range c.manifest.Nodes {
+			if n.ID == spec.ID {
+				spec.URL = n.URL
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	if !old.Lost() {
+		// Inside the grace window: nothing was evicted, the probe loop
+		// releases the quarantines when the node answers again.
+		if len(c.DisksOn(spec.ID)) > 0 {
+			return MoveReport{}, nil
+		}
+	} else {
+		// Lost is a latch: the old client can never serve again. Replace
+		// it, verify the node answers under its expected identity, and
+		// let the voter (HA) point at the live client again.
+		c.mu.Lock()
+		cl := c.newClientLocked(spec)
+		c.mu.Unlock()
+		if err := cl.Ping(); err != nil {
+			cl.Close()
+			return MoveReport{}, fmt.Errorf("cluster: rejoin %s: %w", spec.ID, err)
+		}
+		c.mu.Lock()
+		c.clients[spec.ID] = cl
+		c.retired = append(c.retired, old)
+		for i := range c.manifest.Nodes {
+			if c.manifest.Nodes[i].ID == spec.ID {
+				c.manifest.Nodes[i].URL = spec.URL
+			}
+		}
+		err := c.saveManifestLocked()
+		c.mu.Unlock()
+		if err != nil {
+			return MoveReport{}, err
+		}
+		if c.rep != nil {
+			c.rep.setClient(spec.ID, cl)
+		}
+		// Whatever the node still holds from before it died is stale —
+		// its placements were healed onto other nodes. Scrub it so the
+		// space is usable and a later mount can never bind old media.
+		c.scrubStaleMedia(spec.ID)
+	}
+	return c.rebalance()
+}
+
+// NodeStatus reports every member node with its reachability state and
+// current disk placements.
+func (c *Cluster) NodeStatus() []NodeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]NodeInfo, 0, len(c.manifest.Nodes))
+	for _, n := range c.manifest.Nodes {
+		cl := c.clients[n.ID]
+		state := "ok"
+		switch {
+		case cl == nil:
+			state = "lost"
+		case cl.Lost():
+			state = "lost"
+		case cl.Down():
+			state = "down"
+		case c.draining[n.ID]:
+			state = "draining"
+		}
+		info := NodeInfo{ID: n.ID, URL: n.URL, State: state}
+		for d, p := range c.manifest.Disks {
+			if p.Node == n.ID {
+				info.Disks = append(info.Disks, d)
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Migrations lists the in-flight migrations from their committed
+// records — the same view a successor coordinator would resume from.
+func (c *Cluster) Migrations() []MigrationStatus {
+	_, vals := c.Mount.Meta.Journal().KVRange(migrateKeyPrefix)
+	cycles := c.Mount.Array.Cycles()
+	var out []MigrationStatus
+	for _, v := range vals {
+		var rec MigrationRecord
+		if json.Unmarshal(v, &rec) != nil {
+			continue
+		}
+		out = append(out, MigrationStatus{
+			Disk: rec.Disk, From: rec.Src.Node, To: rec.Dst.Node,
+			Cursor: rec.Cursor, Cycles: cycles,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Disk < out[j].Disk })
+	return out
+}
+
+// rebalance migrates disks from the most- to the least-loaded eligible
+// node until the spread is ≤ 1. Caller holds memberMu.
+func (c *Cluster) rebalance() (MoveReport, error) {
+	var rep MoveReport
+	for {
+		d, dst, ok := c.nextBalanceMove()
+		if !ok {
+			return rep, nil
+		}
+		if err := c.migrateDisk(d, dst); err != nil {
+			return rep, err
+		}
+		rep.Moved = append(rep.Moved, d)
+	}
+}
+
+// nextBalanceMove picks one disk to move: from the most-loaded node
+// whose disks can be read to the least-loaded node that can receive
+// (reachable, not draining). Ties break by membership order; within a
+// node the highest-numbered disk moves first.
+func (c *Cluster) nextBalanceMove() (int, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	load := map[string]int{}
+	for _, id := range c.order {
+		cl := c.clients[id]
+		if cl == nil || cl.Lost() || cl.Down() || c.draining[id] {
+			continue
+		}
+		load[id] = 0
+	}
+	for _, p := range c.manifest.Disks {
+		if _, ok := load[p.Node]; ok {
+			load[p.Node]++
+		}
+	}
+	donor, recipient := "", ""
+	for _, id := range c.order {
+		if _, ok := load[id]; !ok {
+			continue
+		}
+		if donor == "" || load[id] > load[donor] {
+			donor = id
+		}
+		if recipient == "" || load[id] < load[recipient] {
+			recipient = id
+		}
+	}
+	if donor == "" || recipient == "" || load[donor]-load[recipient] <= 1 {
+		return 0, "", false
+	}
+	move := -1
+	for d, p := range c.manifest.Disks {
+		if p.Node == donor {
+			move = d
+		}
+	}
+	if move < 0 {
+		return 0, "", false
+	}
+	return move, recipient, true
+}
+
+// leastLoadedEligible picks the reachable, non-draining node (excluding
+// id) with the fewest disks.
+func (c *Cluster) leastLoadedEligible(exclude string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	load := map[string]int{}
+	for _, p := range c.manifest.Disks {
+		load[p.Node]++
+	}
+	best := ""
+	for _, id := range c.order {
+		if id == exclude || c.draining[id] {
+			continue
+		}
+		cl := c.clients[id]
+		if cl == nil || cl.Lost() || cl.Down() {
+			continue
+		}
+		if best == "" || load[id] < load[best] {
+			best = id
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("%w: no eligible node to migrate to", store.ErrUnreachable)
+	}
+	return best, nil
+}
+
+// migrateDisk commits a migration record for disk d → dstNode and runs
+// it to completion. Caller holds memberMu.
+func (c *Cluster) migrateDisk(d int, dstNode string) error {
+	c.mu.Lock()
+	if d < 0 || d >= len(c.manifest.Disks) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: disk %d", store.ErrNoSuchDisk, d)
+	}
+	src := c.manifest.Disks[d]
+	c.mu.Unlock()
+	if src.Node == dstNode {
+		return nil
+	}
+	seq := c.replaceSeq.Add(1)
+	rec := MigrationRecord{
+		Disk: d,
+		Src:  src,
+		Dst: Placement{
+			Node:   dstNode,
+			Device: fmt.Sprintf("disk%02d-m%d", d, seq),
+			Super:  fmt.Sprintf("sb%02d-m%d", d, seq),
+		},
+	}
+	if err := c.putMigRecord(rec); err != nil {
+		return err
+	}
+	return c.runMigration(rec)
+}
+
+// resumeMigrations picks up every committed migration record — the
+// successor side of crash safety. Runs in a tracked goroutine so Open
+// returns promptly; Close parks any in-flight copy via migStop.
+func (c *Cluster) resumeMigrations() {
+	_, vals := c.Mount.Meta.Journal().KVRange(migrateKeyPrefix)
+	var recs []MigrationRecord
+	for _, v := range vals {
+		var rec MigrationRecord
+		if json.Unmarshal(v, &rec) == nil {
+			recs = append(recs, rec)
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Disk < recs[j].Disk })
+	c.migWg.Add(1)
+	go func() {
+		defer c.migWg.Done()
+		for _, rec := range recs {
+			select {
+			case <-c.migStop:
+				return
+			default:
+			}
+			if c.onMigrateResume != nil {
+				c.onMigrateResume(rec)
+			}
+			c.memberMu.Lock()
+			_ = c.runMigration(rec) // parked records stay for the next open
+			c.memberMu.Unlock()
+		}
+	}()
+}
+
+func (c *Cluster) putMigRecord(rec MigrationRecord) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return c.Mount.Meta.Journal().PutKV(migrateKey(rec.Disk), raw, true)
+}
+
+func (c *Cluster) deleteMigRecord(d int) error {
+	return c.Mount.Meta.Journal().DeleteKV(migrateKey(d), true)
+}
+
+func (c *Cluster) placement(d int) (Placement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d < 0 || d >= len(c.manifest.Disks) {
+		return Placement{}, false
+	}
+	return c.manifest.Disks[d], true
+}
+
+// reclaim deletes a placement's device and superblock blob off its
+// node, fenced and best-effort: an unreachable node just keeps the
+// orphan (the rejoin scrub collects it later).
+func (c *Cluster) reclaim(p Placement) {
+	cl := c.Client(p.Node)
+	if cl == nil {
+		return
+	}
+	_ = cl.DeleteDevice(p.Device)
+	_ = cl.DeleteBlob(p.Super)
+}
+
+// scrubStaleMedia deletes devices and blobs on node id that no current
+// placement or in-flight migration references — the media a dead node
+// still holds after its disks were healed elsewhere. Best-effort.
+func (c *Cluster) scrubStaleMedia(id string) {
+	cl := c.Client(id)
+	if cl == nil {
+		return
+	}
+	st, err := cl.Stat()
+	if err != nil {
+		return
+	}
+	keep := map[string]bool{}
+	c.mu.Lock()
+	for _, p := range c.manifest.Disks {
+		if p.Node == id {
+			keep[p.Device] = true
+			keep[p.Super] = true
+		}
+	}
+	c.mu.Unlock()
+	_, vals := c.Mount.Meta.Journal().KVRange(migrateKeyPrefix)
+	for _, v := range vals {
+		var rec MigrationRecord
+		if json.Unmarshal(v, &rec) != nil {
+			continue
+		}
+		for _, p := range []Placement{rec.Src, rec.Dst} {
+			if p.Node == id {
+				keep[p.Device] = true
+				keep[p.Super] = true
+			}
+		}
+	}
+	for name := range st.Devices {
+		if !keep[name] {
+			_ = cl.DeleteDevice(name)
+		}
+	}
+	for name := range st.Blobs {
+		if !keep[name] {
+			_ = cl.DeleteBlob(name)
+		}
+	}
+}
+
+// runMigration executes (or resumes) one committed migration record to
+// completion. Caller holds memberMu. A nil return means the record is
+// gone — the migration finished or was abandoned as obsolete; an
+// errMigrationParked-wrapped return means the record stays committed
+// for a successor (stop requested, coordinator deposed, quorum lost).
+func (c *Cluster) runMigration(rec MigrationRecord) error {
+	eng := c.Eng
+	arr := eng.Array()
+	slots := int64(arr.Analyzer().SlotsPerDisk())
+	cycles := arr.Cycles()
+	strips := cycles * slots
+	stripBytes := arr.StripBytes()
+	d := rec.Disk
+
+	cur, ok := c.placement(d)
+	if !ok {
+		return c.deleteMigRecord(d)
+	}
+	if cur == rec.Dst {
+		// The flip committed before a crash: only finalization is left.
+		c.reclaim(rec.Src)
+		return c.deleteMigRecord(d)
+	}
+	if cur != rec.Src {
+		// The world moved on while the record was parked (the disk was
+		// healed onto a different placement). The record is obsolete;
+		// drop the half-copied destination.
+		c.reclaim(rec.Dst)
+		return c.deleteMigRecord(d)
+	}
+
+	dstCl := c.Client(rec.Dst.Node)
+	if dstCl == nil {
+		// Destination left the membership while the record was parked.
+		return c.deleteMigRecord(d)
+	}
+	dstDev, err := dstCl.CreateDevice(rec.Dst.Device, strips, stripBytes)
+	if err != nil {
+		return c.migrateAside(rec, fmt.Errorf("cluster: migrate disk %d: create destination: %w", d, err))
+	}
+	dstSb, err := dstCl.CreateBlob(rec.Dst.Super)
+	if err != nil {
+		return c.migrateAside(rec, fmt.Errorf("cluster: migrate disk %d: create destination superblock: %w", d, err))
+	}
+
+	// Resuming a partial copy: the copied prefix may be stale — mount
+	// replay rewrote source strips the dead coordinator's mirror never
+	// saw. Compare per-strip checksums and restart from the first cycle
+	// that differs.
+	if rec.Cursor > 0 {
+		if rec.Cursor > cycles {
+			rec.Cursor = cycles
+		}
+		srcCl := c.Client(rec.Src.Node)
+		if srcCl == nil {
+			return c.deleteMigRecord(d)
+		}
+		srcDev := srcCl.Device(rec.Src.Device, strips, stripBytes)
+		verified, err := verifyCopiedPrefix(srcDev, dstDev, rec.Cursor, slots)
+		if err != nil {
+			return c.migrateAside(rec, fmt.Errorf("cluster: migrate disk %d: verify prefix: %w", d, err))
+		}
+		rec.Cursor = verified
+	}
+
+	mirror, err := eng.StartMirror(d, dstDev)
+	if err != nil {
+		// The source disk failed (heal owns it now) or a mirror is
+		// already installed; either way this record cannot proceed.
+		return c.migrateFailed(rec, fmt.Errorf("cluster: migrate disk %d: %w", d, err))
+	}
+	done := false
+	defer func() {
+		if !done {
+			_ = eng.AbortMigration(d)
+		}
+	}()
+
+	buf := make([]byte, slots*int64(stripBytes))
+	copyCycle := func(cy int64) error {
+		unlock := eng.LockCycle(cy)
+		defer unlock()
+		for s := int64(0); s < slots; s++ {
+			if err := arr.ProbeDiskStrip(d, cy*slots+s, buf[s*int64(stripBytes):(s+1)*int64(stripBytes)]); err != nil {
+				return err
+			}
+		}
+		return dstDev.WriteStripRange(cy*slots, buf)
+	}
+
+	for cy := rec.Cursor; cy < cycles; cy++ {
+		if !eng.PaceBackground(c.migStop) {
+			return errMigrationParked
+		}
+		for {
+			err := copyCycle(cy)
+			if err == nil {
+				break
+			}
+			if errors.Is(err, store.ErrStaleEpoch) {
+				return fmt.Errorf("%w: %w", errMigrationParked, err)
+			}
+			if errors.Is(err, store.ErrClosed) || errors.Is(err, engine.ErrClosed) {
+				// Shutdown raced the copy: park, the next open resumes.
+				return errMigrationParked
+			}
+			if !errors.Is(err, store.ErrTransient) || dstCl.Lost() {
+				return c.migrateFailed(rec, fmt.Errorf("cluster: migrate disk %d cycle %d: %w", d, cy, err))
+			}
+			// Transient (partition, node down): wait for the path to heal.
+			select {
+			case <-c.migStop:
+				return errMigrationParked
+			case <-time.After(migrateRetryEvery):
+			}
+		}
+		rec.Cursor = cy + 1
+		if err := c.putMigRecord(rec); err != nil {
+			// Quorum lost or deposed: the copy cannot claim durability.
+			return fmt.Errorf("%w: commit cursor: %w", errMigrationParked, err)
+		}
+	}
+
+	// Flip. Everything in the finish closure runs under the exclusive
+	// mode lock: no foreground write is in flight and none can start, so
+	// the dirty set is final and the swap is atomic against I/O.
+	srcSb := c.srcSuperblockBlob(rec.Src)
+	flip := func() error {
+		for _, idx := range mirror.Dirty() {
+			b := buf[:stripBytes]
+			if err := mirror.Source().ReadStrip(idx, b); err != nil {
+				return err
+			}
+			if err := dstDev.WriteStrip(idx, b); err != nil {
+				return err
+			}
+			mirror.ClearDirty(idx)
+		}
+		if err := c.Mount.Meta.CloneSuperblock(d, dstSb); err != nil {
+			return err
+		}
+		c.mu.Lock()
+		prev := c.manifest.Disks[d]
+		c.manifest.Disks[d] = rec.Dst
+		err := c.saveManifestLocked()
+		if err != nil {
+			c.manifest.Disks[d] = prev
+		}
+		c.mu.Unlock()
+		if err != nil {
+			// The commit did not land: the source stays authoritative,
+			// so its blob must hold the superblock binding again.
+			if srcSb != nil {
+				_ = c.Mount.Meta.CloneSuperblock(d, srcSb)
+			}
+			return err
+		}
+		return nil
+	}
+	for {
+		err := eng.CompleteMigration(d, dstDev, flip)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, store.ErrStaleEpoch) {
+			return fmt.Errorf("%w: %w", errMigrationParked, err)
+		}
+		if errors.Is(err, store.ErrClosed) || errors.Is(err, engine.ErrClosed) {
+			return errMigrationParked
+		}
+		if !errors.Is(err, store.ErrTransient) || dstCl.Lost() {
+			return c.migrateFailed(rec, fmt.Errorf("cluster: migrate disk %d: flip: %w", d, err))
+		}
+		select {
+		case <-c.migStop:
+			return errMigrationParked
+		case <-time.After(migrateRetryEvery):
+		}
+	}
+	done = true
+
+	// Reclaim before deleting the record: a crash in between leaves the
+	// finalize-only path above, which reclaims again (idempotent).
+	c.reclaim(rec.Src)
+	return c.deleteMigRecord(d)
+}
+
+// migrateAside parks the record when the cause is transient (partition,
+// node down — the next attempt can succeed), abandons otherwise.
+func (c *Cluster) migrateAside(rec MigrationRecord, cause error) error {
+	if errors.Is(cause, store.ErrTransient) {
+		return fmt.Errorf("%w: %w", errMigrationParked, cause)
+	}
+	return c.migrateFailed(rec, cause)
+}
+
+// migrateFailed abandons a migration: the destination leftovers are
+// reclaimed and the record deleted — the source placement stays
+// authoritative and untouched.
+func (c *Cluster) migrateFailed(rec MigrationRecord, cause error) error {
+	c.reclaim(rec.Dst)
+	if err := c.deleteMigRecord(rec.Disk); err != nil {
+		return fmt.Errorf("%w: abandoning after %w", errMigrationParked, cause)
+	}
+	return cause
+}
+
+// srcSuperblockBlob rebinds a handle to the source's superblock blob —
+// the restore target when a flip fails to commit.
+func (c *Cluster) srcSuperblockBlob(p Placement) *netdev.NetBlob {
+	cl := c.Client(p.Node)
+	if cl == nil {
+		return nil
+	}
+	return cl.Blob(p.Super)
+}
+
+// verifyCopiedPrefix compares per-strip checksums of the first cursor
+// cycles on source and destination and returns the length of the
+// longest verified prefix (in cycles) — the safe resume point.
+func verifyCopiedPrefix(src, dst *netdev.NetDevice, cursor, slots int64) (int64, error) {
+	for cy := int64(0); cy < cursor; cy++ {
+		ss, err := src.StripSums(cy*slots, int(slots))
+		if err != nil {
+			return 0, err
+		}
+		ds, err := dst.StripSums(cy*slots, int(slots))
+		if err != nil {
+			return 0, err
+		}
+		for i := range ss {
+			if ss[i] != ds[i] {
+				return cy, nil
+			}
+		}
+	}
+	return cursor, nil
+}

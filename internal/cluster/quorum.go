@@ -23,15 +23,39 @@ const (
 // replicator fans coordinator metadata writes out to the storage nodes
 // and requires a majority before reporting success. It is the shared
 // half of every quorumBlob: one fencing epoch, one deposed latch.
+//
+// The voter set (order) is fixed for the reign: membership changes to
+// the data plane (AddNode/DrainNode) do not alter who votes on metadata
+// until the next coordinator open reads the updated node list. Only the
+// client *behind* a voter may be swapped (setClient) — the rejoin path
+// replaces a lost node's latched-dead client with a fresh one so the
+// voter comes back instead of staying unreachable for the reign.
 type replicator struct {
 	holder  string
 	fence   *netdev.FenceToken
 	order   []string
+	mu      sync.RWMutex
 	clients map[string]*netdev.NodeClient
 	deposed atomic.Bool
 }
 
 func (r *replicator) quorum() int { return len(r.order)/2 + 1 }
+
+func (r *replicator) client(id string) *netdev.NodeClient {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.clients[id]
+}
+
+// setClient swaps the client behind an existing voter; unknown IDs are
+// ignored (a node added after this reign started is not a voter).
+func (r *replicator) setClient(id string, cl *netdev.NodeClient) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.clients[id]; ok {
+		r.clients[id] = cl
+	}
+}
 
 // fanout runs op against every node concurrently and demands a quorum
 // of successes. A stale-epoch verdict from any node latches the deposed
@@ -45,7 +69,7 @@ func (r *replicator) fanout(op func(*netdev.NodeClient) error) error {
 		go func(i int, cl *netdev.NodeClient) {
 			defer wg.Done()
 			errs[i] = op(cl)
-		}(i, r.clients[id])
+		}(i, r.client(id))
 	}
 	wg.Wait()
 
@@ -165,7 +189,7 @@ func (c *Cluster) takeover(loaded bool) (j0, j1 store.Blob, haveManifest bool, e
 			if st, err := cl.FetchMetaState(); err == nil {
 				states[i] = &st
 			}
-		}(i, rep.clients[id])
+		}(i, rep.client(id))
 	}
 	wg.Wait()
 	responsive := 0
@@ -192,7 +216,7 @@ func (c *Cluster) takeover(loaded bool) (j0, j1 store.Blob, haveManifest bool, e
 		go func(i int, cl *netdev.NodeClient) {
 			defer wg.Done()
 			grants[i] = cl.AcquireLease(epoch, rep.holder) == nil
-		}(i, rep.clients[id])
+		}(i, rep.client(id))
 	}
 	wg.Wait()
 	granted := 0
@@ -307,7 +331,7 @@ func fetchReplicas(rep *replicator, name string) []metaReplica {
 		wg.Add(1)
 		go func(i int, id string) {
 			defer wg.Done()
-			data, gen, err := rep.clients[id].ReadMetaBlob(name)
+			data, gen, err := rep.client(id).ReadMetaBlob(name)
 			if err != nil {
 				out[i] = metaReplica{}
 				return

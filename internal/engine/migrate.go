@@ -1,0 +1,78 @@
+// Migration hooks: the engine-side half of online membership changes.
+// A strip migration copies a healthy disk to a new node while foreground
+// I/O keeps flowing; the engine contributes exactly three things —
+// pacing (the same QoS token bucket rebuilds run under, so a migration
+// cannot crowd out foreground latency), per-cycle write exclusion (so a
+// copied cycle is a consistent snapshot), and the atomic device flip at
+// the end (under the exclusive mode lock, so no write is in flight when
+// the source stops receiving them). Read-path awareness is inherited:
+// the store.MirrorDevice serves reads from the source for the whole
+// copy, and destination write failures never reach the health monitor,
+// so an in-flight move can neither slow reads down nor trigger a false
+// eviction.
+
+package engine
+
+import (
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// PaceBackground blocks on the QoS background pacer (shared with
+// rebuild/scrub) until the next unit of background work may proceed.
+// A nil stop channel uses the engine's own; callers with their own
+// lifecycle (cluster migrations) pass theirs so their shutdown does not
+// wait out a pacer token. False means stop fired and the caller must
+// park its work.
+func (e *Engine) PaceBackground(stop <-chan struct{}) bool {
+	if stop == nil {
+		stop = e.stopCh
+	}
+	return e.qos.pace(stop)
+}
+
+// LockCycle takes every striped lock of one layout cycle exclusively
+// (holding the mode lock shared, like any striped operation). While it
+// is held no foreground write can touch the cycle, so a migration may
+// copy the cycle's strips as a consistent snapshot. Acquisition follows
+// the same ascending-table order as every other lock path.
+func (e *Engine) LockCycle(cycle int64) (unlock func()) {
+	e.mode.RLock()
+	all := make([]int, e.nStripes)
+	for i := range all {
+		all[i] = i
+	}
+	inner := e.lockStripes(cycle, all, true)
+	return func() {
+		inner()
+		e.mode.RUnlock()
+	}
+}
+
+// StartMirror installs a migration mirror on disk d: every subsequent
+// write lands on dst too, reads stay on the source.
+func (e *Engine) StartMirror(d int, dst store.Device) (*store.MirrorDevice, error) {
+	return e.arr.StartMirror(d, dst)
+}
+
+// AbortMigration drops disk d's mirror, restoring the pre-migration
+// device — the unwind when a copy cannot finish (destination lost,
+// coordinator deposed).
+func (e *Engine) AbortMigration(d int) error { return e.arr.DropMirror(d) }
+
+// CompleteMigration is the flip: under the exclusive mode lock (every
+// foreground operation drained, none can start) it runs finish — the
+// caller's last-mile work: re-copying dirty strips, cloning the
+// superblock to the destination, committing the new placement — and
+// then swaps disk d's device to dev, wrapped with the engine's health
+// instrumentation like any attached device. If finish fails the mirror
+// stays installed and the source remains authoritative.
+func (e *Engine) CompleteMigration(d int, dev store.Device, finish func() error) error {
+	e.mode.Lock()
+	defer e.mode.Unlock()
+	if finish != nil {
+		if err := finish(); err != nil {
+			return err
+		}
+	}
+	return e.arr.SwapDisk(d, e.wrapDevice(d, dev))
+}

@@ -1,0 +1,172 @@
+// Membership-plane handlers: the HTTP face of online node add, drain,
+// and rejoin. The operations are synchronous — the response reports the
+// disks that moved — so they run under the request timeout; large
+// arrays should watch GET /v1/migrations for progress after a timeout,
+// since a parked migration resumes on its own.
+
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/oiraid/oiraid/internal/cluster"
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+func (s *Server) nodes(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.opts.Membership.NodeStatus())
+}
+
+func (s *Server) migrations(w http.ResponseWriter, r *http.Request) {
+	migs := s.opts.Membership.Migrations()
+	if migs == nil {
+		migs = []cluster.MigrationStatus{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(migs)
+}
+
+// nodeSpec reads the node reference for a membership op: the ID from
+// the path, the URL (when needed) from the JSON body.
+func (s *Server) nodeSpec(r *http.Request) (cluster.NodeSpec, error) {
+	spec := cluster.NodeSpec{ID: r.PathValue("id")}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+	if err != nil {
+		return spec, err
+	}
+	if len(body) > 0 {
+		var req struct {
+			URL string `json:"url"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return spec, err
+		}
+		spec.URL = req.URL
+	}
+	return spec, nil
+}
+
+// failMembership maps membership errors: a bad or duplicate node spec
+// is the caller's fault (400/409), everything else goes through the
+// standard taxonomy.
+func failMembership(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, store.ErrStaleEpoch):
+		// This coordinator was deposed mid-operation; the successor
+		// resumes the parked migration. The client must re-target.
+		http.Error(w, err.Error(), http.StatusConflict)
+	case strings.Contains(err.Error(), "already a member"),
+		strings.Contains(err.Error(), "unknown node"),
+		strings.Contains(err.Error(), "last node"),
+		strings.Contains(err.Error(), "needs an id"):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		fail(w, err)
+	}
+}
+
+func (s *Server) nodeAdd(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.nodeSpec(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := s.opts.Membership.AddNode(spec)
+	if err != nil {
+		failMembership(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+func (s *Server) nodeDrain(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.opts.Membership.DrainNode(r.PathValue("id"))
+	if err != nil {
+		failMembership(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+func (s *Server) nodeRejoin(w http.ResponseWriter, r *http.Request) {
+	spec, err := s.nodeSpec(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rep, err := s.opts.Membership.RejoinNode(spec)
+	if err != nil {
+		failMembership(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rep)
+}
+
+// --- client side ---
+
+// NodesCtx lists the cluster's member nodes with state and placements.
+func (c *Client) NodesCtx(ctx context.Context) ([]cluster.NodeInfo, error) {
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/nodes", nil)
+	if err != nil {
+		return nil, err
+	}
+	var nodes []cluster.NodeInfo
+	if err := json.Unmarshal(out, &nodes); err != nil {
+		return nil, fmt.Errorf("server: decode nodes: %w", err)
+	}
+	return nodes, nil
+}
+
+// MigrationsCtx lists in-flight strip migrations.
+func (c *Client) MigrationsCtx(ctx context.Context) ([]cluster.MigrationStatus, error) {
+	out, err := c.doCtx(ctx, http.MethodGet, "/v1/migrations", nil)
+	if err != nil {
+		return nil, err
+	}
+	var migs []cluster.MigrationStatus
+	if err := json.Unmarshal(out, &migs); err != nil {
+		return nil, fmt.Errorf("server: decode migrations: %w", err)
+	}
+	return migs, nil
+}
+
+func (c *Client) nodeOp(ctx context.Context, op, id, url string) (cluster.MoveReport, error) {
+	var body []byte
+	if url != "" {
+		body, _ = json.Marshal(map[string]string{"url": url})
+	}
+	out, err := c.doCtx(ctx, http.MethodPost, "/v1/nodes/"+id+"/"+op, body)
+	if err != nil {
+		return cluster.MoveReport{}, err
+	}
+	var rep cluster.MoveReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		return cluster.MoveReport{}, fmt.Errorf("server: decode %s report: %w", op, err)
+	}
+	return rep, nil
+}
+
+// NodeAddCtx joins a new node and rebalances onto it.
+func (c *Client) NodeAddCtx(ctx context.Context, id, url string) (cluster.MoveReport, error) {
+	return c.nodeOp(ctx, "add", id, url)
+}
+
+// NodeDrainCtx migrates every disk off a node and removes it.
+func (c *Client) NodeDrainCtx(ctx context.Context, id string) (cluster.MoveReport, error) {
+	return c.nodeOp(ctx, "drain", id, "")
+}
+
+// NodeRejoinCtx brings a known node back (url optional: manifest's).
+func (c *Client) NodeRejoinCtx(ctx context.Context, id, url string) (cluster.MoveReport, error) {
+	return c.nodeOp(ctx, "rejoin", id, url)
+}

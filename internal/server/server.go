@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/oiraid/oiraid/internal/cluster"
 	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/object"
 	"github.com/oiraid/oiraid/internal/store"
@@ -59,6 +60,21 @@ type Options struct {
 	// (/v1/buckets/...) over the given store. Nil leaves the server
 	// strip-only.
 	Objects *object.Store
+	// Membership, when set (cluster mode), enables the node membership
+	// plane of the API (/v1/nodes/...): online add, drain, rejoin, and
+	// status. Nil leaves the routes unregistered — a single-host daemon
+	// has no membership to change.
+	Membership Membership
+}
+
+// Membership is the node membership plane a cluster coordinator
+// implements (*cluster.Cluster satisfies it).
+type Membership interface {
+	AddNode(spec cluster.NodeSpec) (cluster.MoveReport, error)
+	DrainNode(id string) (cluster.MoveReport, error)
+	RejoinNode(spec cluster.NodeSpec) (cluster.MoveReport, error)
+	NodeStatus() []cluster.NodeInfo
+	Migrations() []cluster.MigrationStatus
 }
 
 // Server serves one engine over HTTP.
@@ -95,6 +111,13 @@ func New(eng *engine.Engine, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/qos", s.qosSet)
 	if opts.Objects != nil {
 		s.registerObjectRoutes()
+	}
+	if opts.Membership != nil {
+		s.mux.HandleFunc("GET /v1/nodes", s.nodes)
+		s.mux.HandleFunc("GET /v1/migrations", s.migrations)
+		s.mux.HandleFunc("POST /v1/nodes/{id}/add", s.nodeAdd)
+		s.mux.HandleFunc("POST /v1/nodes/{id}/drain", s.nodeDrain)
+		s.mux.HandleFunc("POST /v1/nodes/{id}/rejoin", s.nodeRejoin)
 	}
 	return s
 }

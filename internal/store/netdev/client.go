@@ -386,17 +386,20 @@ func (c *NodeClient) fire(fn func()) {
 // probeLoop pings the node while it is down. A successful ping ends the
 // episode (recordSuccess fires OnUp); a grace expiry declares the node
 // lost and stops probing — there is nothing left to recover to, the
-// disks are being rebuilt elsewhere.
+// disks are being rebuilt elsewhere. Each wait is jittered (see
+// probeDelay) so a fleet of clients watching the same node does not
+// probe in lockstep and stampede it the moment a partition heals.
 func (c *NodeClient) probeLoop() {
 	defer c.probeWg.Done()
-	ticker := time.NewTicker(c.opts.ProbeInterval)
-	defer ticker.Stop()
+	timer := time.NewTimer(c.probeDelay())
+	defer timer.Stop()
 	for {
 		select {
 		case <-c.probeStop:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
+		timer.Reset(c.probeDelay())
 		c.mu.Lock()
 		down := c.down
 		since := c.downSince
@@ -422,6 +425,18 @@ func (c *NodeClient) probeLoop() {
 			return
 		}
 	}
+}
+
+// probeDelay draws the next probe wait, uniform in [½, 1½)× the
+// configured interval. Deterministic per client via the seeded rng, but
+// de-correlated across clients (each gets its own seed offset), which is
+// what breaks the thundering herd on a node that just came back.
+func (c *NodeClient) probeDelay() time.Duration {
+	base := c.opts.ProbeInterval
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int63n(int64(base)))
+	c.mu.Unlock()
+	return base/2 + j
 }
 
 // pingOnce performs a single identity-checked ping without retry

@@ -152,6 +152,140 @@ func (d *NetDevice) WriteStrip(idx int64, p []byte) error {
 	})
 }
 
+func (d *NetDevice) rangeURL(query string) string {
+	return d.c.base + "/node/v1/devices/" + url.PathEscape(d.name) + "/range?" + query
+}
+
+// ReadStripRange reads count consecutive strips starting at start in one
+// request, returning the concatenated payload. The bulk read half of
+// strip migration: one round trip instead of count.
+func (d *NetDevice) ReadStripRange(start int64, count int) ([]byte, error) {
+	if start < 0 || count <= 0 || start+int64(count) > d.strips {
+		return nil, fmt.Errorf("%w: range [%d,%d) of %d strips", store.ErrStripOutOfRange, start, start+int64(count), d.strips)
+	}
+	want := count * d.stripBytes
+	var out []byte
+	err := d.c.do(func(ctx context.Context) *attemptErr {
+		q := "start=" + strconv.FormatInt(start, 10) + "&count=" + strconv.Itoa(count)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, d.rangeURL(q), nil)
+		if err != nil {
+			return &attemptErr{err: err}
+		}
+		resp, err := d.c.hc.Do(req)
+		if err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			return d.c.responseErr(resp)
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, int64(want)+1))
+		if err != nil {
+			return &attemptErr{err: fmt.Errorf("%w: %v", ErrBadFrame, err), retryable: true}
+		}
+		if len(body) != want {
+			return &attemptErr{err: fmt.Errorf("%w: %d range bytes, want %d", ErrBadFrame, len(body), want), retryable: true}
+		}
+		if crc := resp.Header.Get(crcHeader); crc != "" && crc != blobCRC(body) {
+			return &attemptErr{err: fmt.Errorf("%w: range body crc %s, header says %s", ErrBadFrame, blobCRC(body), crc), retryable: true}
+		}
+		out = body
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteStripRange writes len(p)/StripBytes consecutive strips starting
+// at start in one request. Fenced: the node rejects it with
+// store.ErrStaleEpoch once a newer coordinator holds the lease, which is
+// what keeps a deposed coordinator's migration copies off the media.
+// Idempotent, so lost acks are re-sent.
+func (d *NetDevice) WriteStripRange(start int64, p []byte) error {
+	if len(p) == 0 || len(p)%d.stripBytes != 0 {
+		return fmt.Errorf("%w: %d bytes, strip is %d", store.ErrShortBuffer, len(p), d.stripBytes)
+	}
+	count := int64(len(p) / d.stripBytes)
+	if start < 0 || start+count > d.strips {
+		return fmt.Errorf("%w: range [%d,%d) of %d strips", store.ErrStripOutOfRange, start, start+count, d.strips)
+	}
+	crc := blobCRC(p)
+	return d.c.do(func(ctx context.Context) *attemptErr {
+		u := d.c.withFence(d.rangeURL("start=" + strconv.FormatInt(start, 10)))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(p))
+		if err != nil {
+			return &attemptErr{err: err}
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		req.Header.Set(crcHeader, crc)
+		req.ContentLength = int64(len(p))
+		resp, err := d.c.hc.Do(req)
+		if err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusNoContent {
+			return d.c.responseErr(resp)
+		}
+		return nil
+	})
+}
+
+// StripSums fetches per-strip CRC-32C checksums for a range — how a
+// resuming migration verifies its already-committed prefix without
+// moving the data again.
+func (d *NetDevice) StripSums(start int64, count int) ([]string, error) {
+	if start < 0 || count <= 0 || start+int64(count) > d.strips {
+		return nil, fmt.Errorf("%w: range [%d,%d) of %d strips", store.ErrStripOutOfRange, start, start+int64(count), d.strips)
+	}
+	var out struct {
+		Sums []string `json:"sums"`
+	}
+	q := "start=" + strconv.FormatInt(start, 10) + "&count=" + strconv.Itoa(count)
+	if err := d.c.getJSON("/node/v1/devices/"+url.PathEscape(d.name)+"/sums?"+q, &out); err != nil {
+		return nil, err
+	}
+	if len(out.Sums) != count {
+		return nil, fmt.Errorf("%w: %d sums for %d strips", ErrBadFrame, len(out.Sums), count)
+	}
+	return out.Sums, nil
+}
+
+// StripCRC is the checksum StripSums speaks, computed locally — compare
+// against a fetched sum to verify a copied strip.
+func StripCRC(p []byte) string { return blobCRC(p) }
+
+// DeleteDevice removes a device from the node (fenced, idempotent) —
+// the source-reclaim step after a migration flips placement.
+func (c *NodeClient) DeleteDevice(name string) error {
+	return c.deleteReq(c.withFence("/node/v1/devices/" + url.PathEscape(name)))
+}
+
+// DeleteBlob removes a blob from the node (fenced, idempotent).
+func (c *NodeClient) DeleteBlob(name string) error {
+	return c.deleteReq(c.withFence("/node/v1/blobs/" + url.PathEscape(name)))
+}
+
+func (c *NodeClient) deleteReq(path string) error {
+	return c.do(func(ctx context.Context) *attemptErr {
+		req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+path, nil)
+		if err != nil {
+			return &attemptErr{err: err}
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return &attemptErr{err: err, retryable: true}
+		}
+		defer drain(resp)
+		if resp.StatusCode != http.StatusNoContent {
+			return c.responseErr(resp)
+		}
+		return nil
+	})
+}
+
 // NetBlob is a store.Blob on a remote storage node: the substrate the
 // coordinator writes per-disk superblocks through. Reads and writes
 // carry a CRC-32C header so metadata crossing the wire gets the same

@@ -274,9 +274,14 @@ func (n *Node) Handler() http.Handler {
 	mux.HandleFunc("GET /node/v1/ping", n.handlePing)
 	mux.HandleFunc("GET /node/v1/stat", n.handleStat)
 	mux.HandleFunc("POST /node/v1/devices/{dev}", n.handleCreateDevice)
+	mux.HandleFunc("DELETE /node/v1/devices/{dev}", n.handleDeleteDevice)
 	mux.HandleFunc("GET /node/v1/devices/{dev}/strips/{idx}", n.handleReadStrip)
 	mux.HandleFunc("PUT /node/v1/devices/{dev}/strips/{idx}", n.handleWriteStrip)
+	mux.HandleFunc("GET /node/v1/devices/{dev}/range", n.handleReadRange)
+	mux.HandleFunc("PUT /node/v1/devices/{dev}/range", n.handleWriteRange)
+	mux.HandleFunc("GET /node/v1/devices/{dev}/sums", n.handleStripSums)
 	mux.HandleFunc("POST /node/v1/blobs/{name}", n.handleCreateBlob)
+	mux.HandleFunc("DELETE /node/v1/blobs/{name}", n.handleDeleteBlob)
 	mux.HandleFunc("GET /node/v1/blobs/{name}", n.handleReadBlob)
 	mux.HandleFunc("PUT /node/v1/blobs/{name}", n.handleWriteBlob)
 	mux.HandleFunc("GET /node/v1/blobs/{name}/stat", n.handleStatBlob)
@@ -462,6 +467,197 @@ func (n *Node) handleWriteStrip(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := dev.WriteStrip(idx, fr.Payload); err != nil {
+		failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// rangeMaxBytes caps one bulk strip-range transfer. Large enough to
+// amortise per-request overhead during migration, small enough that a
+// single request can neither exhaust node memory nor stall the handler
+// for long.
+const rangeMaxBytes = 16 << 20
+
+// rangeBounds validates a strip-range request against the device
+// geometry.
+func rangeBounds(dev store.Device, start int64, count int) error {
+	if start < 0 || count <= 0 || start+int64(count) > dev.Strips() {
+		return fmt.Errorf("%w: range [%d,%d) of %d strips", store.ErrStripOutOfRange, start, start+int64(count), dev.Strips())
+	}
+	if int64(count)*int64(dev.StripBytes()) > rangeMaxBytes {
+		return fmt.Errorf("%w: range of %d strips × %d bytes exceeds %d-byte cap", store.ErrBadGeometry, count, dev.StripBytes(), rangeMaxBytes)
+	}
+	return nil
+}
+
+// handleReadRange serves count strips starting at start as one
+// contiguous body, checksummed as a whole (crcHeader) — the bulk read
+// half of strip migration.
+func (n *Node) handleReadRange(w http.ResponseWriter, r *http.Request) {
+	dev, ok := n.device(r.PathValue("dev"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: device %s", ErrNodeNotFound, r.PathValue("dev")))
+		return
+	}
+	start, err1 := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+	count, err2 := strconv.Atoi(r.URL.Query().Get("count"))
+	if err1 != nil || err2 != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad range query"))
+		return
+	}
+	if err := rangeBounds(dev, start, count); err != nil {
+		failErr(w, err)
+		return
+	}
+	sb := dev.StripBytes()
+	buf := make([]byte, count*sb)
+	for i := 0; i < count; i++ {
+		if err := dev.ReadStrip(start+int64(i), buf[i*sb:(i+1)*sb]); err != nil {
+			failErr(w, err)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(crcHeader, blobCRC(buf))
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Write(buf)
+}
+
+// handleWriteRange lands a contiguous run of strips in one request — the
+// bulk write half of strip migration. Fenced like every mutating
+// endpoint, and the body checksum must verify before any strip touches
+// media, so a torn transfer places nothing.
+func (n *Node) handleWriteRange(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
+	dev, ok := n.device(r.PathValue("dev"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: device %s", ErrNodeNotFound, r.PathValue("dev")))
+		return
+	}
+	start, err := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, err)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, rangeMaxBytes+1))
+	if err != nil {
+		fail(w, http.StatusBadRequest, codeBadFrame, fmt.Errorf("%w: %v", ErrBadFrame, err))
+		return
+	}
+	sb := dev.StripBytes()
+	if len(body) == 0 || len(body)%sb != 0 {
+		fail(w, http.StatusBadRequest, codeShortBuffer,
+			fmt.Errorf("%w: %d body bytes, strip is %d", store.ErrShortBuffer, len(body), sb))
+		return
+	}
+	count := len(body) / sb
+	if err := rangeBounds(dev, start, count); err != nil {
+		failErr(w, err)
+		return
+	}
+	if want := r.Header.Get(crcHeader); want != "" && want != blobCRC(body) {
+		fail(w, http.StatusBadRequest, codeBadFrame,
+			fmt.Errorf("%w: range body crc %s, header says %s", ErrBadFrame, blobCRC(body), want))
+		return
+	}
+	for i := 0; i < count; i++ {
+		if err := dev.WriteStrip(start+int64(i), body[i*sb:(i+1)*sb]); err != nil {
+			failErr(w, err)
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStripSums serves per-strip CRC-32C checksums for a range — the
+// cheap side channel a resuming migration uses to verify its committed
+// prefix without re-reading the data over the wire.
+func (n *Node) handleStripSums(w http.ResponseWriter, r *http.Request) {
+	dev, ok := n.device(r.PathValue("dev"))
+	if !ok {
+		fail(w, http.StatusNotFound, codeNotFound, fmt.Errorf("%w: device %s", ErrNodeNotFound, r.PathValue("dev")))
+		return
+	}
+	start, err1 := strconv.ParseInt(r.URL.Query().Get("start"), 10, 64)
+	count, err2 := strconv.Atoi(r.URL.Query().Get("count"))
+	if err1 != nil || err2 != nil {
+		fail(w, http.StatusBadRequest, codeBadGeometry, fmt.Errorf("netdev: bad sums query"))
+		return
+	}
+	if err := rangeBounds(dev, start, count); err != nil {
+		failErr(w, err)
+		return
+	}
+	buf := make([]byte, dev.StripBytes())
+	sums := make([]string, count)
+	for i := 0; i < count; i++ {
+		if err := dev.ReadStrip(start+int64(i), buf); err != nil {
+			failErr(w, err)
+			return
+		}
+		sums[i] = blobCRC(buf)
+	}
+	writeJSON(w, map[string][]string{"sums": sums})
+}
+
+// handleDeleteDevice removes a device and its backing file — the source
+// reclaim step after a migration flips. Fenced (a deposed coordinator
+// must not reclaim anything) and idempotent: deleting an absent device
+// succeeds, so a lost ack is safely re-sent.
+func (n *Node) handleDeleteDevice(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
+	name := r.PathValue("dev")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dev, ok := n.devs[name]
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err := dev.Close(); err != nil {
+		failErr(w, err)
+		return
+	}
+	delete(n.devs, name)
+	delete(n.geo, name)
+	if n.dir != "" {
+		os.Remove(filepath.Join(n.dir, name+".img"))
+	}
+	if err := n.saveManifest(); err != nil {
+		failErr(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleDeleteBlob removes a blob (the migrated disk's stale superblock
+// copy). Fenced and idempotent like device deletion.
+func (n *Node) handleDeleteBlob(w http.ResponseWriter, r *http.Request) {
+	if !n.fenceOK(w, r) {
+		return
+	}
+	name := r.PathValue("name")
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	b, ok := n.blobs[name]
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err := b.Close(); err != nil {
+		failErr(w, err)
+		return
+	}
+	delete(n.blobs, name)
+	if n.dir != "" {
+		os.Remove(filepath.Join(n.dir, name+".blob"))
+	}
+	if err := n.saveManifest(); err != nil {
 		failErr(w, err)
 		return
 	}

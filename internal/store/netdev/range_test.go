@@ -1,0 +1,165 @@
+package netdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/store"
+)
+
+// TestNetDeviceRangeRoundTrip covers the bulk-migration surface: ranged
+// reads/writes move whole cycles in one request and the checksums match
+// the per-strip contents.
+func TestNetDeviceRangeRoundTrip(t *testing.T) {
+	_, srv := startNode(t, "n0")
+	c := NewNodeClient(srv.URL, fastOpts())
+	defer c.Close()
+
+	const strips, stripBytes = 8, 128
+	dev, err := c.CreateDevice("d0", strips, stripBytes)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	bulk := make([]byte, 4*stripBytes)
+	for i := range bulk {
+		bulk[i] = byte(i * 7)
+	}
+	if err := dev.WriteStripRange(2, bulk); err != nil {
+		t.Fatalf("write range: %v", err)
+	}
+	// Bulk write is idempotent — a migration retry must be harmless.
+	if err := dev.WriteStripRange(2, bulk); err != nil {
+		t.Fatalf("re-write range: %v", err)
+	}
+
+	got, err := dev.ReadStripRange(2, 4)
+	if err != nil {
+		t.Fatalf("read range: %v", err)
+	}
+	if !bytes.Equal(got, bulk) {
+		t.Fatalf("range round-trip differs")
+	}
+	// Per-strip reads see the same bytes the bulk write landed.
+	one := make([]byte, stripBytes)
+	for i := int64(0); i < 4; i++ {
+		if err := dev.ReadStrip(2+i, one); err != nil {
+			t.Fatalf("read strip %d: %v", 2+i, err)
+		}
+		if !bytes.Equal(one, bulk[i*stripBytes:(i+1)*stripBytes]) {
+			t.Fatalf("strip %d differs from bulk write", 2+i)
+		}
+	}
+
+	// StripSums is the resume verifier: one checksum per strip, equal to
+	// the CRC of the strip's bytes.
+	sums, err := dev.StripSums(2, 4)
+	if err != nil {
+		t.Fatalf("sums: %v", err)
+	}
+	if len(sums) != 4 {
+		t.Fatalf("got %d sums, want 4", len(sums))
+	}
+	for i, sum := range sums {
+		if want := StripCRC(bulk[i*stripBytes : (i+1)*stripBytes]); sum != want {
+			t.Fatalf("sum %d = %q, want %q", i, sum, want)
+		}
+	}
+
+	// Sentinel taxonomy on the ranged surface.
+	if err := dev.WriteStripRange(6, bulk); !errors.Is(err, store.ErrStripOutOfRange) {
+		t.Fatalf("overrun write: %v", err)
+	}
+	if err := dev.WriteStripRange(0, bulk[:stripBytes+1]); !errors.Is(err, store.ErrShortBuffer) {
+		t.Fatalf("ragged write: %v", err)
+	}
+	if _, err := dev.ReadStripRange(6, 4); !errors.Is(err, store.ErrStripOutOfRange) {
+		t.Fatalf("overrun read: %v", err)
+	}
+}
+
+// TestNetDeviceRangeFencing pins the epoch discipline on the migration
+// surface: mutations from a stale epoch die ErrStaleEpoch, reads and
+// checksums stay unfenced, classic (un-fenced) clients are untouched.
+func TestNetDeviceRangeFencing(t *testing.T) {
+	_, srv := startNode(t, "n0")
+
+	// The current coordinator: epoch 5, holds the lease.
+	cur := NewNodeClient(srv.URL, fastOpts())
+	defer cur.Close()
+	curFence := &FenceToken{}
+	curFence.Advance(5)
+	cur.SetFence(curFence)
+	if err := cur.AcquireLease(5, "coord-b"); err != nil {
+		t.Fatalf("acquire lease: %v", err)
+	}
+
+	const strips, stripBytes = 8, 128
+	dev, err := cur.CreateDevice("d0", strips, stripBytes)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := cur.CreateBlob("sb0"); err != nil {
+		t.Fatalf("create blob: %v", err)
+	}
+	bulk := make([]byte, 2*stripBytes)
+	for i := range bulk {
+		bulk[i] = byte(i)
+	}
+	if err := dev.WriteStripRange(0, bulk); err != nil {
+		t.Fatalf("fenced write at current epoch: %v", err)
+	}
+
+	// The deposed coordinator: epoch 4. Every mutation must bounce.
+	stale := NewNodeClient(srv.URL, fastOpts())
+	defer stale.Close()
+	staleFence := &FenceToken{}
+	staleFence.Advance(4)
+	stale.SetFence(staleFence)
+	sdev := stale.Device("d0", strips, stripBytes)
+	if err := sdev.WriteStripRange(0, bulk); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale bulk write: %v, want ErrStaleEpoch", err)
+	}
+	if err := sdev.WriteStrip(0, bulk[:stripBytes]); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale strip write: %v, want ErrStaleEpoch", err)
+	}
+	if err := stale.DeleteDevice("d0"); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale device delete: %v, want ErrStaleEpoch", err)
+	}
+	if err := stale.DeleteBlob("sb0"); !errors.Is(err, store.ErrStaleEpoch) {
+		t.Fatalf("stale blob delete: %v, want ErrStaleEpoch", err)
+	}
+	// Reads and sums are unfenced: a deposed coordinator may still look.
+	if got, err := sdev.ReadStripRange(0, 2); err != nil || !bytes.Equal(got, bulk) {
+		t.Fatalf("stale read range: %v", err)
+	}
+	if _, err := sdev.StripSums(0, 2); err != nil {
+		t.Fatalf("stale sums: %v", err)
+	}
+	// The stale mutations never landed.
+	if got, err := dev.ReadStripRange(0, 2); err != nil || !bytes.Equal(got, bulk) {
+		t.Fatalf("content after stale attempts: %v", err)
+	}
+
+	// Classic mode: a client with no fence at all is always allowed.
+	classic := NewNodeClient(srv.URL, fastOpts())
+	defer classic.Close()
+	cdev := classic.Device("d0", strips, stripBytes)
+	if err := cdev.WriteStripRange(0, bulk); err != nil {
+		t.Fatalf("unfenced write: %v", err)
+	}
+
+	// Reclaim from the live epoch: idempotent, and the media is gone.
+	if err := cur.DeleteDevice("d0"); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := cur.DeleteDevice("d0"); err != nil {
+		t.Fatalf("re-delete: %v", err)
+	}
+	if err := cur.DeleteBlob("sb0"); err != nil {
+		t.Fatalf("delete blob: %v", err)
+	}
+	if _, err := cur.OpenDevice("d0"); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("open after delete: %v", err)
+	}
+}

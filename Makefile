@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster failover migrate clean
+.PHONY: build test race vet check chaos qos crash tail fuzz bench object cluster failover migrate degrade clean
 
 build:
 	$(GO) build ./...
@@ -79,6 +79,16 @@ failover:
 		./internal/store/netdev/... ./internal/cluster/... ./cmd/oiraidd/... ./cmd/oiraidctl/...
 	$(GO) test -run '^$$' -fuzz FuzzManifestDecode -fuzztime 10s ./internal/cluster/
 
+# Graceful-degradation suite under the race detector: the exhaustive
+# per-strip availability census (all 84 triple and 126 quad failure
+# patterns), the degraded mount policies (refuse/read-only/partial),
+# the serving-mode lattice with write fencing and forced floors, and
+# the composed beyond-tolerance torture sweep (node kill + partition +
+# torn responses + slow bursts) with the partial-serving oracle.
+degrade:
+	$(GO) test -race -count=1 -run 'Degrad|Availability|Mode|DiskDown|Policy|MountPartial|MountRefuse' \
+		./internal/core/... ./internal/store/... ./internal/engine/... ./internal/cluster/...
+
 # Machine-readable benchmark report: the erasure/rebuild micro- and
 # experiment benchmarks plus the object PUT/GET path (MB/s, p50/p99
 # latency, allocs/op) land in BENCH_object.json via cmd/benchjson;
@@ -95,7 +105,9 @@ bench:
 		| $(GO) run ./cmd/benchjson -out BENCH_failover.json
 	$(GO) test -bench Migrate -benchtime 20x -benchmem -run '^$$' ./internal/cluster/ \
 		| $(GO) run ./cmd/benchjson -out BENCH_migrate.json
-	@for f in BENCH_object.json BENCH_netdev.json BENCH_failover.json BENCH_migrate.json; do \
+	$(GO) test -bench Degrade -benchtime 50x -benchmem -run '^$$' ./internal/store/ \
+		| $(GO) run ./cmd/benchjson -out BENCH_degrade.json
+	@for f in BENCH_object.json BENCH_netdev.json BENCH_failover.json BENCH_migrate.json BENCH_degrade.json; do \
 		test -s $$f || { echo "bench: missing $$f" >&2; exit 1; }; \
 	done
 

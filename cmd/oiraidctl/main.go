@@ -542,6 +542,8 @@ func status(dir string) error {
 	switch {
 	case !exp.Recoverable:
 		fmt.Printf("state: FAILED — pattern %v exceeds fault tolerance (data loss)\n", m.Failed)
+		fmt.Printf("availability: %s\n", g.Analyzer().Availability(m.Failed).Describe())
+		fmt.Println("hint: a read-only or partial degraded policy (oiraidd -degraded-policy) can still serve the decodable strips")
 	case len(exp.CriticalDisks) > 0:
 		fmt.Printf("state: degraded, failed disks %v — CRITICAL: losing any of disks %v would lose data\n",
 			m.Failed, exp.CriticalDisks)
@@ -956,6 +958,16 @@ func remoteStatus(ctx context.Context, c *server.Client, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "%d disks, %d cycles, strip: %d B, usable capacity: %d B\n",
 		st.Disks, st.Cycles, st.StripBytes, st.Capacity)
+	if st.Mode != "" && st.Mode != "normal" {
+		fmt.Fprintf(w, "mode: %s", st.Mode)
+		if len(st.Down) > 0 {
+			fmt.Fprintf(w, ", down disks %v", st.Down)
+		}
+		if st.WritesFenced > 0 {
+			fmt.Fprintf(w, ", %d writes fenced", st.WritesFenced)
+		}
+		fmt.Fprintln(w)
+	}
 	switch {
 	case len(st.Failed) == 0:
 		fmt.Fprintln(w, "state: healthy")

@@ -34,6 +34,7 @@ import (
 	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/object"
 	"github.com/oiraid/oiraid/internal/server"
+	"github.com/oiraid/oiraid/internal/store"
 	"github.com/oiraid/oiraid/internal/store/netdev"
 )
 
@@ -130,6 +131,10 @@ func coordinatorOptions(cfg config, ccfg clusterConfig) (cluster.Options, error)
 			return cluster.Options{}, err
 		}
 	}
+	pol, err := store.ParseDegradedPolicy(cfg.degraded)
+	if err != nil {
+		return cluster.Options{}, err
+	}
 	return cluster.Options{
 		Dir:   cfg.dir,
 		Nodes: specs,
@@ -139,7 +144,7 @@ func coordinatorOptions(cfg config, ccfg clusterConfig) (cluster.Options, error)
 			Grace:       ccfg.grace,
 		},
 		Engine:     engineOpts(cfg),
-		Format:     &cluster.FormatSpec{Disks: cfg.disks, Cycles: cfg.cycles, StripBytes: cfg.strip},
+		Format:     &cluster.FormatSpec{Disks: cfg.disks, Cycles: cfg.cycles, StripBytes: cfg.strip, Degraded: pol},
 		Holder:     ccfg.coordID,
 		LeaseRenew: ccfg.leaseRenew,
 	}, nil

@@ -33,14 +33,15 @@ import (
 )
 
 type config struct {
-	addr    string
-	disks   int
-	cycles  int64
-	strip   int
-	dir     string
-	workers int
-	batch   int64
-	timeout time.Duration
+	addr     string
+	disks    int
+	cycles   int64
+	strip    int
+	dir      string
+	workers  int
+	batch    int64
+	timeout  time.Duration
+	degraded string // beyond-tolerance policy: "", "refuse", "read-only", "partial"
 
 	// Self-healing knobs.
 	retries    int           // per-device retry attempts for transient errors (0: no retry layer)
@@ -73,6 +74,9 @@ type config struct {
 func buildServer(cfg config) (*server.Server, error) {
 	g, err := oiraid.NewGeometry(cfg.disks)
 	if err != nil {
+		return nil, err
+	}
+	if _, err := oiraid.ParseDegradedPolicy(cfg.degraded); err != nil {
 		return nil, err
 	}
 	var arr *oiraid.Array
@@ -204,12 +208,24 @@ func openDurableArray(g *oiraid.Geometry, cfg config) (*oiraid.Array, *oiraid.Ge
 		if err != nil {
 			return nil, g, cfg, err
 		}
-		mnt, err := oiraid.MountArray(g, devs, sbs, j0, j1)
+		var mos []oiraid.MountOption
+		if cfg.degraded != "" {
+			pol, perr := oiraid.ParseDegradedPolicy(cfg.degraded)
+			if perr != nil {
+				return nil, g, cfg, perr
+			}
+			mos = append(mos, oiraid.WithMountDegradedPolicy(pol))
+		}
+		mnt, err := oiraid.MountArray(g, devs, sbs, j0, j1, mos...)
 		if err != nil {
 			return nil, g, cfg, fmt.Errorf("mount %s: %w", cfg.dir, err)
 		}
 		log.Printf("oiraidd: mounted array %s epoch %d (clean=%v, failed=%v, newly detected=%v, closures replayed=%d)",
 			mnt.Meta.UUIDString(), mnt.Meta.Epoch(), mnt.WasClean, mnt.Failed, mnt.Detected, mnt.Replayed)
+		if mnt.ReadOnly {
+			log.Printf("oiraidd: array is beyond tolerance (%s); serving degraded under policy %q",
+				mnt.Availability.Describe(), cfg.degraded)
+		}
 		return mnt.Array, g, cfg, nil
 	}
 
@@ -239,11 +255,15 @@ func openDurableArray(g *oiraid.Geometry, cfg config) (*oiraid.Array, *oiraid.Ge
 	if err != nil {
 		return nil, g, cfg, err
 	}
-	mnt, err := oiraid.FormatArray(g, devs, sbs, j0, j1)
+	pol, err := oiraid.ParseDegradedPolicy(cfg.degraded)
 	if err != nil {
 		return nil, g, cfg, err
 	}
-	log.Printf("oiraidd: formatted array %s", mnt.Meta.UUIDString())
+	mnt, err := oiraid.FormatArray(g, devs, sbs, j0, j1, oiraid.WithDegradedPolicy(pol))
+	if err != nil {
+		return nil, g, cfg, err
+	}
+	log.Printf("oiraidd: formatted array %s (degraded policy %q)", mnt.Meta.UUIDString(), pol)
 	return mnt.Array, g, cfg, nil
 }
 
@@ -257,6 +277,7 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "I/O pool size (0: engine default)")
 	flag.Int64Var(&cfg.batch, "rebuild-batch", 1, "layout cycles per rebuild batch")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.StringVar(&cfg.degraded, "degraded-policy", "", "beyond-tolerance serving policy: refuse, read-only, or partial (empty: refuse / superblock's word)")
 	flag.IntVar(&cfg.retries, "retry", 4, "device retry attempts for transient errors (0: disable)")
 	flag.Int64Var(&cfg.evictAfter, "evict-after", 3, "hard device errors before auto-eviction (0: disable auto-heal)")
 	flag.IntVar(&cfg.spares, "spares", 0, "hot spares to register at boot")

@@ -72,6 +72,13 @@ type Manifest struct {
 	// this manifest (0 outside HA mode) — an audit trail for fsck and
 	// takeover debugging, not an input to recovery.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Degraded is the array's degradation policy ("refuse", "read-only",
+	// "partial") — what a mount does when the committed failure pattern
+	// is beyond tolerance. Empty means refuse (the historic behaviour).
+	// It is stamped into the superblocks at format and also applied as a
+	// per-mount override, so a manifest edit can relax the policy of an
+	// array formatted before the field existed.
+	Degraded string `json:"degraded_policy,omitempty"`
 }
 
 // ParseManifest decodes and sanity-checks a manifest image. Recovery
@@ -109,6 +116,9 @@ func ParseManifest(raw []byte) (Manifest, error) {
 			return Manifest{}, fmt.Errorf("cluster: disk %d missing device or superblock name", d)
 		}
 	}
+	if _, err := store.ParseDegradedPolicy(m.Degraded); err != nil {
+		return Manifest{}, fmt.Errorf("cluster: manifest: %w", err)
+	}
 	return m, nil
 }
 
@@ -117,6 +127,10 @@ type FormatSpec struct {
 	Disks      int
 	Cycles     int64
 	StripBytes int
+	// Degraded is the degradation policy stamped into the superblocks:
+	// what a mount does when the failure pattern is beyond tolerance
+	// (default DegradedRefuse).
+	Degraded store.DegradedPolicy
 }
 
 // Options configures Open.
@@ -365,11 +379,24 @@ func Open(opts Options) (*Cluster, error) {
 		}
 	}
 
+	// Degradation policy: the manifest's word applies at format (stamped
+	// into the superblocks) and as the per-mount override, so editing the
+	// manifest relaxes the policy of arrays formatted before the
+	// superblock carried one.
+	policy, err := store.ParseDegradedPolicy(man.Degraded)
+	if err != nil {
+		closeClients()
+		return nil, fmt.Errorf("cluster: manifest: %w", err)
+	}
 	var mnt *store.Mount
 	if loaded {
-		mnt, err = store.MountArray(an, devs, sbs, j0, j1)
+		var mos []store.MountOption
+		if man.Degraded != "" {
+			mos = append(mos, store.WithMountDegradedPolicy(policy))
+		}
+		mnt, err = store.MountArray(an, devs, sbs, j0, j1, mos...)
 	} else {
-		mnt, err = store.FormatArray(an, devs, sbs, j0, j1)
+		mnt, err = store.FormatArray(an, devs, sbs, j0, j1, store.WithDegradedPolicy(policy))
 	}
 	if err != nil {
 		closeClients()
@@ -512,6 +539,10 @@ func (c *Cluster) nodeDown(eng *engine.Engine, id string) {
 	}
 	for _, d := range c.DisksOn(id) {
 		_ = eng.QuarantineDisk(d) // best effort; closed engine says no
+		// Feed the serving-mode computation: enough downed paths across
+		// nodes demote the array to read-only/partial service from the
+		// survivors instead of acking writes it cannot protect.
+		_ = eng.SetDiskDown(d, true)
 	}
 }
 
@@ -523,6 +554,9 @@ func (c *Cluster) nodeUp(eng *engine.Engine, id string) {
 	}
 	for _, d := range c.DisksOn(id) {
 		_ = eng.ReleaseDisk(d)
+		// Clearing the down-mark recomputes the serving mode toward
+		// normal and re-kicks a rebuild the partition starved.
+		_ = eng.SetDiskDown(d, false)
 	}
 	// A down episode can leave half-committed parity closures: a commit
 	// whose write to this node failed (or whose ack was lost) left its
@@ -669,6 +703,9 @@ func buildManifest(nodes []NodeSpec, spec FormatSpec) Manifest {
 		Nodes:      append([]NodeSpec(nil), nodes...),
 		Cycles:     spec.Cycles,
 		StripBytes: spec.StripBytes,
+	}
+	if spec.Degraded != store.DegradedRefuse {
+		m.Degraded = spec.Degraded.String()
 	}
 	for d := 0; d < spec.Disks; d++ {
 		m.Disks = append(m.Disks, Placement{

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -14,6 +13,7 @@ import (
 	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/store"
 	"github.com/oiraid/oiraid/internal/store/netdev"
+	"github.com/oiraid/oiraid/internal/testutil"
 )
 
 // testCluster is three mem-backed storage nodes behind fault-injecting
@@ -74,7 +74,7 @@ func (tc *testCluster) options(seed int64) Options {
 			}
 			return nil
 		},
-		Format:    &FormatSpec{Disks: 9, Cycles: 2, StripBytes: 512},
+		Format: &FormatSpec{Disks: 9, Cycles: 2, StripBytes: 512},
 	}
 }
 
@@ -236,7 +236,7 @@ func TestClusterNodeLostHealsOntoSurvivors(t *testing.T) {
 
 func TestClusterCloseLeavesNoGoroutines(t *testing.T) {
 	tc := newTestCluster(t, 5)
-	before := runtime.NumGoroutine()
+	guard := testutil.NewLeakGuard()
 	c, err := Open(tc.options(5))
 	if err != nil {
 		t.Fatalf("open: %v", err)
@@ -258,15 +258,7 @@ func TestClusterCloseLeavesNoGoroutines(t *testing.T) {
 	if err := c.Close(); err != nil && !errors.Is(err, store.ErrUnreachable) {
 		t.Fatalf("close: %v", err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
-	}
-	if now := runtime.NumGoroutine(); now > before {
-		buf := make([]byte, 1<<16)
-		t.Fatalf("goroutines leaked across Close: %d -> %d\n%s",
-			before, now, buf[:runtime.Stack(buf, true)])
-	}
+	guard.Check(t)
 	if err := c.Eng.WriteStrip(0, data); !errors.Is(err, store.ErrClosed) && !errors.Is(err, engine.ErrClosed) {
 		t.Fatalf("write after close: %v", err)
 	}

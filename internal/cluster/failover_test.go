@@ -9,7 +9,6 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -18,6 +17,7 @@ import (
 	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/store"
 	"github.com/oiraid/oiraid/internal/store/netdev"
+	"github.com/oiraid/oiraid/internal/testutil"
 )
 
 // failoverHarness is three shared storage nodes that two coordinators
@@ -298,11 +298,13 @@ func runFailoverSweep(t *testing.T, seed int64) {
 	}
 
 	// The data plane is fenced too, though what surfaces depends on what
-	// the partition left behind: a clean strip write dies on its fenced
-	// quorum journal append (ErrStaleEpoch); one whose cycle still holds
-	// an abandoned intent record parks on the conflict/replay errors
-	// (the replay itself is fenced, so the record can never clear). All
-	// are rejections — what must never happen is an ack.
+	// the partition left behind: once the deposition latches, the serving
+	// mode drops to read-only and writes die at admission (ErrReadOnly);
+	// before that, a clean strip write dies on its fenced quorum journal
+	// append (ErrStaleEpoch), and one whose cycle still holds an
+	// abandoned intent record parks on the conflict/replay errors (the
+	// replay itself is fenced, so the record can never clear). All are
+	// rejections — what must never happen is an ack.
 	staleDeadline := time.Now().Add(10 * time.Second)
 	var staleErr error
 	for time.Now().Before(staleDeadline) {
@@ -310,7 +312,7 @@ func runFailoverSweep(t *testing.T, seed int64) {
 		if staleErr == nil {
 			t.Fatalf("deposed ex-leader acked a strip write")
 		}
-		if errors.Is(staleErr, store.ErrStaleEpoch) {
+		if errors.Is(staleErr, store.ErrStaleEpoch) || errors.Is(staleErr, store.ErrReadOnly) {
 			break
 		}
 		if !errors.Is(staleErr, store.ErrIntentConflict) && !errors.Is(staleErr, store.ErrIntentReplay) &&
@@ -420,7 +422,7 @@ func TestClusterHARecoverFromQuorumAlone(t *testing.T) {
 // coordinator heartbeat.
 func TestClusterHACloseLeavesNoGoroutines(t *testing.T) {
 	h := newFailoverHarness(t)
-	before := runtime.NumGoroutine()
+	guard := testutil.NewLeakGuard()
 	opts, _ := h.coordOptions(t, "coord-a", 9)
 	opts.Format = &FormatSpec{Disks: 9, Cycles: 2, StripBytes: 512}
 	c, err := Open(opts)
@@ -438,15 +440,7 @@ func TestClusterHACloseLeavesNoGoroutines(t *testing.T) {
 	if err := c.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}
-	deadline := time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
-		time.Sleep(20 * time.Millisecond)
-	}
-	if now := runtime.NumGoroutine(); now > before {
-		buf := make([]byte, 1<<16)
-		t.Fatalf("goroutines leaked across HA close: %d -> %d\n%s",
-			before, now, buf[:runtime.Stack(buf, true)])
-	}
+	guard.Check(t)
 	// Idempotent: a second Close must not hang on the drained loop.
 	if err := c.Close(); err != nil && !errors.Is(err, engine.ErrClosed) && !errors.Is(err, store.ErrClosed) {
 		t.Fatalf("second close: %v", err)

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/oiraid/oiraid/internal/engine"
 	"github.com/oiraid/oiraid/internal/store"
 	"github.com/oiraid/oiraid/internal/store/netdev"
 )
@@ -60,12 +61,20 @@ func (c *Cluster) renewLoop() {
 			alive, higher := c.probeEpochs(epoch)
 			switch {
 			case higher:
+				// A successor holds a newer epoch: deposed for good. The
+				// read-only floor stays — fencing already rejects our
+				// writes node-side, but the floor turns each one into a
+				// clean ErrReadOnly at admission instead of a late
+				// ErrStaleEpoch mid-closure.
 				c.rep.deposed.Store(true)
+				c.Eng.ForceMode(engine.ModeReadOnly)
 				return
 			case alive >= c.rep.quorum():
 				// The world answers again and the lease still stands:
-				// nobody took over during the silence. Resume heartbeats.
+				// nobody took over during the silence. Resume heartbeats
+				// and lift the read-only floor.
 				suspended, misses = false, 0
+				c.Eng.ForceMode(engine.ModeNormal)
 			}
 			continue
 		}
@@ -87,11 +96,16 @@ func (c *Cluster) renewLoop() {
 		wg.Wait()
 		if int(stale.Load()) >= c.rep.quorum() {
 			c.rep.deposed.Store(true)
+			c.Eng.ForceMode(engine.ModeReadOnly)
 			return
 		}
 		if int(confirmed.Load()) < c.rep.quorum() {
 			if misses++; misses >= renewMissLimit {
+				// Quorum loss beyond the miss budget: demote to read-only
+				// service from whatever survives until the lease is
+				// confirmed standing (resume above lifts the floor).
 				suspended = true
+				c.Eng.ForceMode(engine.ModeReadOnly)
 			}
 		} else {
 			misses = 0

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/oiraid/oiraid/internal/layout"
+)
+
+// combinations calls f with every size-k subset of {0..n-1}. The slice
+// is reused between calls; copy it if you keep it.
+func combinations(n, k int, f func([]int)) {
+	idx := make([]int, k)
+	var walk func(start, depth int)
+	walk = func(start, depth int) {
+		if depth == k {
+			f(idx)
+			return
+		}
+		for i := start; i < n; i++ {
+			idx[depth] = i
+			walk(i+1, depth+1)
+		}
+	}
+	walk(0, 0)
+}
+
+// checkAvailabilityInvariants cross-checks one Availability result
+// against the analyzer's independent predicates: Recoverable must agree
+// with Analyzer.Recoverable, the Lost list must agree with
+// StripAvailable strip by strip, LostData must count exactly the data
+// strips in Lost, and StuckGroups must be present iff tolerance is
+// violated (each naming a group with at least two failed members, since
+// the inner stripes carry single parity).
+func checkAvailabilityInvariants(t *testing.T, a *Analyzer, pattern []int, av *Availability) {
+	t.Helper()
+	if got, want := av.Recoverable, a.Recoverable(pattern); got != want {
+		t.Fatalf("pattern %v: Availability.Recoverable=%v, Analyzer.Recoverable=%v", pattern, got, want)
+	}
+	lost := make(map[layout.Strip]bool, len(av.Lost))
+	for _, st := range av.Lost {
+		lost[st] = true
+	}
+	// Every strip of the cycle agrees with the Lost list.
+	slots := a.SlotsPerDisk()
+	for d := 0; d < a.Disks(); d++ {
+		for s := 0; s < slots; s++ {
+			st := layout.Strip{Disk: d, Slot: s}
+			if av.StripAvailable(st) == lost[st] {
+				t.Fatalf("pattern %v: strip %v StripAvailable=%v but lost[%v]=%v",
+					pattern, st, av.StripAvailable(st), st, lost[st])
+			}
+		}
+	}
+	dataSet := make(map[layout.Strip]bool)
+	for _, st := range a.Scheme().DataStrips() {
+		dataSet[st] = true
+	}
+	lostData := 0
+	for _, st := range av.Lost {
+		if dataSet[st] {
+			lostData++
+		}
+	}
+	if lostData != av.LostData {
+		t.Fatalf("pattern %v: LostData=%d, counted %d data strips in Lost", pattern, av.LostData, lostData)
+	}
+	if av.DataComplete != (lostData == 0) {
+		t.Fatalf("pattern %v: DataComplete=%v with %d lost data strips", pattern, av.DataComplete, lostData)
+	}
+	if av.Recoverable != (len(av.StuckGroups) == 0) {
+		t.Fatalf("pattern %v: Recoverable=%v but %d stuck groups", pattern, av.Recoverable, len(av.StuckGroups))
+	}
+	failedSet := make(map[int]bool, len(pattern))
+	for _, d := range pattern {
+		failedSet[d] = true
+	}
+	for _, g := range av.StuckGroups {
+		if !sort.IntsAreSorted(g) {
+			t.Fatalf("pattern %v: stuck group %v not sorted", pattern, g)
+		}
+		hit := 0
+		for _, d := range g {
+			if failedSet[d] {
+				hit++
+			}
+		}
+		if hit < 2 {
+			t.Fatalf("pattern %v: stuck group %v holds %d failed disks, want >=2 for single-parity inner stripes",
+				pattern, g, hit)
+		}
+	}
+}
+
+// TestAvailabilityAllTriplePatterns exhausts every C(9,3)=84 distinct
+// 3-failure pattern on the canonical v=9 OI-RAID layout: the paper's
+// any-3 tolerance means every one must be fully recoverable, with no
+// lost strips, full data availability, and no violating inner groups.
+func TestAvailabilityAllTriplePatterns(t *testing.T) {
+	a := oiAnalyzer(t, 9)
+	patterns := 0
+	combinations(a.Disks(), 3, func(p []int) {
+		patterns++
+		av := a.Availability(p)
+		if !av.Recoverable || !av.DataComplete || len(av.Lost) != 0 || av.LostData != 0 || len(av.StuckGroups) != 0 {
+			t.Fatalf("3-failure pattern %v not fully recoverable: %s", p, av.Describe())
+		}
+		checkAvailabilityInvariants(t, a, p, av)
+	})
+	if patterns != 84 {
+		t.Fatalf("enumerated %d 3-failure patterns, want C(9,3)=84", patterns)
+	}
+}
+
+// TestAvailabilityQuadPatterns exhausts every C(9,4)=126 4-failure
+// pattern. Beyond the guaranteed tolerance the layout splits into
+// recoverable and lossy patterns; the exact census (72 recoverable, 54
+// lossy, none parity-only) is a property of the v=9 construction and is
+// pinned here so layout changes surface as an explicit diff. Every
+// pattern must satisfy the per-strip availability invariants either way.
+func TestAvailabilityQuadPatterns(t *testing.T) {
+	a := oiAnalyzer(t, 9)
+	recoverable, lossy, parityOnly, patterns := 0, 0, 0, 0
+	combinations(a.Disks(), 4, func(p []int) {
+		patterns++
+		av := a.Availability(p)
+		checkAvailabilityInvariants(t, a, p, av)
+		switch {
+		case av.Recoverable:
+			recoverable++
+		case av.DataComplete:
+			parityOnly++
+		default:
+			lossy++
+			// A lossy pattern must still leave the untouched strips
+			// readable — partial serving depends on it.
+			if len(av.Lost) == a.Disks()*a.SlotsPerDisk() {
+				t.Fatalf("pattern %v lost every strip", p)
+			}
+		}
+	})
+	if patterns != 126 {
+		t.Fatalf("enumerated %d 4-failure patterns, want C(9,4)=126", patterns)
+	}
+	if recoverable != 72 || lossy != 54 || parityOnly != 0 {
+		t.Fatalf("4-failure census: %d recoverable, %d lossy, %d parity-only; want 72/54/0",
+			recoverable, lossy, parityOnly)
+	}
+}
+
+// TestAvailabilityDescribeNamesPattern pins the operator-facing text: a
+// beyond-tolerance description must name every failed disk and at least
+// one violating inner group.
+func TestAvailabilityDescribeNamesPattern(t *testing.T) {
+	a := oiAnalyzer(t, 9)
+	av := a.Availability([]int{0, 1, 3, 4})
+	if av.Recoverable {
+		t.Fatal("pattern [0 1 3 4] unexpectedly recoverable")
+	}
+	desc := av.Describe()
+	if !strings.Contains(desc, "[0 1 3 4]") {
+		t.Fatalf("description does not name the failed disks: %q", desc)
+	}
+	if !strings.Contains(desc, "violating inner groups") {
+		t.Fatalf("description does not name the violating groups: %q", desc)
+	}
+	if len(av.StuckGroups) == 0 {
+		t.Fatal("no stuck groups for a beyond-tolerance pattern")
+	}
+}

@@ -95,6 +95,15 @@ type Engine struct {
 	mode        sync.RWMutex
 	failedDisks atomic.Int64
 
+	// Degradation plane: servingMode is the current Mode (atomic so the
+	// advisory pre-admission fence reads it lock-free; transitions happen
+	// under e.mode exclusive). downDisks marks paths the cluster reports
+	// unreachable — distinct from failed — and is guarded by e.mode.
+	// forcedFloor is the cluster-forced lower bound (quorum loss).
+	servingMode atomic.Int32
+	downDisks   []bool
+	forcedFloor atomic.Int32
+
 	// submitMu is held shared while enqueueing pool tasks and exclusive
 	// by Close, so the task channel is never closed under a sender.
 	submitMu sync.RWMutex
@@ -176,6 +185,13 @@ func New(arr *store.Array, opts Options) (*Engine, error) {
 	}
 	e.buildLockSets()
 	e.failedDisks.Store(int64(len(arr.FailedDisks())))
+	e.downDisks = make([]bool, an.Disks())
+	// Derive the initial serving mode from the mounted failure pattern:
+	// an array mounted beyond tolerance under a read-only/partial policy
+	// starts fenced, matching the store layer's mount-time fence.
+	e.mode.Lock()
+	e.recomputeModeLocked()
+	e.mode.Unlock()
 	var qcfg QoSConfig
 	if opts.QoS != nil {
 		qcfg = *opts.QoS
@@ -333,6 +349,13 @@ func (e *Engine) WriteStripCtx(ctx context.Context, addr int64, p []byte) error 
 	if len(p) != e.stripBytes {
 		return fmt.Errorf("%w: got %d, strip is %d", store.ErrShortBuffer, len(p), e.stripBytes)
 	}
+	// Advisory fence before admission: a fenced write must not consume an
+	// admission slot that a read could use. The authoritative check runs
+	// again under the mode lock inside stripOp.
+	if m := e.Mode(); !m.Writable() {
+		e.stats.writesFenced.Add(1)
+		return fmt.Errorf("%w: serving mode %q", store.ErrReadOnly, m)
+	}
 	release, err := e.qos.admit(ctx)
 	if err != nil {
 		return err
@@ -383,9 +406,22 @@ func (e *Engine) stripOp(addr int64, write bool, fn func() error) error {
 		e.mode.Lock()
 		e.stats.lockWaitNs.Add(nowNano() - t)
 		defer e.mode.Unlock()
+		if m := Mode(e.servingMode.Load()); !m.Writable() {
+			e.stats.writesFenced.Add(1)
+			return fmt.Errorf("%w: serving mode %q", store.ErrReadOnly, m)
+		}
 		return fn()
 	}
 	defer e.mode.RUnlock()
+	// Authoritative write fence: the mode cannot change while this shared
+	// hold lasts, so a write admitted here runs wholly within a writable
+	// mode.
+	if write {
+		if m := Mode(e.servingMode.Load()); !m.Writable() {
+			e.stats.writesFenced.Add(1)
+			return fmt.Errorf("%w: serving mode %q", store.ErrReadOnly, m)
+		}
+	}
 	cycle := addr / int64(e.perCycle)
 	pos := int(addr % int64(e.perCycle))
 	set := e.readSets[pos]
@@ -483,6 +519,14 @@ func (e *Engine) rangeOp(ctx context.Context, p []byte, off int64, write bool) (
 	if off+int64(len(p)) > capacity {
 		return 0, fmt.Errorf("%w: range [%d, %d) beyond capacity %d",
 			store.ErrStripOutOfRange, off, off+int64(len(p)), capacity)
+	}
+	// Advisory fence before admission (see WriteStripCtx); re-checked
+	// authoritatively per strip under the mode lock.
+	if write {
+		if m := e.Mode(); !m.Writable() {
+			e.stats.writesFenced.Add(1)
+			return 0, fmt.Errorf("%w: serving mode %q", store.ErrReadOnly, m)
+		}
 	}
 	// The whole range is one admitted unit: a range op that passed
 	// admission must not be shed halfway through its strips.
@@ -587,6 +631,7 @@ func (e *Engine) FailDisk(d int) error {
 		return err
 	}
 	e.failedDisks.Store(int64(len(e.arr.FailedDisks())))
+	e.recomputeModeLocked()
 	return nil
 }
 
@@ -643,6 +688,12 @@ func (e *Engine) attachReplacements() error {
 		if err := e.arr.ReplaceDisk(d, e.wrapDevice(d, dev)); err != nil {
 			return err
 		}
+		// The slot now holds a fresh device: a stale down-mark from the old
+		// disk's path must not pin the mode degraded after the rebuild.
+		e.mode.Lock()
+		e.downDisks[d] = false
+		e.recomputeModeLocked()
+		e.mode.Unlock()
 	}
 	return nil
 }
@@ -690,6 +741,7 @@ func (e *Engine) rebuildLoop(batch int64, done chan struct{}) {
 	// new one.
 	e.mode.Lock()
 	e.failedDisks.Store(int64(len(e.arr.FailedDisks())))
+	e.recomputeModeLocked()
 	e.mode.Unlock()
 	e.rebuildMu.Lock()
 	e.rebuildErr = err
@@ -728,7 +780,14 @@ type Status struct {
 	Strips     int64         `json:"strips"`
 	Capacity   int64         `json:"capacity"`
 	Failed     []int         `json:"failed,omitempty"`
-	Rebuilding bool          `json:"rebuilding"`
+	// Mode is the serving mode ("normal", "degraded-rw", "read-only",
+	// "partial-read"); Down lists disks whose paths are marked down
+	// (unreachable but not failed); WritesFenced counts writes refused
+	// with store.ErrReadOnly while the mode was not writable.
+	Mode         string `json:"mode"`
+	Down         []int  `json:"down,omitempty"`
+	WritesFenced int64  `json:"writes_fenced,omitempty"`
+	Rebuilding   bool   `json:"rebuilding"`
 	Rebuilt    int64         `json:"rebuilt_cycles"`
 	Cycles     int64         `json:"total_cycles"`
 	Exposure   core.Exposure `json:"exposure"`
@@ -779,6 +838,9 @@ func (e *Engine) Status() Status {
 		Strips:           e.strips,
 		Capacity:         e.arr.Capacity(),
 		Failed:           failed,
+		Mode:             e.Mode().String(),
+		Down:             e.DownDisks(),
+		WritesFenced:     e.stats.writesFenced.Load(),
 		Rebuilding:       e.Rebuilding(),
 		Rebuilt:          rebuilt,
 		Cycles:           cycles,

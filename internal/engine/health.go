@@ -520,6 +520,13 @@ func (e *Engine) heal(d int) {
 	if err := e.FailDisk(d); err != nil {
 		return // engine closing
 	}
+	// Beyond tolerance a rebuild cannot complete: FailDisk already demoted
+	// the serving mode, so leave the array fenced rather than burning
+	// rebuild attempts that are guaranteed to fail. A later SetDiskDown
+	// promotion or replacement re-kicks the rebuild.
+	if failed := e.arr.FailedDisks(); !e.an.Availability(failed).Recoverable {
+		return
+	}
 	for attempt := 0; attempt < 5 && !e.closed.Load(); attempt++ {
 		err := e.StartRebuild(e.mon.pol.RebuildBatch)
 		if err == nil {

@@ -24,6 +24,9 @@ type counters struct {
 	hedgeWon    atomic.Int64
 	hedgeWasted atomic.Int64
 	hedgeShed   atomic.Int64
+
+	writesFenced atomic.Int64
+	modeChanges  atomic.Int64
 }
 
 // Stats is a snapshot of the engine's counters, merged with the wrapped
@@ -87,6 +90,11 @@ type Stats struct {
 	HedgeWon    int64
 	HedgeWasted int64
 	HedgeShed   int64
+	// WritesFenced counts writes refused with store.ErrReadOnly while the
+	// serving mode was read-only or partial-read; ModeChanges counts
+	// serving-mode transitions since the engine started.
+	WritesFenced int64
+	ModeChanges  int64
 	// QuarantinedReads counts reads the array served by reconstructing
 	// around a quarantined (read-avoided) disk.
 	QuarantinedReads int64
@@ -140,6 +148,8 @@ func (e *Engine) Stats() Stats {
 		HedgeWon:              e.stats.hedgeWon.Load(),
 		HedgeWasted:           e.stats.hedgeWasted.Load(),
 		HedgeShed:             e.stats.hedgeShed.Load(),
+		WritesFenced:          e.stats.writesFenced.Load(),
+		ModeChanges:           e.stats.modeChanges.Load(),
 		QuarantinedReads:      io.AvoidedReads,
 		Quarantines:           e.mon.quarantines.Load(),
 		QuarantineReleases:    e.mon.releases.Load(),

@@ -2,12 +2,12 @@ package engine
 
 import (
 	"bytes"
-	"runtime"
 	"sort"
 	"testing"
 	"time"
 
 	"github.com/oiraid/oiraid/internal/store"
+	"github.com/oiraid/oiraid/internal/testutil"
 )
 
 // victimAddrs returns up to max data-strip addresses whose primary copy
@@ -66,7 +66,9 @@ func TestHedgedReadTailLatency(t *testing.T) {
 			}
 		}
 	}
-	baseline := runtime.NumGoroutine()
+	guard := testutil.NewLeakGuard()
+	guard.Slack = 2 // runtime timer goroutines the hedge path may spin up
+	guard.Deadline = 10 * time.Second
 	plainFaults[victim].SetSlow(1.0, slowBy)
 	hedgedFaults[victim].SetSlow(1.0, slowBy)
 
@@ -89,13 +91,7 @@ func TestHedgedReadTailLatency(t *testing.T) {
 
 	// Hedged reads return before their slow loser drains; every loser and
 	// its reaper must still exit promptly once the device answers.
-	deadline := time.Now().Add(10 * time.Second)
-	for runtime.NumGoroutine() > baseline+2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d > baseline %d", runtime.NumGoroutine(), baseline)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	guard.Check(t)
 }
 
 // TestQuarantineRecoverCycle: a browning-out disk is quarantined

@@ -214,6 +214,8 @@ func remoteError(status int, body string) error {
 		sentinel = store.ErrStripOutOfRange
 	case http.StatusConflict:
 		sentinel = engine.ErrRebuildRunning
+	case http.StatusGone:
+		sentinel = store.ErrStripUnavailable
 	case http.StatusServiceUnavailable:
 		sentinel = store.ErrDiskFaulty
 	case http.StatusTooManyRequests:
@@ -226,6 +228,10 @@ func remoteError(status int, body string) error {
 	for _, s := range []error{
 		store.ErrStripOutOfRange, store.ErrNoSuchDisk, store.ErrShortBuffer,
 		store.ErrNegativeOffset, store.ErrBadGeometry, store.ErrNotFailed,
+		// ErrStripUnavailable wraps ErrTooManyFailures, so its (longer)
+		// message is matched first; ErrReadOnly rides a retryable 503 so
+		// fenced writers keep retrying until the mode promotes.
+		store.ErrStripUnavailable, store.ErrReadOnly,
 		store.ErrNoReplacement, store.ErrTooManyFailures, store.ErrDiskFaulty,
 		store.ErrUnreachable, store.ErrTransient, store.ErrPermanent, store.ErrOverloaded,
 		engine.ErrRebuildRunning, engine.ErrClosed,

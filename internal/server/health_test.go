@@ -142,7 +142,7 @@ func TestHealthAndSparesHTTP(t *testing.T) {
 // reconstitutes ErrTransient from the body.
 func TestTransientMapsTo503(t *testing.T) {
 	rec := httptest.NewRecorder()
-	fail(rec, fmt.Errorf("wrapped: %w", store.ErrTransient))
+	new(Server).fail(rec, fmt.Errorf("wrapped: %w", store.ErrTransient))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503", rec.Code)
 	}

@@ -56,7 +56,7 @@ func (s *Server) nodeSpec(r *http.Request) (cluster.NodeSpec, error) {
 // failMembership maps membership errors: a bad or duplicate node spec
 // is the caller's fault (400/409), everything else goes through the
 // standard taxonomy.
-func failMembership(w http.ResponseWriter, err error) {
+func (s *Server) failMembership(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, store.ErrStaleEpoch):
 		// This coordinator was deposed mid-operation; the successor
@@ -68,7 +68,7 @@ func failMembership(w http.ResponseWriter, err error) {
 		strings.Contains(err.Error(), "needs an id"):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:
-		fail(w, err)
+		s.fail(w, err)
 	}
 }
 
@@ -80,7 +80,7 @@ func (s *Server) nodeAdd(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.opts.Membership.AddNode(spec)
 	if err != nil {
-		failMembership(w, err)
+		s.failMembership(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -90,7 +90,7 @@ func (s *Server) nodeAdd(w http.ResponseWriter, r *http.Request) {
 func (s *Server) nodeDrain(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.opts.Membership.DrainNode(r.PathValue("id"))
 	if err != nil {
-		failMembership(w, err)
+		s.failMembership(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -105,7 +105,7 @@ func (s *Server) nodeRejoin(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.opts.Membership.RejoinNode(spec)
 	if err != nil {
-		failMembership(w, err)
+		s.failMembership(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -84,7 +84,7 @@ func (s *Server) createBucket(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.opCtx(r)
 	defer cancel()
 	if err := s.opts.Objects.CreateBucket(ctx, r.PathValue("bucket")); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -94,7 +94,7 @@ func (s *Server) deleteBucket(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.opCtx(r)
 	defer cancel()
 	if err := s.opts.Objects.DeleteBucket(ctx, r.PathValue("bucket")); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -106,7 +106,7 @@ func (s *Server) listObjects(w http.ResponseWriter, r *http.Request) {
 	if m := q.Get("max"); m != "" {
 		n, err := strconv.Atoi(m)
 		if err != nil || n < 0 {
-			fail(w, fmt.Errorf("%w: max %q", object.ErrBadName, m))
+			s.fail(w, fmt.Errorf("%w: max %q", object.ErrBadName, m))
 			return
 		}
 		max = n
@@ -115,7 +115,7 @@ func (s *Server) listObjects(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	page, err := s.opts.Objects.ListObjects(ctx, r.PathValue("bucket"), q.Get("prefix"), q.Get("after"), max)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeJSON(w, page)
@@ -137,12 +137,12 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
 	if id := q.Get("uploadId"); id != "" {
 		part, err := strconv.Atoi(q.Get("part"))
 		if err != nil {
-			fail(w, fmt.Errorf("%w: part %q", object.ErrBadUpload, q.Get("part")))
+			s.fail(w, fmt.Errorf("%w: part %q", object.ErrBadUpload, q.Get("part")))
 			return
 		}
 		info, err := s.opts.Objects.UploadPart(ctx, bucket, key, id, part, r.Body, r.ContentLength)
 		if err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		w.Header().Set("ETag", `"`+info.ETag+`"`)
@@ -151,7 +151,7 @@ func (s *Server) putObject(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := s.opts.Objects.PutObject(ctx, bucket, key, r.Body, r.ContentLength, userMetaFromHeader(r.Header))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeInfoHeaders(w, info)
@@ -176,7 +176,7 @@ func (s *Server) getObject(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	info, err := s.opts.Objects.StatObject(ctx, bucket, key)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, info.ETag) {
@@ -203,7 +203,7 @@ func (s *Server) headObject(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	info, err := s.opts.Objects.StatObject(ctx, r.PathValue("bucket"), r.PathValue("key"))
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	writeInfoHeaders(w, info)
@@ -217,14 +217,14 @@ func (s *Server) deleteObject(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	if id := r.URL.Query().Get("uploadId"); id != "" {
 		if err := s.opts.Objects.AbortUpload(ctx, bucket, key, id); err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	if err := s.opts.Objects.DeleteObject(ctx, bucket, key); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -240,7 +240,7 @@ func (s *Server) postObject(w http.ResponseWriter, r *http.Request) {
 	if q.Has("uploads") {
 		id, err := s.opts.Objects.CreateUpload(ctx, bucket, key, userMetaFromHeader(r.Header))
 		if err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		writeJSON(w, map[string]string{"upload_id": id})
@@ -249,12 +249,12 @@ func (s *Server) postObject(w http.ResponseWriter, r *http.Request) {
 	if id := q.Get("uploadId"); id != "" {
 		info, err := s.opts.Objects.CompleteUpload(ctx, bucket, key, id)
 		if err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		writeInfoHeaders(w, info)
 		writeJSON(w, info)
 		return
 	}
-	fail(w, fmt.Errorf("%w: POST needs ?uploads or ?uploadId", object.ErrBadUpload))
+	s.fail(w, fmt.Errorf("%w: POST needs ?uploads or ?uploadId", object.ErrBadUpload))
 }

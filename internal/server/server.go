@@ -201,6 +201,16 @@ func httpStatus(err error) int {
 		return http.StatusConflict
 	case errors.Is(err, object.ErrNoSpace):
 		return http.StatusInsufficientStorage
+	case errors.Is(err, store.ErrStripUnavailable):
+		// Checked before ErrTooManyFailures, which it wraps: the strip is
+		// undecodable under the current failure pattern — gone until a
+		// heal restores disks, not worth retrying against this epoch.
+		return http.StatusGone
+	case errors.Is(err, store.ErrReadOnly):
+		// The array is fenced (read-only or partial-read mode); a retry
+		// succeeds once the mode promotes, so 503 + Retry-After. fail()
+		// adds X-Oiraid-Mode so callers can tell the fence from a fault.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, store.ErrTooManyFailures):
 		return http.StatusInternalServerError // data loss: nothing a retry can do
 	case errors.Is(err, store.ErrDiskFaulty), errors.Is(err, engine.ErrClosed),
@@ -213,8 +223,11 @@ func httpStatus(err error) int {
 	}
 }
 
-func fail(w http.ResponseWriter, err error) {
+func (s *Server) fail(w http.ResponseWriter, err error) {
 	status := httpStatus(err)
+	if errors.Is(err, store.ErrReadOnly) {
+		w.Header().Set("X-Oiraid-Mode", s.eng.Mode().String())
+	}
 	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
@@ -242,7 +255,7 @@ func (s *Server) stripAddr(r *http.Request) (int64, error) {
 func (s *Server) putStrip(w http.ResponseWriter, r *http.Request) {
 	addr, err := s.stripAddr(r)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, int64(s.eng.StripBytes())+1))
@@ -253,7 +266,7 @@ func (s *Server) putStrip(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.opCtx(r)
 	defer cancel()
 	if err := s.eng.WriteStripCtx(ctx, addr, body); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -262,14 +275,14 @@ func (s *Server) putStrip(w http.ResponseWriter, r *http.Request) {
 func (s *Server) getStrip(w http.ResponseWriter, r *http.Request) {
 	addr, err := s.stripAddr(r)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	ctx, cancel := s.opCtx(r)
 	defer cancel()
 	p, err := s.eng.ReadStripCtx(ctx, addr)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -279,11 +292,11 @@ func (s *Server) getStrip(w http.ResponseWriter, r *http.Request) {
 func (s *Server) failDisk(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		fail(w, fmt.Errorf("%w: bad disk id %q", store.ErrNoSuchDisk, r.PathValue("id")))
+		s.fail(w, fmt.Errorf("%w: bad disk id %q", store.ErrNoSuchDisk, r.PathValue("id")))
 		return
 	}
 	if err := s.eng.FailDisk(id); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -300,11 +313,11 @@ func (s *Server) diskID(r *http.Request) (int, error) {
 func (s *Server) quarantineDisk(w http.ResponseWriter, r *http.Request) {
 	id, err := s.diskID(r)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	if err := s.eng.QuarantineDisk(id); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -313,11 +326,11 @@ func (s *Server) quarantineDisk(w http.ResponseWriter, r *http.Request) {
 func (s *Server) releaseDisk(w http.ResponseWriter, r *http.Request) {
 	id, err := s.diskID(r)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	if err := s.eng.ReleaseDisk(id); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -325,12 +338,12 @@ func (s *Server) releaseDisk(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) rebuild(w http.ResponseWriter, r *http.Request) {
 	if err := s.eng.StartRebuild(s.opts.RebuildBatch); err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	if r.URL.Query().Get("wait") != "" {
 		if err := s.eng.RebuildWait(); err != nil {
-			fail(w, err)
+			s.fail(w, err)
 			return
 		}
 		w.WriteHeader(http.StatusOK)
@@ -342,7 +355,7 @@ func (s *Server) rebuild(w http.ResponseWriter, r *http.Request) {
 func (s *Server) scrub(w http.ResponseWriter, r *http.Request) {
 	bad, err := s.eng.ScrubPass(r.Context())
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -353,7 +366,7 @@ func (s *Server) fsck(w http.ResponseWriter, r *http.Request) {
 	repair := r.URL.Query().Get("repair") != ""
 	rep, err := s.eng.Fsck(r.Context(), repair)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -373,7 +386,7 @@ func (s *Server) qosSet(w http.ResponseWriter, r *http.Request) {
 	}
 	st, err := s.eng.SetQoS(u)
 	if err != nil {
-		fail(w, err)
+		s.fail(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -442,6 +455,9 @@ func (s *Server) metrics(w http.ResponseWriter, r *http.Request) {
 		{"oiraid_engine_quarantines_total", st.Quarantines},
 		{"oiraid_engine_quarantine_releases_total", st.QuarantineReleases},
 		{"oiraid_engine_quarantine_escalations_total", st.QuarantineEscalations},
+		{"oiraid_engine_writes_fenced_total", st.WritesFenced},
+		{"oiraid_engine_mode_changes_total", st.ModeChanges},
+		{"oiraid_engine_mode", int64(s.eng.Mode())},
 		{"oiraid_server_panics_total", s.panics.Load()},
 	} {
 		fmt.Fprintf(w, "%s %d\n", c.name, c.v)

@@ -123,6 +123,13 @@ type Array struct {
 	// mu, read under at least the read lock.
 	readAvoid []bool
 
+	// readOnly fences the write path: every WriteAt/ConcurrentWriteAt
+	// fails with ErrReadOnly while set. Mount sets it when serving a
+	// beyond-tolerance pattern under a non-refuse DegradedPolicy; the
+	// engine's serving-mode machine toggles it on demotion/promotion.
+	// Written under mu, read under at least the read lock.
+	readOnly bool
+
 	stats ioCounters
 }
 
@@ -324,6 +331,42 @@ func (a *Array) SetReadAvoid(d int, avoid bool) error {
 	return nil
 }
 
+// SetReadOnly fences (or unfences) the array's write path: while set,
+// WriteAt and ConcurrentWriteAt fail with ErrReadOnly. Reads, rebuild,
+// and structural transitions are unaffected — the flag is the data-plane
+// half of degraded read-only serving.
+func (a *Array) SetReadOnly(ro bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.readOnly = ro
+}
+
+// ReadOnly reports whether the write path is fenced.
+func (a *Array) ReadOnly() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.readOnly
+}
+
+// Availability classifies every strip under the union of the committed
+// failed set and the extra unavailable disks (down paths, quarantined
+// nodes) — the per-strip map the degraded serving plane consults.
+func (a *Array) Availability(extraDown []int) *core.Availability {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	u := a.failedListLocked()
+	u = append(u, extraDown...)
+	return a.an.Availability(u)
+}
+
+// LocateDataStrip maps a logical data-strip index to its per-cycle
+// layout position and cycle — the coordinates the availability map
+// classifies.
+func (a *Array) LocateDataStrip(dataIdx int64) (layout.Strip, int64) {
+	perCycle := int64(len(a.sch.DataStrips()))
+	return a.sch.DataStrips()[dataIdx%perCycle], dataIdx / perCycle
+}
+
 // ReadAvoided returns the currently read-avoided disk ids.
 func (a *Array) ReadAvoided() []int {
 	a.mu.RLock()
@@ -362,6 +405,15 @@ func (a *Array) readStrip(d int, devStrip int64, p []byte) error {
 		return nil
 	}
 	if !errors.Is(err, ErrCorrupt) {
+		// The disk is dark (unreachable path, injected fault) rather than
+		// corrupt. The failed read has already been observed by the health
+		// instrumentation, so availability is the only question left:
+		// serve the strip from survivors when the layout still decodes it
+		// — single-stripe decode first, full multi-phase peeling (avoiding
+		// quarantined peers, usually dark for the same reason) after.
+		if rerr := a.reconstructStrip(d, devStrip, p); rerr == nil {
+			return nil
+		}
 		return err
 	}
 	a.stats.corruptStrips.Add(1)
@@ -394,6 +446,19 @@ func (a *Array) reconstructStripDepth(d int, devStrip int64, p []byte, depth int
 	cycle, slot := devStrip/slots, int(devStrip%slots)
 	target := layout.Strip{Disk: d, Slot: slot}
 	alive := func(disk int) bool { return a.stripAlive(disk, cycle) }
+	if a.readAvoid != nil {
+		// Prefer decode paths that also skirt read-avoided disks — a
+		// quarantined-slow disk costs latency, an unreachable node costs
+		// the whole read. Any strict-path failure falls through to the
+		// plain predicates so slow-but-alive disks stay usable.
+		strict := func(disk int) bool { return a.stripAlive(disk, cycle) && !a.avoided(disk) }
+		if err := a.decodeVia(target, cycle, strict, p, depth); err == nil {
+			return nil
+		}
+		if err := a.reconstructDeepFrom(cycle, target, p, true); err == nil {
+			return nil
+		}
+	}
 	err := a.decodeVia(target, cycle, alive, p, depth)
 	if errors.Is(err, errNoDecodePath) {
 		return a.reconstructDeep(cycle, target, p)
@@ -512,15 +577,28 @@ func (a *Array) ProbeDiskStrip(d int, devStrip int64, p []byte) error {
 // slow path for failure patterns where no single live stripe covers the
 // strip — e.g. reading a group that lost two disks before any rebuild.
 func (a *Array) reconstructDeep(cycle int64, target layout.Strip, p []byte) error {
+	return a.reconstructDeepFrom(cycle, target, p, false)
+}
+
+// reconstructDeepFrom is reconstructDeep with an optional stricter
+// source predicate: with avoidQuarantined set, read-avoided disks are
+// planned around as if failed, so a partition-downed node never stalls
+// the read of a strip that is decodable without it. An incomplete plan
+// no longer aborts the read — the peeling decoder still produces every
+// recoverable strip, and only a target it cannot produce fails, with
+// ErrStripUnavailable (the per-strip refinement of ErrTooManyFailures).
+func (a *Array) reconstructDeepFrom(cycle int64, target layout.Strip, p []byte, avoidQuarantined bool) error {
 	var failed []int
-	for d, f := range a.failed {
-		if f {
+	for d := range a.devs {
+		if a.failed[d] || (avoidQuarantined && a.avoided(d)) {
 			failed = append(failed, d)
 		}
 	}
 	plan := a.an.Plan(failed, core.PlanOptions{})
-	if !plan.Complete {
-		return fmt.Errorf("%w: strip %v has no reconstruction path", ErrDataLoss, target)
+	for _, st := range plan.Unrecovered {
+		if st == target {
+			return fmt.Errorf("%w: strip %v under failed disks %v", ErrStripUnavailable, target, failed)
+		}
 	}
 	slots := int64(a.an.SlotsPerDisk())
 	recovered := make(map[layout.Strip][]byte)
@@ -569,7 +647,7 @@ func (a *Array) reconstructDeep(cycle int64, target layout.Strip, p []byte) erro
 			return nil
 		}
 	}
-	return fmt.Errorf("%w: strip %v not produced by recovery plan", ErrDataLoss, target)
+	return fmt.Errorf("%w: strip %v not produced by recovery plan", ErrStripUnavailable, target)
 }
 
 // ReadAt implements io.ReaderAt over the logical data space, serving
@@ -629,6 +707,9 @@ func (a *Array) ConcurrentWriteAt(p []byte, off int64) (int, error) {
 }
 
 func (a *Array) writeAtLocked(p []byte, off int64) (int, error) {
+	if a.readOnly {
+		return 0, fmt.Errorf("%w: write of %d bytes at %d", ErrReadOnly, len(p), off)
+	}
 	if off < 0 {
 		return 0, fmt.Errorf("%w: %d", ErrNegativeOffset, off)
 	}

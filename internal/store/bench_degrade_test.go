@@ -1,0 +1,106 @@
+package store
+
+import (
+	"sort"
+	"testing"
+	"time"
+)
+
+// reportReadLatency attaches p50/p99 per-op latency to the benchmark
+// result alongside the ns/op mean, so BENCH_degrade.json captures the
+// tail cost of reconstruction, not just the throughput mean.
+func reportReadLatency(b *testing.B, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	b.ReportMetric(p(0.50), "p50-ms")
+	b.ReportMetric(p(0.99), "p99-ms")
+}
+
+// benchDegradeArray builds a filled v=9 array and fails the given disks.
+func benchDegradeArray(b *testing.B, failed []int) *Array {
+	b.Helper()
+	arr := newOIArray(b, 9)
+	buf := make([]byte, testStrip)
+	for s := int64(0); s*testStrip < arr.Capacity(); s++ {
+		if _, err := arr.WriteAt(buf, s*testStrip); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, d := range failed {
+		if err := arr.FailDisk(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return arr
+}
+
+// benchReadStrips drives sequential reads over the given strip indices
+// and reports MB/s plus p50/p99 latency.
+func benchReadStrips(b *testing.B, arr *Array, strips []int64) {
+	if len(strips) == 0 {
+		b.Fatal("no strips to read")
+	}
+	buf := make([]byte, testStrip)
+	lats := make([]time.Duration, 0, b.N)
+	b.SetBytes(testStrip)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := strips[i%len(strips)]
+		t0 := time.Now()
+		if _, err := arr.ReadAt(buf, s*testStrip); err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(t0))
+	}
+	b.StopTimer()
+	reportReadLatency(b, lats)
+}
+
+// allStrips lists every data strip index of the array.
+func allStrips(arr *Array) []int64 {
+	n := arr.Capacity() / int64(arr.StripBytes())
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i)
+	}
+	return out
+}
+
+// BenchmarkDegradeHealthyRead is the baseline: direct reads, no
+// failures, the number partial-mode service is compared against.
+func BenchmarkDegradeHealthyRead(b *testing.B) {
+	arr := benchDegradeArray(b, nil)
+	benchReadStrips(b, arr, allStrips(arr))
+}
+
+// BenchmarkDegradeRecoverableRead reads with three failed disks — the
+// paper's guaranteed-tolerance worst case, every strip still decodable.
+func BenchmarkDegradeRecoverableRead(b *testing.B) {
+	arr := benchDegradeArray(b, []int{0, 3, 6})
+	benchReadStrips(b, arr, allStrips(arr))
+}
+
+// BenchmarkDegradePartialRead reads only the decodable subset under a
+// beyond-tolerance lossy 4-failure pattern — the throughput an array in
+// partial-read mode can still deliver from survivors.
+func BenchmarkDegradePartialRead(b *testing.B) {
+	arr := benchDegradeArray(b, lossyPattern)
+	av := arr.Availability(nil)
+	if av.Recoverable {
+		b.Fatalf("pattern %v unexpectedly recoverable", lossyPattern)
+	}
+	var strips []int64
+	for _, s := range allStrips(arr) {
+		if st, _ := arr.LocateDataStrip(s); av.StripAvailable(st) {
+			strips = append(strips, s)
+		}
+	}
+	b.ReportMetric(float64(len(strips))/float64(len(allStrips(arr))), "avail-frac")
+	benchReadStrips(b, arr, strips)
+}

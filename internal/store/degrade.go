@@ -1,0 +1,52 @@
+package store
+
+import "fmt"
+
+// DegradedPolicy decides what MountArray does when the committed failure
+// pattern is beyond the layout's tolerance. It is format-time state,
+// persisted in the superblock (one byte, zero-valued in pre-degradation
+// images so old arrays keep the historic refuse behaviour), and can be
+// overridden per mount.
+type DegradedPolicy uint8
+
+const (
+	// DegradedRefuse is the historic behaviour: a beyond-tolerance
+	// pattern fails the mount with ErrTooManyFailures.
+	DegradedRefuse DegradedPolicy = iota
+	// DegradedReadOnly mounts beyond tolerance only when every data
+	// strip is still decodable (losses confined to parity) and serves
+	// the full address space read-only; otherwise the mount refuses.
+	DegradedReadOnly
+	// DegradedPartial mounts any pattern read-only and serves the
+	// decodable subset; reads of undecodable strips return
+	// ErrStripUnavailable.
+	DegradedPartial
+)
+
+// String renders the policy the way flags and manifests spell it.
+func (p DegradedPolicy) String() string {
+	switch p {
+	case DegradedRefuse:
+		return "refuse"
+	case DegradedReadOnly:
+		return "read-only"
+	case DegradedPartial:
+		return "partial"
+	default:
+		return fmt.Sprintf("degraded-policy(%d)", uint8(p))
+	}
+}
+
+// ParseDegradedPolicy parses the flag/manifest spelling of a policy.
+func ParseDegradedPolicy(s string) (DegradedPolicy, error) {
+	switch s {
+	case "", "refuse":
+		return DegradedRefuse, nil
+	case "read-only", "readonly", "ro":
+		return DegradedReadOnly, nil
+	case "partial", "partial-read":
+		return DegradedPartial, nil
+	default:
+		return DegradedRefuse, fmt.Errorf("store: unknown degraded policy %q (want refuse|read-only|partial)", s)
+	}
+}

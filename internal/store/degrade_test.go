@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// lossyPattern is a beyond-tolerance 4-failure pattern on the v=9
+// layout with undecodable data strips (see the quad-pattern census in
+// core: 54 of the 126 4-failure patterns are lossy; this is one).
+var lossyPattern = []int{0, 1, 3, 4}
+
+// degradeRig formats a v=9 array, writes a distinct pattern into every
+// data strip, seals, and then wipes the superblocks of the failed set —
+// the powered-off shape of a beyond-tolerance failure.
+func degradeRig(t *testing.T, failed []int) (*mountRig, [][]byte) {
+	t.Helper()
+	r := newMountRig(t, 9, 2)
+	m := r.format(t)
+	strips := m.Array.Capacity() / int64(m.Array.StripBytes())
+	want := make([][]byte, strips)
+	for s := int64(0); s < strips; s++ {
+		p := make([]byte, testStrip)
+		for i := range p {
+			p[i] = byte(int64(i)*7 + s + 1)
+		}
+		if _, err := m.Array.WriteAt(p, s*int64(testStrip)); err != nil {
+			t.Fatalf("seed write %d: %v", s, err)
+		}
+		want[s] = p
+	}
+	if err := m.Array.SealMeta(); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range failed {
+		if err := r.sbs[d].Truncate(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, want
+}
+
+// TestMountRefuseNamesPattern: the default policy still refuses a
+// beyond-tolerance mount, and the error names the failed disks, the
+// violating inner groups, and the policy that refused.
+func TestMountRefuseNamesPattern(t *testing.T) {
+	r, _ := degradeRig(t, lossyPattern)
+	_, err := MountArray(oiAnalyzer(t, r.v), r.devices(), r.sbs, r.j0, r.j1)
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err %v, want ErrTooManyFailures", err)
+	}
+	for _, frag := range []string{"[0 1 3 4]", "violating inner groups", `"refuse"`} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("refusal %q does not mention %q", err, frag)
+		}
+	}
+}
+
+// TestMountReadOnlyPolicyNeedsDataComplete: the read-only policy only
+// serves when every data strip is decodable. No failure pattern of the
+// v=9 layout loses parity alone (data and parity interleave in every
+// inner group), so a lossy pattern must refuse — and point the operator
+// at the partial policy that would serve the readable subset.
+func TestMountReadOnlyPolicyNeedsDataComplete(t *testing.T) {
+	r, _ := degradeRig(t, lossyPattern)
+	_, err := MountArray(oiAnalyzer(t, r.v), r.devices(), r.sbs, r.j0, r.j1,
+		WithMountDegradedPolicy(DegradedReadOnly))
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err %v, want ErrTooManyFailures", err)
+	}
+	if !strings.Contains(err.Error(), `"partial"`) {
+		t.Fatalf("read-only refusal %q does not point at the partial policy", err)
+	}
+}
+
+// TestMountPartialServesDecodableSubset is the per-strip oracle: under
+// the partial policy a lossy mount comes up write-fenced, every
+// decodable data strip reads back bit-exact, and every undecodable one
+// returns ErrStripUnavailable — never stale or zero data.
+func TestMountPartialServesDecodableSubset(t *testing.T) {
+	r, want := degradeRig(t, lossyPattern)
+	m, err := MountArray(oiAnalyzer(t, r.v), r.devices(), r.sbs, r.j0, r.j1,
+		WithMountDegradedPolicy(DegradedPartial))
+	if err != nil {
+		t.Fatalf("partial mount: %v", err)
+	}
+	if !m.ReadOnly || !m.Array.ReadOnly() {
+		t.Fatal("partial mount did not fence the write path")
+	}
+	if m.Availability == nil || m.Availability.Recoverable {
+		t.Fatalf("partial mount availability: %+v", m.Availability)
+	}
+
+	served, refused := 0, 0
+	buf := make([]byte, testStrip)
+	for s := int64(0); s < int64(len(want)); s++ {
+		st, _ := m.Array.LocateDataStrip(s)
+		_, err := m.Array.ReadAt(buf, s*int64(testStrip))
+		if m.Availability.StripAvailable(st) {
+			if err != nil {
+				t.Fatalf("decodable strip %d (%v): %v", s, st, err)
+			}
+			if !bytes.Equal(buf, want[s]) {
+				t.Fatalf("decodable strip %d (%v) differs from oracle", s, st)
+			}
+			served++
+		} else {
+			if !errors.Is(err, ErrStripUnavailable) {
+				t.Fatalf("undecodable strip %d (%v): err %v, want ErrStripUnavailable", s, st, err)
+			}
+			// The per-strip sentinel still wraps the coarse one.
+			if !errors.Is(err, ErrTooManyFailures) {
+				t.Fatalf("ErrStripUnavailable does not wrap ErrTooManyFailures: %v", err)
+			}
+			refused++
+		}
+	}
+	if served == 0 || refused == 0 {
+		t.Fatalf("partial mount served %d and refused %d strips; want both non-zero", served, refused)
+	}
+
+	// Writes are fenced with the retryable read-only sentinel.
+	if _, err := m.Array.WriteAt(want[0], 0); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("write on partial mount: %v, want ErrReadOnly", err)
+	}
+}
+
+// TestMountDegradedPolicyPersists: a policy chosen at format time rides
+// the superblock, so a later beyond-tolerance mount serves partial
+// without any per-mount override.
+func TestMountDegradedPolicyPersists(t *testing.T) {
+	r := newMountRig(t, 9, 2)
+	m, err := FormatArray(oiAnalyzer(t, r.v), r.devices(), r.sbs, r.j0, r.j1,
+		WithDegradedPolicy(DegradedPartial))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillArray(t, m.Array, 21)
+	if err := m.Array.SealMeta(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Super.Degraded != DegradedPartial {
+		t.Fatalf("format did not persist the policy: %v", m.Super.Degraded)
+	}
+	for _, d := range lossyPattern {
+		if err := r.sbs[d].Truncate(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m2, err := MountArray(oiAnalyzer(t, r.v), r.devices(), r.sbs, r.j0, r.j1)
+	if err != nil {
+		t.Fatalf("mount with persisted partial policy: %v", err)
+	}
+	if !m2.ReadOnly {
+		t.Fatal("persisted partial policy did not fence the mount")
+	}
+	// And the per-mount override can tighten it back to refuse.
+	if _, err := MountArray(oiAnalyzer(t, r.v), r.devices(), r.sbs, r.j0, r.j1,
+		WithMountDegradedPolicy(DegradedRefuse)); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("refuse override: %v, want ErrTooManyFailures", err)
+	}
+}
+
+// TestDegradedPolicyRoundTrip pins the flag/manifest spellings.
+func TestDegradedPolicyRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want DegradedPolicy
+	}{
+		{"", DegradedRefuse},
+		{"refuse", DegradedRefuse},
+		{"read-only", DegradedReadOnly},
+		{"readonly", DegradedReadOnly},
+		{"ro", DegradedReadOnly},
+		{"partial", DegradedPartial},
+		{"partial-read", DegradedPartial},
+	}
+	for _, tc := range cases {
+		got, err := ParseDegradedPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseDegradedPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := ParseDegradedPolicy("yolo"); err == nil {
+		t.Fatal("unknown policy spelling accepted")
+	}
+	for _, p := range []DegradedPolicy{DegradedRefuse, DegradedReadOnly, DegradedPartial} {
+		back, err := ParseDegradedPolicy(p.String())
+		if err != nil || back != p {
+			t.Fatalf("policy %v does not round-trip its String %q", p, p.String())
+		}
+	}
+}

@@ -80,6 +80,24 @@ var ErrIntentConflict = fmt.Errorf("store: overlapping parity closure pending: %
 // terminal verdict on the writer, not on the device.
 var ErrStaleEpoch = errors.New("store: write fenced off by a newer coordinator epoch")
 
+// ErrStripUnavailable reports a read of a strip that the current failure
+// pattern leaves undecodable: the pattern as a whole is beyond tolerance
+// and the peeling decoder cannot produce this particular strip from
+// survivors. Other strips of the same array may still be readable — this
+// is the per-strip refinement of ErrTooManyFailures, which it wraps so
+// existing errors.Is(ErrDataLoss) call sites keep matching. The HTTP
+// layer maps it onto 410 Gone.
+var ErrStripUnavailable = fmt.Errorf("store: strip unavailable under current failure pattern: %w", ErrTooManyFailures)
+
+// ErrReadOnly reports a write refused because the array is serving in a
+// degraded read-only (or partial-read) mode: the failure pattern is
+// beyond tolerance, or the coordinator lost its quorum lease, and
+// admitting writes would either land on undecodable stripes or race a
+// newer leader. Reads continue; writes must wait for promotion back to
+// a writable mode. The HTTP layer maps it onto 503 with an
+// X-Oiraid-Mode header naming the serving mode.
+var ErrReadOnly = errors.New("store: array is read-only while degraded beyond tolerance")
+
 // ErrIntentReplay reports a failed replay of a pending redo record — the
 // array could not restore a half-committed closure to consistency because
 // a live strip it must rewrite is unreachable. The record stays pending;

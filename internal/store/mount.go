@@ -202,6 +202,36 @@ type Mount struct {
 	Replayed int
 	// WasClean reports whether the previous run sealed the array.
 	WasClean bool
+	// Availability is the per-strip classification of the mounted
+	// failure pattern; nil when no disk is failed.
+	Availability *core.Availability
+	// ReadOnly reports that the pattern is beyond tolerance and the
+	// array was mounted write-fenced under a non-refuse DegradedPolicy.
+	ReadOnly bool
+}
+
+// FormatOption customises FormatArray.
+type FormatOption func(*Superblock)
+
+// WithDegradedPolicy sets the format-time degradation policy persisted
+// in every superblock copy.
+func WithDegradedPolicy(p DegradedPolicy) FormatOption {
+	return func(sb *Superblock) { sb.Degraded = p }
+}
+
+// MountOption customises MountArray.
+type MountOption func(*mountConfig)
+
+type mountConfig struct {
+	policy *DegradedPolicy
+}
+
+// WithMountDegradedPolicy overrides the superblock's degradation policy
+// for this mount only — the operator's "mount it read-only anyway"
+// escape hatch, and the cluster manifest's policy wiring for arrays
+// formatted before the policy byte existed.
+func WithMountDegradedPolicy(p DegradedPolicy) MountOption {
+	return func(c *mountConfig) { c.policy = &p }
 }
 
 // FormatArray initialises the durable metadata plane for a new array:
@@ -210,7 +240,7 @@ type Mount struct {
 // in place; its strips simply carry no checksums until rewritten), but
 // any previous metadata in the blobs is destroyed. The returned mount is
 // ready to serve.
-func FormatArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mount, error) {
+func FormatArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob, opts ...FormatOption) (*Mount, error) {
 	if len(devs) != an.Disks() || len(sbs) != an.Disks() {
 		return nil, fmt.Errorf("%w: %d devices, %d superblocks for %d disks",
 			ErrBadGeometry, len(devs), len(sbs), an.Disks())
@@ -244,6 +274,9 @@ func FormatArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mo
 		},
 		diskUUIDs: make([][16]byte, len(devs)),
 	}
+	for _, opt := range opts {
+		opt(&meta.sb)
+	}
 	for i := range meta.diskUUIDs {
 		meta.diskUUIDs[i] = NewUUID()
 	}
@@ -268,10 +301,17 @@ func FormatArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mo
 // stale (epoch more than one behind — one behind is a crash mid-commit
 // and accepted), verifies geometry, replays the metadata journal (redo
 // closures are replayed even degraded), and commits a mount epoch. It
-// refuses to serve — returning ErrTooManyFailures — when the effective
-// failure set exceeds the layout's recovery capability, and
+// consults the DegradedPolicy — superblock state, overridable per mount —
+// when the effective failure set exceeds the layout's recovery
+// capability: refuse fails with ErrTooManyFailures (naming the failed
+// disks and the violating inner groups), read-only and partial mount the
+// array write-fenced and serve the decodable strips. It returns
 // ErrJournalCorrupt when the journal header region is undecodable.
-func MountArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mount, error) {
+func MountArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob, opts ...MountOption) (*Mount, error) {
+	var cfg mountConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	if len(devs) != an.Disks() || len(sbs) != an.Disks() {
 		return nil, fmt.Errorf("%w: %d devices, %d superblocks for %d disks",
 			ErrBadGeometry, len(devs), len(sbs), an.Disks())
@@ -376,10 +416,27 @@ func MountArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mou
 	}
 	sort.Ints(failed)
 
-	// Refuse to serve when the failure pattern is unrecoverable.
+	// Classify the failure pattern per strip. A recoverable pattern
+	// serves degraded-rw as before; a beyond-tolerance pattern consults
+	// the DegradedPolicy instead of refusing on the flat count.
+	var av *core.Availability
+	degraded := false
 	if len(failed) > 0 {
-		if plan := an.Plan(failed, core.PlanOptions{}); !plan.Complete {
-			return nil, fmt.Errorf("%w: %d disks failed or stale at mount", ErrTooManyFailures, len(failed))
+		av = an.Availability(failed)
+		if !av.Recoverable {
+			policy := cons.Degraded
+			if cfg.policy != nil {
+				policy = *cfg.policy
+			}
+			switch {
+			case policy == DegradedRefuse:
+				return nil, fmt.Errorf("%w at mount: %s; policy %q refuses beyond-tolerance service",
+					ErrTooManyFailures, av.Describe(), policy)
+			case policy == DegradedReadOnly && !av.DataComplete:
+				return nil, fmt.Errorf("%w at mount: %s; policy %q needs every data strip decodable (policy %q would serve the readable subset)",
+					ErrTooManyFailures, av.Describe(), policy, DegradedPartial)
+			}
+			degraded = true
 		}
 	}
 
@@ -404,6 +461,9 @@ func MountArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mou
 	replayed, err := arr.RecoverIntent()
 	if err != nil {
 		return nil, fmt.Errorf("store: mount replay: %w", err)
+	}
+	if degraded {
+		arr.SetReadOnly(true)
 	}
 	arr.mu.Lock()
 	if cons.ScrubCursor < arr.cycles {
@@ -430,12 +490,14 @@ func MountArray(an *core.Analyzer, devs []Device, sbs []Blob, j0, j1 Blob) (*Mou
 		return nil, err
 	}
 	return &Mount{
-		Array:    arr,
-		Meta:     meta,
-		Super:    *cons,
-		Failed:   failed,
-		Detected: detected,
-		Replayed: replayed,
-		WasClean: cons.Clean,
+		Array:        arr,
+		Meta:         meta,
+		Super:        *cons,
+		Failed:       failed,
+		Detected:     detected,
+		Replayed:     replayed,
+		WasClean:     cons.Clean,
+		Availability: av,
+		ReadOnly:     degraded,
 	}, nil
 }

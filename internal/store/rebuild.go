@@ -125,7 +125,7 @@ func (a *Array) RebuildStep(batch int64) (done bool, err error) {
 	if a.rebuildPlan == nil {
 		plan := a.an.Plan(failed, core.PlanOptions{})
 		if !plan.Complete {
-			return false, fmt.Errorf("%w: %d strips unrecoverable", ErrDataLoss, len(plan.Unrecovered))
+			return false, fmt.Errorf("%w: rebuild impossible: %s", ErrDataLoss, a.an.Availability(failed).Describe())
 		}
 		a.rebuildPlan = plan
 		a.rebuiltCycles = 0

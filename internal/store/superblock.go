@@ -69,6 +69,11 @@ type Superblock struct {
 	// Clean records a graceful shutdown; a mount clears it, a Seal sets
 	// it, so Clean == false on load means the previous run crashed.
 	Clean bool
+	// Degraded is the format-time degradation policy: what MountArray
+	// does when the committed failure pattern is beyond tolerance.
+	// Pre-degradation images decode the zero byte, which is
+	// DegradedRefuse — the historic behaviour.
+	Degraded DegradedPolicy
 }
 
 // UUIDString formats the array UUID.
@@ -128,6 +133,7 @@ func (sb *Superblock) encodeSlot() ([]byte, error) {
 		flags |= 1
 	}
 	le.PutUint32(buf[164:], flags)
+	buf[168] = byte(sb.Degraded)
 	le.PutUint32(buf[superSlot-4:], crc32.Checksum(buf[:superSlot-4], castagnoli))
 	return buf, nil
 }
@@ -160,6 +166,7 @@ func DecodeSuperblock(buf []byte) (*Superblock, error) {
 		RebuiltCycles: int64(le.Uint64(buf[148:])),
 		ScrubCursor:   int64(le.Uint64(buf[156:])),
 		Clean:         le.Uint32(buf[164:])&1 != 0,
+		Degraded:      DegradedPolicy(buf[168]),
 	}
 	copy(sb.ArrayUUID[:], buf[20:36])
 	copy(sb.DiskUUID[:], buf[60:76])
@@ -167,7 +174,8 @@ func DecodeSuperblock(buf []byte) (*Superblock, error) {
 		sb.SlotsPerDisk < 1 || sb.Cycles < 1 || sb.StripBytes < 1 ||
 		sb.DiskIndex < 0 || sb.DiskIndex >= sb.Disks ||
 		sb.RebuiltCycles < 0 || sb.RebuiltCycles > sb.Cycles ||
-		sb.ScrubCursor < 0 || sb.ScrubCursor > sb.Cycles {
+		sb.ScrubCursor < 0 || sb.ScrubCursor > sb.Cycles ||
+		sb.Degraded > DegradedPartial {
 		return nil, fmt.Errorf("%w: fields out of bounds", ErrNoSuperblock)
 	}
 	for d := 0; d < superMaxDisks; d++ {

@@ -1,0 +1,56 @@
+// Package testutil holds helpers shared across the test suites. It is
+// imported only from _test files; nothing here ships in the product.
+package testutil
+
+import (
+	"runtime"
+	"time"
+)
+
+// LeakGuard checks that a test left no goroutines behind: capture a
+// baseline with NewLeakGuard before starting the machinery under test,
+// then call Check after tearing it down. Check polls — background
+// goroutines (probers, reapers, breakers) are allowed to drain within
+// the deadline — and fails with a full stack dump when the count never
+// returns to baseline+Slack.
+type LeakGuard struct {
+	baseline int
+	// Slack is how many goroutines above the baseline are tolerated
+	// (default 0). Hedged-read tests allow a couple for runtime timers.
+	Slack int
+	// Deadline bounds the drain wait (default 5s).
+	Deadline time.Duration
+}
+
+// NewLeakGuard snapshots the current goroutine count as the baseline.
+func NewLeakGuard() *LeakGuard {
+	return &LeakGuard{baseline: runtime.NumGoroutine(), Deadline: 5 * time.Second}
+}
+
+// failer is the slice of testing.TB the guard needs (so the package
+// stays free of a testing import in its signature types).
+type failer interface {
+	Helper()
+	Fatalf(format string, args ...any)
+}
+
+// Check polls until the goroutine count returns to baseline+Slack or
+// the deadline passes, then fails the test with every goroutine's stack
+// so the leaked one is identifiable.
+func (g *LeakGuard) Check(t failer) {
+	t.Helper()
+	limit := g.baseline + g.Slack
+	deadline := g.Deadline
+	if deadline <= 0 {
+		deadline = 5 * time.Second
+	}
+	stop := time.Now().Add(deadline)
+	for runtime.NumGoroutine() > limit {
+		if time.Now().After(stop) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: %d > baseline %d (+%d slack)\n%s",
+				runtime.NumGoroutine(), g.baseline, g.Slack, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

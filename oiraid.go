@@ -299,21 +299,55 @@ func NewFileArray(g *Geometry, dir string, cycles int64, stripBytes int) (*Array
 	return store.NewArray(g.an, devs)
 }
 
+// DegradedPolicy selects what MountArray does when the committed
+// failure pattern is beyond the layout's recovery capability: refuse
+// (the default), serve the full address space read-only (when every
+// data strip is still decodable), or serve the decodable subset.
+type DegradedPolicy = store.DegradedPolicy
+
+// Degradation policies (see store.DegradedPolicy).
+const (
+	DegradedRefuse   = store.DegradedRefuse
+	DegradedReadOnly = store.DegradedReadOnly
+	DegradedPartial  = store.DegradedPartial
+)
+
+// FormatOption customises FormatArray; MountOption customises
+// MountArray.
+type (
+	FormatOption = store.FormatOption
+	MountOption  = store.MountOption
+)
+
+// WithDegradedPolicy stamps the degradation policy into the
+// superblocks at format time.
+func WithDegradedPolicy(p DegradedPolicy) FormatOption { return store.WithDegradedPolicy(p) }
+
+// WithMountDegradedPolicy overrides the superblock's degradation
+// policy for one mount.
+func WithMountDegradedPolicy(p DegradedPolicy) MountOption { return store.WithMountDegradedPolicy(p) }
+
+// ParseDegradedPolicy parses "refuse", "read-only", or "partial"
+// (empty string means refuse).
+func ParseDegradedPolicy(s string) (DegradedPolicy, error) { return store.ParseDegradedPolicy(s) }
+
 // FormatArray initialises the durable metadata plane for an array:
 // fresh identities and superblocks on every disk plus the metadata
 // journal (j0/j1 are its double-buffered regions). Device content is
 // left untouched, so an existing array upgrades in place.
-func FormatArray(g *Geometry, devs []Device, sbs []Blob, j0, j1 Blob) (*Mount, error) {
-	return store.FormatArray(g.an, devs, sbs, j0, j1)
+func FormatArray(g *Geometry, devs []Device, sbs []Blob, j0, j1 Blob, opts ...FormatOption) (*Mount, error) {
+	return store.FormatArray(g.an, devs, sbs, j0, j1, opts...)
 }
 
 // MountArray assembles an array from its on-media metadata: it loads
 // every superblock, fails disks whose copy is missing, foreign,
-// misplaced, or stale, replays the metadata journal, and refuses to
-// serve when the failure pattern exceeds the layout's recovery
-// capability.
-func MountArray(g *Geometry, devs []Device, sbs []Blob, j0, j1 Blob) (*Mount, error) {
-	return store.MountArray(g.an, devs, sbs, j0, j1)
+// misplaced, or stale, replays the metadata journal, and — under the
+// default refuse policy — refuses to serve when the failure pattern
+// exceeds the layout's recovery capability. The read-only and partial
+// policies (stamped at format or overridden per mount) keep the
+// decodable strips serving instead; see store.DegradedPolicy.
+func MountArray(g *Geometry, devs []Device, sbs []Blob, j0, j1 Blob, opts ...MountOption) (*Mount, error) {
+	return store.MountArray(g.an, devs, sbs, j0, j1, opts...)
 }
 
 // NewMemBlob exposes memory-backed metadata media (tests, ephemeral
